@@ -1,0 +1,65 @@
+// Figure 10a: end-to-end inference speed of six convolutional networks
+// (batch 32, FP16, Tesla T4): Bolt-compiled vs Ansor-tuned.
+//
+// Paper claim: Bolt is 4.2x faster on VGG models, 1.5x on ResNet models,
+// 2.6x on RepVGG models; 2.8x on average.
+
+#include <cstdio>
+#include <map>
+
+#include "ansor/search.h"
+#include "bench_util.h"
+#include "bolt/engine.h"
+#include "models/zoo.h"
+
+using namespace bolt;
+
+int main() {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  bench::Title("Figure 10a",
+               "End-to-end inference, 6 CNNs, batch 32 FP16, T4");
+
+  models::ModelOptions opts;
+  opts.batch = 32;
+
+  auto zoo = models::Fig10Models(opts);
+  if (!zoo.ok()) {
+    std::printf("model zoo failed: %s\n", zoo.status().ToString().c_str());
+    return 1;
+  }
+
+  ansor::TuningOptions topts;
+  topts.trials = 900;  // the paper's 900 x #tasks budget
+
+  const std::map<std::string, double> paper_speedup = {
+      {"VGG-13", 4.2},    {"VGG-16", 4.2},    {"ResNet-18", 1.5},
+      {"ResNet-50", 1.5}, {"RepVGG-A0", 2.6}, {"RepVGG-B0", 2.6},
+  };
+
+  std::printf("  %-12s %12s %12s %12s %12s %9s %8s\n", "model",
+              "bolt us", "bolt img/s", "ansor us", "ansor img/s",
+              "speedup", "paper");
+  bench::Rule();
+  double sum = 0.0;
+  for (const auto& entry : *zoo) {
+    auto engine = Engine::Compile(entry.graph, CompileOptions{});
+    if (!engine.ok()) {
+      std::printf("  %-12s compile failed: %s\n", entry.name.c_str(),
+                  engine.status().ToString().c_str());
+      continue;
+    }
+    const auto ansor_r = ansor::TuneModel(entry.graph, t4, topts);
+    const double bolt_us = engine->EstimatedLatencyUs();
+    const double speedup = ansor_r.latency_us / bolt_us;
+    sum += speedup;
+    std::printf("  %-12s %12.1f %12.0f %12.1f %12.0f %8.2fx %7.1fx\n",
+                entry.name.c_str(), bolt_us,
+                bench::Throughput(32, bolt_us), ansor_r.latency_us,
+                bench::Throughput(32, ansor_r.latency_us), speedup,
+                paper_speedup.at(entry.name));
+  }
+  bench::Rule();
+  std::printf("  mean speedup: %.2fx   (paper mean: 2.8x)\n",
+              sum / zoo->size());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 1: the FP16 GEMM performance gap between the Ansor auto-tuner and
+// hardware-native (cuBLAS) speeds on a Tesla T4.
+//
+// Paper claim: Ansor achieves less than 20% of cuBLAS performance on these
+// workloads (two large square GEMMs + three BERT GEMMs at batch 32 /
+// sequence length 40).
+
+#include <cstdio>
+
+#include "ansor/search.h"
+#include "bench_util.h"
+#include "cutlite/gemm.h"
+#include "models/workloads.h"
+
+using namespace bolt;
+
+int main() {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  bench::Title("Figure 1", "Ansor vs hardware-native (cuBLAS-oracle) FP16 "
+                           "GEMM speed, Tesla T4");
+  bench::Note("vendor = exhaustive search over the native template space "
+              "(the cuBLAS stand-in)");
+  bench::Note("ansor  = evolutionary search + learned cost model, 900 "
+              "trials (paper setting)\n");
+
+  std::printf("  %-30s %10s %10s %10s %10s %9s\n", "workload", "vendor us",
+              "vendor TF", "ansor us", "ansor TF", "% vendor");
+  bench::Rule();
+
+  TuningClock clock;
+  ansor::TuningOptions topts;
+  topts.trials = 900;
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::Fig1Gemms()) {
+    const auto vendor = cutlite::VendorPeakGemm(t4, w.coord);
+    ansor::SearchTask task;
+    task.kind = ansor::TaskKind::kGemm;
+    task.gemm = w.coord;
+    task.name = w.name;
+    const auto r = ansor::TuneTask(task, t4, topts, clock);
+    const double flops = w.coord.flops();
+    const double pct = 100.0 * vendor.us / r.best_us;
+    ratio_sum += pct;
+    ++count;
+    std::printf("  %-30s %10.1f %10.1f %10.1f %10.1f %8.1f%%\n",
+                w.name.c_str(), vendor.us, flops / vendor.us / 1e6,
+                r.best_us, flops / r.best_us / 1e6, pct);
+  }
+  bench::Rule();
+  std::printf("  average Ansor fraction of vendor speed: %.1f%%   "
+              "(paper: < 20%%)\n",
+              ratio_sum / count);
+  return 0;
+}

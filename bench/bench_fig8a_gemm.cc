@@ -1,0 +1,59 @@
+// Figure 8a: Bolt vs Ansor on FP16 GEMMs (BERT workloads at batch 32 /
+// seq 40, plus two square GEMMs), Tesla T4.
+//
+// Paper claim: Bolt is 6.1-9.5x faster on compute-intensive workloads and
+// 1.9x on the least compute-intensive one.
+
+#include <cstdio>
+
+#include "ansor/search.h"
+#include "bench_util.h"
+#include "models/workloads.h"
+#include "profiler/profiler.h"
+
+using namespace bolt;
+
+int main() {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  bench::Title("Figure 8a", "Bolt vs Ansor FP16 GEMM speed, Tesla T4");
+
+  Profiler prof(t4);
+  TuningClock clock;
+  ansor::TuningOptions topts;
+  topts.trials = 900;
+
+  std::printf("  %-30s %10s %10s %10s %10s %9s\n", "workload", "bolt us",
+              "bolt TF", "ansor us", "ansor TF", "speedup");
+  bench::Rule();
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::Fig1Gemms()) {
+    const auto bolt_r =
+        prof.ProfileGemm(w.coord, cutlite::EpilogueSpec::Linear());
+    if (!bolt_r.ok()) {
+      std::printf("  %-30s profile failed: %s\n", w.name.c_str(),
+                  bolt_r.status().ToString().c_str());
+      continue;
+    }
+    ansor::SearchTask task;
+    task.kind = ansor::TaskKind::kGemm;
+    task.gemm = w.coord;
+    task.name = w.name;
+    const auto ansor_r = ansor::TuneTask(task, t4, topts, clock);
+    const double flops = w.coord.flops();
+    const double speedup = ansor_r.best_us / bolt_r.value().us;
+    sum += speedup;
+    ++count;
+    std::printf("  %-30s %10.1f %10.1f %10.1f %10.1f %8.2fx\n",
+                w.name.c_str(), bolt_r.value().us,
+                flops / bolt_r.value().us / 1e6, ansor_r.best_us,
+                flops / ansor_r.best_us / 1e6, speedup);
+  }
+  bench::Rule();
+  std::printf("  mean speedup: %.2fx   (paper: 6.1-9.5x compute-bound, "
+              "1.9x memory-bound)\n",
+              sum / count);
+  std::printf("  bolt best kernels chosen from %d profiled workloads\n",
+              prof.cache_size());
+  return 0;
+}

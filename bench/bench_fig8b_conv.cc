@@ -1,0 +1,53 @@
+// Figure 8b: Bolt vs Ansor on the 3x3 Conv2Ds of ResNet-50 (batch 32,
+// (1,1) zero padding), Tesla T4.
+//
+// Paper claim: Bolt is 2.7-3.5x faster than Ansor on every workload.
+
+#include <cstdio>
+
+#include "ansor/search.h"
+#include "bench_util.h"
+#include "models/workloads.h"
+#include "profiler/profiler.h"
+
+using namespace bolt;
+
+int main() {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  bench::Title("Figure 8b",
+               "Bolt vs Ansor on ResNet-50 3x3 Conv2Ds (batch 32), T4");
+
+  Profiler prof(t4);
+  TuningClock clock;
+  ansor::TuningOptions topts;
+  topts.trials = 900;
+
+  std::printf("  %-26s %10s %10s %10s %9s\n", "workload", "bolt us",
+              "bolt TF", "ansor us", "speedup");
+  bench::Rule();
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::Fig8bConvs()) {
+    const auto bolt_r =
+        prof.ProfileConv(w.problem, cutlite::EpilogueSpec::Linear());
+    if (!bolt_r.ok()) continue;
+    ansor::SearchTask task;
+    task.kind = ansor::TaskKind::kConv2d;
+    task.gemm = w.problem.AsGemm();
+    task.conv_input_bytes = w.problem.input_bytes();
+    task.conv_weight_bytes = w.problem.weight_bytes();
+    task.conv_output_bytes = w.problem.output_bytes();
+    task.name = w.name;
+    const auto ansor_r = ansor::TuneTask(task, t4, topts, clock);
+    const double speedup = ansor_r.best_us / bolt_r.value().us;
+    sum += speedup;
+    ++count;
+    std::printf("  %-26s %10.1f %10.1f %10.1f %8.2fx\n", w.name.c_str(),
+                bolt_r.value().us,
+                w.problem.flops() / bolt_r.value().us / 1e6,
+                ansor_r.best_us, speedup);
+  }
+  bench::Rule();
+  std::printf("  mean speedup: %.2fx   (paper: 2.7-3.5x)\n", sum / count);
+  return 0;
+}

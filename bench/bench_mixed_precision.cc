@@ -1,0 +1,92 @@
+// Mixed-precision coverage (extension; Section 2.2 notes CUTLASS's
+// B1/INT4/INT8/FP16/BF16/TF32 breadth).
+//
+// Projects the BERT GEMM set across math modes on both supported
+// architectures, plus INT8 functional accuracy on a representative GEMM.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "cutlite/quantized.h"
+#include "models/workloads.h"
+#include "profiler/profiler.h"
+
+using namespace bolt;
+using namespace bolt::cutlite;
+
+int main() {
+  bench::Title("Mixed precision (extension)",
+               "FP16 / BF16 / TF32 / INT8 / INT4 GEMM across "
+               "architectures");
+
+  const MathMode modes[] = {MathMode::kF16, MathMode::kBF16,
+                            MathMode::kTF32, MathMode::kS8, MathMode::kS4};
+  for (const DeviceSpec& spec :
+       {DeviceSpec::TeslaT4(), DeviceSpec::A100()}) {
+    std::printf("\n  %s (%s)\n", spec.name.c_str(), spec.arch.c_str());
+    std::printf("  %-30s", "workload");
+    for (MathMode m : modes) std::printf(" %9s", MathModeName(m));
+    std::printf("   (effective TFLOPS/TOPS)\n");
+    bench::Rule();
+    Profiler prof(spec);
+    for (const auto& w : workloads::Fig1Gemms()) {
+      auto base = prof.ProfileGemm(w.coord, EpilogueSpec::Linear());
+      if (!base.ok()) continue;
+      std::printf("  %-30s", w.name.c_str());
+      for (MathMode m : modes) {
+        if (!MathModeSupported(m, spec)) {
+          std::printf(" %9s", "-");
+          continue;
+        }
+        const auto t = EstimateMixedGemm(spec, m, w.coord,
+                                         base.value().config,
+                                         EpilogueSpec::Linear());
+        std::printf(" %9.1f",
+                    w.coord.flops() / (t.total_us +
+                                       spec.kernel_launch_us) /
+                        1e6);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // INT8 end-to-end sanity: quantized GEMM accuracy on real data.
+  bench::Rule();
+  const GemmCoord p(256, 128, 256);
+  Tensor a(TensorDesc(DType::kFloat32, {p.m, p.k}, Layout::kRowMajor));
+  Tensor w(TensorDesc(DType::kFloat32, {p.n, p.k}, Layout::kRowMajor));
+  Rng rng(7);
+  rng.FillNormal(a.data(), 0.5f);
+  rng.FillNormal(w.data(), 0.5f);
+  KernelConfig cfg;
+  cfg.threadblock = GemmShape(64, 64, 32);
+  cfg.warp = GemmShape(32, 32, 32);
+  cfg.instruction = GemmShape(8, 8, 16);
+  EpilogueSpec e = EpilogueSpec::Linear();
+  e.output_dtype = DType::kFloat32;
+  QuantizedGemmKernel q(p, cfg, e, ChooseSymmetricScale(a),
+                        ChooseSymmetricScale(w));
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  auto out = q.Run(args);
+  double max_err = 0.0, max_ref = 0.0;
+  for (int64_t i = 0; i < p.m; ++i) {
+    for (int64_t j = 0; j < p.n; ++j) {
+      float ref = 0.0f;
+      for (int64_t kk = 0; kk < p.k; ++kk) {
+        ref += a.at(i * p.k + kk) * w.at(j * p.k + kk);
+      }
+      max_err = std::max(
+          max_err,
+          static_cast<double>(std::abs(out.value().at(i * p.n + j) - ref)));
+      max_ref = std::max(max_ref, static_cast<double>(std::abs(ref)));
+    }
+  }
+  std::printf("  INT8 functional check (%s): max abs err %.3f on outputs "
+              "up to %.1f (%.2f%%)\n",
+              q.Name().c_str(), max_err, max_ref,
+              100.0 * max_err / max_ref);
+  return 0;
+}

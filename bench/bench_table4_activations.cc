@@ -1,0 +1,76 @@
+// Table 4: system-model codesign principle 1 — exploring activation
+// functions, which epilogue fusion makes nearly free at inference time.
+//
+// Paper (RepVGG-A0 on ImageNet): accuracy 72.31 (ReLU) .. 72.98
+// (Hardswish); inference speed varies by at most 7.7% (5453-5909 img/s).
+//
+// Substitution (no ImageNet/GPU here): the accuracy column is reproduced
+// as a *trend* by training small RepVGG-style students on a synthetic
+// structured task with the same four activations; the speed column comes
+// from the Bolt engine compiling RepVGG-A0 at paper scale (batch 32,
+// 224x224) with each activation in every epilogue.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bolt/engine.h"
+#include "models/zoo.h"
+#include "train/trainer.h"
+
+using namespace bolt;
+
+int main() {
+  const ActivationKind acts[] = {ActivationKind::kRelu,
+                                 ActivationKind::kGelu,
+                                 ActivationKind::kHardswish,
+                                 ActivationKind::kSoftplus};
+  const double paper_acc[] = {72.31, 72.38, 72.98, 72.57};
+  const double paper_speed[] = {5909, 5645, 5713, 5453};
+
+  bench::Title("Table 4", "RepVGG-A0 with different activation functions");
+  bench::Note("accuracy: synthetic-task students (trend substitute for "
+              "ImageNet top-1)");
+  bench::Note("speed: Bolt-compiled RepVGG-A0, batch 32 FP16, T4\n");
+
+  train::Dataset train_set =
+      train::MakeSyntheticDataset(384, 10, 3, 4, 1001);
+  train::Dataset test_set =
+      train::MakeSyntheticDataset(192, 10, 3, 4, 2002);
+  train::TrainConfig config;
+  config.epochs = 10;
+  config.lr = 0.05;
+
+  std::printf("  %-12s %10s %12s %12s %12s\n", "activation", "syn acc",
+              "paper top-1", "img/s", "paper img/s");
+  bench::Rule();
+  double relu_speed = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    // Accuracy trend on the synthetic task (mean over 3 seeds).
+    const double acc = train::MeanStudentAccuracy(
+        train_set, test_set, {8, 16}, {1, 1}, acts[i], false, config);
+
+    // Inference speed at paper scale.
+    models::RepVggOptions mopts;
+    mopts.batch = 32;
+    mopts.activation = acts[i];
+    auto g = models::BuildRepVgg(models::RepVggVariant::kA0, mopts);
+    double img_s = 0.0;
+    if (g.ok()) {
+      auto engine = Engine::Compile(*g, CompileOptions{});
+      if (engine.ok()) {
+        img_s = bench::Throughput(32, engine->EstimatedLatencyUs());
+      }
+    }
+    if (i == 0) relu_speed = img_s;
+    std::printf("  %-12s %9.1f%% %12.2f %12.0f %12.0f\n",
+                ActivationName(acts[i]), 100 * acc, paper_acc[i], img_s,
+                paper_speed[i]);
+  }
+  bench::Rule();
+  bench::Note("paper observation: Softplus (most complex epilogue) costs "
+              "only 7.7% speed vs ReLU");
+  std::printf("  (our Softplus/ReLU speed ratio appears in the rows "
+              "above; ReLU img/s = %.0f)\n",
+              relu_speed);
+  return 0;
+}

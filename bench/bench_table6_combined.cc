@@ -1,0 +1,103 @@
+// Table 6: combined system-model codesign — 1x1 deepening + Hardswish
+// activations.
+//
+// Paper (ImageNet, 300 epochs, advanced augmentation): RepVGGAug-A1
+// reaches 76.72 top-1 at 4868 img/s — higher accuracy than RepVGG-B0
+// (75.89) at comparable speed (4888), i.e. codesign beats naive 3x3
+// deepening on both axes.
+//
+// Substitution: accuracy trend via synthetic students (base-ReLU vs
+// augmented-Hardswish); speed at paper scale via the Bolt engine.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bolt/engine.h"
+#include "models/zoo.h"
+#include "train/trainer.h"
+
+using namespace bolt;
+
+namespace {
+
+struct Row {
+  const char* name;
+  models::RepVggVariant variant;
+  bool augment;          // 1x1 convs + Hardswish
+  double paper_acc;
+  double paper_speed;
+};
+
+}  // namespace
+
+int main() {
+  bench::Title("Table 6",
+               "Combined codesign: 1x1 Conv2Ds + Hardswish epilogues");
+
+  const Row rows[] = {
+      {"RepVGG-A0", models::RepVggVariant::kA0, false, 73.41, 7861},
+      {"RepVGG-A1", models::RepVggVariant::kA1, false, 74.89, 6253},
+      {"RepVGG-B0", models::RepVggVariant::kB0, false, 75.89, 4888},
+      {"RepVGGAug-A0", models::RepVggVariant::kA0, true, 74.54, 6338},
+      {"RepVGGAug-A1", models::RepVggVariant::kA1, true, 76.72, 4868},
+      {"RepVGGAug-B0", models::RepVggVariant::kB0, true, 77.22, 3842},
+  };
+
+  train::Dataset train_set =
+      train::MakeSyntheticDataset(384, 10, 3, 4, 1001);
+  train::Dataset test_set =
+      train::MakeSyntheticDataset(192, 10, 3, 4, 2002);
+  train::TrainConfig config;
+  config.epochs = 12;  // "longer schedule" analogue of the paper's 300 ep
+  config.lr = 0.05;
+  const std::vector<std::vector<int>> widths = {{8, 16}, {12, 24}, {16, 32}};
+
+  std::printf("  %-14s %10s %12s %12s %12s\n", "model", "syn acc",
+              "paper top-1", "img/s", "paper img/s");
+  bench::Rule();
+  struct Measured {
+    double acc = 0.0, speed = 0.0;
+  };
+  Measured aug_a1, base_b0;
+  for (const Row& row : rows) {
+    const int tier = row.variant == models::RepVggVariant::kA0   ? 0
+                     : row.variant == models::RepVggVariant::kA1 ? 1
+                                                                 : 2;
+    const ActivationKind act =
+        row.augment ? ActivationKind::kHardswish : ActivationKind::kRelu;
+    const double acc = train::MeanStudentAccuracy(
+        train_set, test_set, widths[tier], {1, 1}, act, row.augment,
+        config);
+
+    models::RepVggOptions mopts;
+    mopts.batch = 32;
+    mopts.augment_1x1 = row.augment;
+    mopts.activation = act;
+    auto g = models::BuildRepVgg(row.variant, mopts);
+    double img_s = 0.0;
+    if (g.ok()) {
+      auto engine = Engine::Compile(*g, CompileOptions{});
+      if (engine.ok()) {
+        img_s = bench::Throughput(32, engine->EstimatedLatencyUs());
+      }
+    }
+    std::printf("  %-14s %9.1f%% %12.2f %12.0f %12.0f\n", row.name,
+                100 * acc, row.paper_acc, img_s, row.paper_speed);
+    if (std::string(row.name) == "RepVGGAug-A1") {
+      aug_a1 = {acc, img_s};
+    }
+    if (std::string(row.name) == "RepVGG-B0") {
+      base_b0 = {acc, img_s};
+    }
+  }
+  bench::Rule();
+  std::printf("  headline comparison — Aug-A1 vs B0: accuracy %+.1f pp, "
+              "speed %+.0f img/s\n",
+              100 * (aug_a1.acc - base_b0.acc),
+              aug_a1.speed - base_b0.speed);
+  bench::Note("paper: Aug-A1 beats B0 by +0.83 top-1 at comparable speed");
+  bench::Note("(accuracy deltas at toy scale are within noise; the speed");
+  bench::Note(" axis — Aug-A1 faster than B0 thanks to persistent fusion —");
+  bench::Note(" is the systems claim this repository reproduces)");
+  return 0;
+}

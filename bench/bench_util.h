@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Shared formatting helpers for the per-table/figure benchmark harnesses.
+// Every bench prints the paper's rows next to our measured (simulated)
+// values so EXPERIMENTS.md can be regenerated mechanically.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace bolt {
+namespace bench {
+
+inline void Title(const std::string& id, const std::string& what) {
+  std::printf("\n==========================================================="
+              "=====================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("============================================================"
+              "====================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void Rule() {
+  std::printf("  ------------------------------------------------------------"
+              "------------------\n");
+}
+
+/// images/second for a batch and latency.
+inline double Throughput(double batch, double latency_us) {
+  return batch * 1e6 / latency_us;
+}
+
+}  // namespace bench
+}  // namespace bolt

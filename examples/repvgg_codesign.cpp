@@ -1,0 +1,151 @@
+// The RepVGG system-model codesign case study (Section 4.3):
+//   1. structural re-parameterization — verify numerically that the
+//      three-branch training block collapses into one 3x3 conv;
+//   2. activation exploration — epilogue fusion makes activation choice
+//      nearly free at inference;
+//   3. 1x1 deepening — persistent-kernel fusion absorbs the added layers.
+//
+//   $ ./build/examples/repvgg_codesign
+
+#include <cmath>
+#include <cstdio>
+
+#include "bolt/engine.h"
+#include "common/rng.h"
+#include "ir/interpreter.h"
+#include "models/repvgg_reparam.h"
+#include "models/zoo.h"
+
+using namespace bolt;
+
+namespace {
+
+models::BnParams RandomBn(int64_t channels, Rng& rng) {
+  models::BnParams bn;
+  bn.gamma.resize(channels);
+  bn.beta.resize(channels);
+  bn.running_mean.resize(channels);
+  bn.running_var.resize(channels);
+  for (int64_t i = 0; i < channels; ++i) {
+    bn.gamma[i] = rng.UniformFloat(0.5f, 1.5f);
+    bn.beta[i] = rng.Normal(0.0f, 0.2f);
+    bn.running_mean[i] = rng.Normal(0.0f, 0.2f);
+    bn.running_var[i] = rng.UniformFloat(0.5f, 1.5f);
+  }
+  return bn;
+}
+
+double ModelImagesPerSec(models::RepVggVariant variant, bool augment,
+                         ActivationKind act) {
+  models::RepVggOptions opts;
+  opts.batch = 32;
+  opts.augment_1x1 = augment;
+  opts.activation = act;
+  auto g = models::BuildRepVgg(variant, opts);
+  if (!g.ok()) return 0.0;
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  if (!engine.ok()) return 0.0;
+  return 32e6 / engine->EstimatedLatencyUs();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(1234);
+
+  // --- 1. Re-parameterization ----------------------------------------
+  std::printf("=== 1. structural re-parameterization ===\n");
+  const int64_t c = 8;
+  models::RepVggBlockWeights block;
+  block.w3x3 = Tensor(TensorDesc(DType::kFloat32, {c, 3, 3, c}));
+  rng.FillNormal(block.w3x3.data(), 0.2f);
+  block.bn3 = RandomBn(c, rng);
+  block.w1x1 = Tensor(TensorDesc(DType::kFloat32, {c, 1, 1, c}));
+  rng.FillNormal(block.w1x1.data(), 0.2f);
+  block.bn1 = RandomBn(c, rng);
+  block.has_identity = true;
+  block.bn_id = RandomBn(c, rng);
+
+  auto fused = models::Reparameterize(block);
+  if (!fused.ok()) {
+    std::printf("reparam failed: %s\n", fused.status().ToString().c_str());
+    return 1;
+  }
+
+  // Evaluate both forms on a random input and compare.
+  Tensor x(TensorDesc(DType::kFloat32, {1, 7, 7, c}, Layout::kNHWC));
+  rng.FillNormal(x.data(), 0.5f);
+  Conv2dAttrs pad1;
+  pad1.pad_h = pad1.pad_w = 1;
+
+  auto conv_bn = [&](const Tensor& w, const models::BnParams& bn,
+                     const Conv2dAttrs& attrs) {
+    Tensor y = refop::Conv2d(x, w, attrs);
+    for (int64_t i = 0; i < y.num_elements(); ++i) {
+      const int64_t ch = i % c;
+      const float scale = bn.gamma[ch] / std::sqrt(bn.running_var[ch] +
+                                                   bn.eps);
+      y.at(i) = (y.at(i) - bn.running_mean[ch]) * scale + bn.beta[ch];
+    }
+    return y;
+  };
+  Tensor branches = refop::Add(conv_bn(block.w3x3, block.bn3, pad1),
+                               conv_bn(block.w1x1, block.bn1, {}));
+  Tensor id_branch = x;
+  for (int64_t i = 0; i < x.num_elements(); ++i) {
+    const int64_t ch = i % c;
+    const float scale = block.bn_id->gamma[ch] /
+                        std::sqrt(block.bn_id->running_var[ch] + 1e-5f);
+    id_branch.at(i) = (x.at(i) - block.bn_id->running_mean[ch]) * scale +
+                      block.bn_id->beta[ch];
+  }
+  branches = refop::Add(branches, id_branch);
+
+  Tensor deploy = refop::Conv2d(x, fused->weight, pad1);
+  Tensor bias(TensorDesc(DType::kFloat32, {c}),
+              std::vector<float>(fused->bias));
+  deploy = refop::BiasAdd(deploy, bias);
+  std::printf("  max |3-branch - reparameterized| = %g  (train/deploy "
+              "equivalence)\n\n",
+              branches.MaxAbsDiff(deploy));
+
+  // --- 2. Activation exploration --------------------------------------
+  std::printf("=== 2. activation functions are ~free with epilogue "
+              "fusion ===\n");
+  const ActivationKind acts[] = {ActivationKind::kRelu,
+                                 ActivationKind::kGelu,
+                                 ActivationKind::kHardswish,
+                                 ActivationKind::kSoftplus};
+  double relu_speed = 0.0;
+  for (ActivationKind act : acts) {
+    const double img_s =
+        ModelImagesPerSec(models::RepVggVariant::kA0, false, act);
+    if (act == ActivationKind::kRelu) relu_speed = img_s;
+    std::printf("  RepVGG-A0 + %-10s %8.0f img/s  (%+.1f%% vs ReLU)\n",
+                ActivationName(act), img_s,
+                100.0 * (img_s / relu_speed - 1.0));
+  }
+  std::printf("  (paper: even Softplus costs only 7.7%%)\n\n");
+
+  // --- 3. Deepening with 1x1 convs -------------------------------------
+  std::printf("=== 3. 1x1 deepening is cheap with persistent kernels "
+              "===\n");
+  struct Row {
+    const char* name;
+    models::RepVggVariant v;
+  };
+  for (const Row& row : {Row{"RepVGG-A0", models::RepVggVariant::kA0},
+                         Row{"RepVGG-A1", models::RepVggVariant::kA1},
+                         Row{"RepVGG-B0", models::RepVggVariant::kB0}}) {
+    const double base =
+        ModelImagesPerSec(row.v, false, ActivationKind::kRelu);
+    const double aug =
+        ModelImagesPerSec(row.v, true, ActivationKind::kRelu);
+    std::printf("  %-10s base %8.0f img/s   +1x1 %8.0f img/s   cost "
+                "%.1f%%\n",
+                row.name, base, aug, 100.0 * (1.0 - aug / base));
+  }
+  std::printf("  (paper: 15.3%% average speed cost for ~+0.8%% ImageNet "
+              "top-1)\n");
+  return 0;
+}

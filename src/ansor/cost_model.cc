@@ -1,0 +1,99 @@
+#include "ansor/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace bolt {
+namespace ansor {
+
+std::vector<double> Featurize(const SearchTask& task,
+                              const SimtSchedule& s,
+                              const DeviceSpec& spec) {
+  auto lg = [](double v) { return std::log2(std::max(1.0, v)); };
+  const CtaResources res = s.Resources();
+  return {
+      lg(s.block_m),
+      lg(s.block_n),
+      lg(s.thread_m),
+      lg(s.thread_n),
+      lg(s.k_tile),
+      lg(s.vector_width),
+      lg(s.unroll),
+      s.use_half2 ? 1.0 : 0.0,
+      lg(s.threads()),
+      lg(static_cast<double>(s.smem_bytes())),
+      lg(s.regs_per_thread()),
+      static_cast<double>(CtasPerSm(spec, res)),
+      lg(static_cast<double>(task.gemm.m)),
+      lg(static_cast<double>(task.gemm.n)),
+      lg(static_cast<double>(task.gemm.k)),
+      task.kind == TaskKind::kGemm ? 0.0 : 1.0,
+      lg(static_cast<double>(s.thread_m) * s.thread_n),
+  };
+}
+
+void BoostedStumps::Fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y) {
+  stumps_.clear();
+  if (x.empty()) return;
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - base_;
+
+  std::vector<size_t> order(n);
+  for (int round = 0; round < rounds_; ++round) {
+    Stump best;
+    double best_gain = -1.0;
+    // Try every feature; candidate thresholds are data quantiles.
+    for (size_t f = 0; f < d; ++f) {
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return x[a][f] < x[b][f];
+      });
+      // Prefix sums of residuals in feature order.
+      double total = 0.0;
+      for (double r : residual) total += r;
+      double left_sum = 0.0;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_sum += residual[order[i]];
+        if (x[order[i]][f] == x[order[i + 1]][f]) continue;
+        const size_t nl = i + 1, nr = n - nl;
+        const double right_sum = total - left_sum;
+        const double gain = left_sum * left_sum / nl +
+                            right_sum * right_sum / nr;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (x[order[i]][f] + x[order[i + 1]][f]);
+          best.left = left_sum / nl;
+          best.right = right_sum / nr;
+        }
+      }
+    }
+    if (best_gain <= 0.0) break;
+    best.left *= learning_rate_;
+    best.right *= learning_rate_;
+    stumps_.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      const double pred =
+          x[i][best.feature] < best.threshold ? best.left : best.right;
+      residual[i] -= pred;
+    }
+  }
+}
+
+double BoostedStumps::Predict(const std::vector<double>& f) const {
+  double out = base_;
+  for (const Stump& s : stumps_) {
+    out += f[s.feature] < s.threshold ? s.left : s.right;
+  }
+  return out;
+}
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Learned cost model for the Ansor baseline: gradient-boosted decision
+// stumps over schedule features, trained online on the measurements the
+// search collects (the XGBoost-style model of the real system, scaled to
+// this reproduction).  Predicts throughput score (higher is better).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ansor/schedule.h"
+
+namespace bolt {
+namespace ansor {
+
+/// Feature vector of a (task, schedule) pair.
+std::vector<double> Featurize(const SearchTask& task,
+                              const SimtSchedule& sched,
+                              const DeviceSpec& spec);
+
+/// One depth-1 regression tree.
+struct Stump {
+  int feature = 0;
+  double threshold = 0.0;
+  double left = 0.0;   // prediction when feature < threshold
+  double right = 0.0;  // prediction otherwise
+};
+
+/// Gradient-boosted stump regressor fit to -log(latency).
+class BoostedStumps {
+ public:
+  explicit BoostedStumps(int rounds = 60, double learning_rate = 0.3)
+      : rounds_(rounds), learning_rate_(learning_rate) {}
+
+  /// Fit from scratch on the dataset (features x, target y).
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  double Predict(const std::vector<double>& features) const;
+
+  bool trained() const { return !stumps_.empty(); }
+  int num_stumps() const { return static_cast<int>(stumps_.size()); }
+
+ private:
+  int rounds_;
+  double learning_rate_;
+  double base_ = 0.0;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,109 @@
+#include "ansor/schedule.h"
+
+namespace bolt {
+namespace ansor {
+
+namespace {
+constexpr int kBlockDims[] = {16, 32, 64, 128};
+constexpr int kThreadDims[] = {1, 2, 4, 8};
+constexpr int kKTiles[] = {8, 16, 32, 64};
+constexpr int kVecWidths[] = {1, 2, 4, 8};
+constexpr int kUnrolls[] = {1, 2, 4, 8, 16};
+
+template <typename T, size_t N>
+T Pick(Rng& rng, const T (&arr)[N]) {
+  return arr[rng.Uniform(0, static_cast<int64_t>(N) - 1)];
+}
+}  // namespace
+
+bool SimtSchedule::Valid(const DeviceSpec& spec) const {
+  if (block_m % thread_m != 0 || block_n % thread_n != 0) return false;
+  const int t = threads();
+  if (t < 32 || t > spec.max_threads_per_sm) return false;
+  if (t % spec.warp_size != 0) return false;
+  if (smem_bytes() > spec.max_smem_per_cta) return false;
+  if (regs_per_thread() > spec.max_regs_per_thread) return false;
+  if (CtasPerSm(spec, Resources()) == 0) return false;
+  return true;
+}
+
+uint64_t SimtSchedule::Fingerprint() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(block_m);
+  mix(block_n);
+  mix(thread_m);
+  mix(thread_n);
+  mix(k_tile);
+  mix(vector_width);
+  mix(unroll);
+  mix(use_half2 ? 7 : 3);
+  return h;
+}
+
+SimtSchedule RandomSchedule(Rng& rng, const DeviceSpec& spec,
+                            const SearchTask& task) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    SimtSchedule s;
+    s.block_m = Pick(rng, kBlockDims);
+    s.block_n = Pick(rng, kBlockDims);
+    s.thread_m = Pick(rng, kThreadDims);
+    s.thread_n = Pick(rng, kThreadDims);
+    s.k_tile = Pick(rng, kKTiles);
+    s.vector_width = Pick(rng, kVecWidths);
+    s.unroll = Pick(rng, kUnrolls);
+    s.use_half2 = rng.UniformFloat() < 0.5f;
+    // Don't tile beyond the problem.
+    if (s.block_m > task.gemm.m * 2 || s.block_n > task.gemm.n * 2) continue;
+    if (s.Valid(spec)) return s;
+  }
+  // Safe fallback known to be valid everywhere.
+  SimtSchedule s;
+  s.block_m = s.block_n = 32;
+  s.thread_m = s.thread_n = 4;
+  s.k_tile = 16;
+  s.vector_width = 2;
+  s.unroll = 2;
+  return s;
+}
+
+SimtSchedule MutateSchedule(const SimtSchedule& base, Rng& rng,
+                            const DeviceSpec& spec, const SearchTask& task) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    SimtSchedule s = base;
+    switch (rng.Uniform(0, 7)) {
+      case 0:
+        s.block_m = Pick(rng, kBlockDims);
+        break;
+      case 1:
+        s.block_n = Pick(rng, kBlockDims);
+        break;
+      case 2:
+        s.thread_m = Pick(rng, kThreadDims);
+        break;
+      case 3:
+        s.thread_n = Pick(rng, kThreadDims);
+        break;
+      case 4:
+        s.k_tile = Pick(rng, kKTiles);
+        break;
+      case 5:
+        s.vector_width = Pick(rng, kVecWidths);
+        break;
+      case 6:
+        s.unroll = Pick(rng, kUnrolls);
+        break;
+      default:
+        s.use_half2 = !s.use_half2;
+        break;
+    }
+    if (s.Valid(spec)) return s;
+  }
+  return RandomSchedule(rng, spec, task);
+}
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The Ansor baseline's schedule space.
+//
+// Ansor (Zheng et al., OSDI'20) searches multi-level tilings of a loop nest
+// with an opaque device model.  Crucially — and this is the performance gap
+// the paper measures — its generated CUDA uses regular CUDA cores (SIMT
+// FMA on half2), not tensor-core MMA intrinsics, for FP16 workloads on
+// Turing.  The schedule space below captures the parameters Ansor actually
+// tunes: block/thread tiles, K tiling, vectorization, unrolling.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "cutlite/shapes.h"
+#include "device/occupancy.h"
+#include "device/spec.h"
+
+namespace bolt {
+namespace ansor {
+
+/// A point in the SIMT schedule space.
+struct SimtSchedule {
+  int block_m = 64, block_n = 64;  // CTA output tile
+  int thread_m = 4, thread_n = 4;  // per-thread register tile
+  int k_tile = 16;                 // shared-memory K chunk
+  int vector_width = 4;            // elements per global load (half)
+  int unroll = 4;                  // inner-loop unroll factor
+  bool use_half2 = true;           // packed FP16 math vs FP32 upconvert
+
+  int threads() const {
+    return (block_m / thread_m) * (block_n / thread_n);
+  }
+  int64_t smem_bytes() const {
+    // Double-buffered A and B tiles in FP16.
+    return 2LL * (block_m + block_n) * k_tile * 2;
+  }
+  int regs_per_thread() const {
+    return thread_m * thread_n + 2 * (thread_m + thread_n) + 24;
+  }
+  CtaResources Resources() const {
+    return CtaResources{threads(), smem_bytes(), regs_per_thread()};
+  }
+
+  /// Structural validity (divisibility, resource sanity).
+  bool Valid(const DeviceSpec& spec) const;
+
+  std::string ToString() const {
+    return StrCat("b", block_m, "x", block_n, "_t", thread_m, "x", thread_n,
+                  "_k", k_tile, "_v", vector_width, "_u", unroll,
+                  use_half2 ? "_h2" : "_f32");
+  }
+
+  /// Deterministic 64-bit fingerprint for schedule-noise seeding.
+  uint64_t Fingerprint() const;
+};
+
+/// Workload kind for the baseline tuner.
+enum class TaskKind { kGemm, kConv2d };
+
+/// One tuning task (a unique operator workload, as extracted from a graph).
+struct SearchTask {
+  TaskKind kind = TaskKind::kGemm;
+  cutlite::GemmCoord gemm;  // for conv: the implicit-GEMM coordinates
+  int64_t conv_input_bytes = 0;   // conv-only traffic hints
+  int64_t conv_weight_bytes = 0;
+  int64_t conv_output_bytes = 0;
+  std::string name;
+
+  std::string Key() const {
+    return StrCat(kind == TaskKind::kGemm ? "gemm/" : "conv/",
+                  gemm.ToString());
+  }
+};
+
+/// Draw a random valid schedule.
+SimtSchedule RandomSchedule(Rng& rng, const DeviceSpec& spec,
+                            const SearchTask& task);
+
+/// Mutate one parameter of a schedule (may return an invalid draw's
+/// nearest valid neighbour; retries internally).
+SimtSchedule MutateSchedule(const SimtSchedule& s, Rng& rng,
+                            const DeviceSpec& spec, const SearchTask& task);
+
+}  // namespace ansor
+}  // namespace bolt

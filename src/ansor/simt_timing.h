@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// "Ground truth" latency of an Ansor-generated SIMT kernel on the device
+// model — what the auto-tuner observes when it measures a sample program.
+//
+// The model captures why Ansor trails hardware-native FP16 performance on
+// tensor-core GPUs (Fig. 1 / Fig. 8 of the paper): the CUDA-core half2
+// peak is 4x below the tensor-core peak on a T4, and SIMT GEMM schedules
+// additionally lose efficiency to register-tile ILP limits, shared-memory
+// bank conflicts on half-typed tiles, and occupancy constraints.
+
+#pragma once
+
+#include "ansor/schedule.h"
+#include "device/timing.h"
+
+namespace bolt {
+namespace ansor {
+
+/// Simulated measurement of one schedule for one task. Deterministic: a
+/// small schedule-fingerprint noise term models run-to-run measurement
+/// jitter without breaking reproducibility.
+double MeasureSimtUs(const DeviceSpec& spec, const SearchTask& task,
+                     const SimtSchedule& sched);
+
+}  // namespace ansor
+}  // namespace bolt

@@ -1,0 +1,407 @@
+#include "bolt/engine.h"
+
+#include <algorithm>
+
+#include "bolt/hostcost.h"
+#include "codegen/emit.h"
+#include "cutlite/padding.h"
+#include "ir/interpreter.h"
+
+namespace bolt {
+
+using codegen::LaunchKind;
+using codegen::LaunchRecord;
+using cutlite::B2bConvKernel;
+using cutlite::B2bConvStage;
+using cutlite::B2bGemmKernel;
+using cutlite::B2bStage;
+using cutlite::Conv2dKernel;
+using cutlite::ConvProblem;
+using cutlite::EpilogueSpec;
+using cutlite::GemmCoord;
+using cutlite::GemmKernel;
+
+namespace {
+
+/// True if the layout-transform node is adjacent to a Bolt composite and
+/// can be folded into that kernel's iterators (no separate launch).
+bool TransformFoldable(const Graph& g, const Node& n) {
+  BOLT_CHECK(n.kind == OpKind::kLayoutTransform);
+  auto is_bolt = [](OpKind k) {
+    return k == OpKind::kBoltGemm || k == OpKind::kBoltConv2d ||
+           k == OpKind::kBoltB2BGemm || k == OpKind::kBoltB2BConv;
+  };
+  // Input-side: single consumer is a Bolt kernel (possibly via padding).
+  const auto consumers = g.Consumers(n.id);
+  if (consumers.size() == 1) {
+    const Node& c = g.node(consumers[0]);
+    if (is_bolt(c.kind) || c.kind == OpKind::kPadChannels) return true;
+  }
+  // Output-side: producer is a Bolt kernel.
+  const Node& producer = g.node(n.inputs[0]);
+  return is_bolt(producer.kind);
+}
+
+}  // namespace
+
+Result<Engine> Engine::Compile(const Graph& input,
+                               const CompileOptions& options) {
+  Profiler local_profiler(options.device, options.profiler_cost);
+  Profiler& profiler = options.shared_profiler != nullptr
+                           ? *options.shared_profiler
+                           : local_profiler;
+  const double clock_before = profiler.clock().seconds();
+  const double compile_before = profiler.clock().compile_seconds();
+  const double measure_before = profiler.clock().measure_seconds();
+  PassStats stats;
+
+  Graph g = options.enable_layout_transform
+                ? LayoutTransformPass(input, &stats)
+                : LayoutTransformPass(input, nullptr);  // still need NHWC
+  g = FoldBatchNormPass(g, &stats);
+  g = EpilogueFusionPass(g, options.enable_epilogue_fusion, &stats);
+  // Padding first: persistent fusion then sees the aligned problems.
+  if (options.enable_padding) {
+    g = PaddingPass(g, profiler, &stats);
+  }
+  if (options.enable_persistent_fusion) {
+    g = PersistentKernelFusionPass(g, profiler, &stats);
+  }
+
+  Engine engine(std::move(g), options);
+  Status st = engine.BuildModule(profiler);
+  if (!st.ok()) return st;
+
+  engine.report_.seconds = profiler.clock().seconds() - clock_before;
+  engine.report_.compile_seconds =
+      profiler.clock().compile_seconds() - compile_before;
+  engine.report_.measure_seconds =
+      profiler.clock().measure_seconds() - measure_before;
+  engine.report_.workloads_profiled = profiler.cache_size();
+  engine.report_.pass_stats = stats;
+  return engine;
+}
+
+Status Engine::BuildModule(Profiler& profiler) {
+  const DeviceSpec& spec = options_.device;
+  std::vector<bool> handled(graph_.num_nodes(), false);
+
+  for (const Node& n : graph_.nodes()) {
+    if (handled[n.id]) continue;
+    switch (n.kind) {
+      case OpKind::kInput:
+      case OpKind::kConstant:
+        break;
+      case OpKind::kBoltGemm: {
+        const GemmCoord p = GemmProblemOf(graph_, n);
+        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        auto r = profiler.ProfileGemm(p, e);
+        if (!r.ok()) return r.status();
+        report_.candidates_tried += r.value().candidates_tried;
+        plans_[n.id].configs = {r.value().config};
+        const std::string name = r.value().config.Name("gemm");
+        module_.AddKernelSource(name,
+                                codegen::EmitGemmKernel(p, r.value().config,
+                                                        e));
+        module_.AddLaunch({LaunchKind::kGemm, name, n.id, r.value().us});
+        break;
+      }
+      case OpKind::kBoltConv2d: {
+        const ConvProblem p = ConvProblemOf(graph_, n);
+        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        auto r = profiler.ProfileConv(p, e);
+        if (!r.ok()) return r.status();
+        report_.candidates_tried += r.value().candidates_tried;
+        plans_[n.id].configs = {r.value().config};
+        codegen::EmitOptions eo;
+        if (n.attrs.Has("padded_from_c")) {
+          eo.pad_input_channels_to = p.c;
+        }
+        // Fold adjacent layout transforms into this kernel's iterators.
+        const Node& x = graph_.node(n.inputs[0]);
+        if (x.kind == OpKind::kLayoutTransform ||
+            (x.kind == OpKind::kPadChannels &&
+             graph_.node(x.inputs[0]).kind == OpKind::kLayoutTransform)) {
+          eo.fold_input_layout_transform = true;
+        }
+        for (NodeId c : graph_.Consumers(n.id)) {
+          if (graph_.node(c).kind == OpKind::kLayoutTransform) {
+            eo.fold_output_layout_transform = true;
+          }
+        }
+        const std::string name = r.value().config.Name("conv2d_fprop");
+        module_.AddKernelSource(
+            name, codegen::EmitConvKernel(p, r.value().config, e, eo));
+        module_.AddLaunch({LaunchKind::kConv, name, n.id, r.value().us});
+        break;
+      }
+      case OpKind::kBoltB2BGemm: {
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        std::vector<GemmCoord> problems;
+        std::vector<EpilogueSpec> epilogues;
+        for (int s = 0; s < stages; ++s) {
+          problems.push_back(GemmProblemOf(graph_, n, s));
+          epilogues.push_back(
+              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_")));
+        }
+        B2bProfileResult r = profiler.ProfileB2bGemm(problems, epilogues);
+        if (!r.feasible) {
+          return Status::Internal("b2b gemm node no longer feasible: " +
+                                  n.name);
+        }
+        plans_[n.id].configs = r.configs;
+        plans_[n.id].residence = r.residence;
+        std::vector<B2bStage> kstages;
+        for (int s = 0; s < stages; ++s) {
+          kstages.push_back(B2bStage{problems[s], r.configs[s],
+                                     epilogues[s]});
+        }
+        auto kernel = B2bGemmKernel::Create(kstages, r.residence, spec);
+        if (!kernel.ok()) return kernel.status();
+        const std::string name = kernel.value().Name();
+        module_.AddKernelSource(
+            name, codegen::EmitB2bGemmKernel(kstages, r.residence));
+        module_.AddLaunch({LaunchKind::kB2bGemm, name, n.id, r.fused_us});
+        break;
+      }
+      case OpKind::kBoltB2BConv: {
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        std::vector<ConvProblem> problems;
+        std::vector<EpilogueSpec> epilogues;
+        for (int s = 0; s < stages; ++s) {
+          problems.push_back(ConvProblemOf(graph_, n, s));
+          epilogues.push_back(
+              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_")));
+        }
+        B2bProfileResult r = profiler.ProfileB2bConv(problems, epilogues);
+        if (!r.feasible) {
+          return Status::Internal("b2b conv node no longer feasible: " +
+                                  n.name);
+        }
+        plans_[n.id].configs = r.configs;
+        plans_[n.id].residence = r.residence;
+        std::vector<B2bConvStage> kstages;
+        for (int s = 0; s < stages; ++s) {
+          kstages.push_back(B2bConvStage{problems[s], r.configs[s],
+                                         epilogues[s]});
+        }
+        auto kernel = B2bConvKernel::Create(kstages, r.residence, spec);
+        if (!kernel.ok()) return kernel.status();
+        const std::string name = kernel.value().Name();
+        module_.AddKernelSource(
+            name, codegen::EmitB2bConvKernel(kstages, r.residence));
+        module_.AddLaunch({LaunchKind::kB2bConv, name, n.id, r.fused_us});
+        break;
+      }
+      case OpKind::kPadChannels: {
+        const Node& x = graph_.node(n.inputs[0]);
+        const double us = cutlite::PaddingKernelUs(
+            spec, static_cast<double>(x.out_desc.num_bytes()),
+            static_cast<double>(n.out_desc.num_bytes()));
+        module_.AddLaunch({LaunchKind::kPadding, "bolt_pad_channels", n.id,
+                           us});
+        break;
+      }
+      case OpKind::kLayoutTransform: {
+        if (TransformFoldable(graph_, n)) {
+          // Folded into the adjacent kernel: traffic cost, no launch.
+          const double us = HostOpCostUs(spec, graph_, n) -
+                            spec.kernel_launch_us;
+          module_.AddLaunch({LaunchKind::kHostOp,
+                             "folded_layout_transform", n.id,
+                             std::max(0.0, us)});
+        } else {
+          module_.AddLaunch({LaunchKind::kHostOp, "layout_transform", n.id,
+                             HostOpCostUs(spec, graph_, n)});
+        }
+        break;
+      }
+      default: {
+        // Host (TVM-side) op. Fuse a single-consumer element-wise chain
+        // into one host kernel, TVM-style.
+        if (IsElementwiseFusable(n.kind)) {
+          std::vector<NodeId> chain = {n.id};
+          NodeId cur = n.id;
+          while (true) {
+            const auto consumers = graph_.Consumers(cur);
+            if (consumers.size() != 1) break;
+            const Node& c = graph_.node(consumers[0]);
+            if (!IsElementwiseFusable(c.kind) || c.inputs[0] != cur) break;
+            chain.push_back(c.id);
+            cur = c.id;
+          }
+          for (NodeId id : chain) handled[id] = true;
+          module_.AddLaunch({LaunchKind::kHostOp,
+                             StrCat("tvm_elemwise_x", chain.size()), n.id,
+                             ElementwiseChainCostUs(spec, graph_, chain)});
+        } else {
+          module_.AddLaunch({LaunchKind::kHostOp, OpKindName(n.kind), n.id,
+                             HostOpCostUs(spec, graph_, n)});
+        }
+        break;
+      }
+    }
+    handled[n.id] = true;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Tensor>> Engine::Run(
+    const std::map<std::string, Tensor>& inputs) const {
+  std::vector<Tensor> env(graph_.num_nodes());
+  const DeviceSpec& spec = options_.device;
+
+  for (const Node& n : graph_.nodes()) {
+    switch (n.kind) {
+      case OpKind::kBoltGemm: {
+        const GemmCoord p = GemmProblemOf(graph_, n);
+        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        const auto& plan = plans_.at(n.id);
+        GemmKernel kernel(p, plan.configs[0], e);
+        cutlite::GemmArguments args;
+        args.a = &env[n.inputs[0]];
+        args.w = &env[n.inputs[1]];
+        int idx = 2;
+        if (e.has_bias) args.bias = &env[n.inputs[idx++]];
+        if (e.has_residual) args.c = &env[n.inputs[idx++]];
+        auto out = kernel.Run(args);
+        if (!out.ok()) return out.status();
+        env[n.id] = std::move(out).value();
+        break;
+      }
+      case OpKind::kBoltConv2d: {
+        const ConvProblem p = ConvProblemOf(graph_, n);
+        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        const auto& plan = plans_.at(n.id);
+        Conv2dKernel kernel(p, plan.configs[0], e);
+        int idx = 2;
+        const Tensor* bias = e.has_bias ? &env[n.inputs[idx++]] : nullptr;
+        const Tensor* residual =
+            e.has_residual ? &env[n.inputs[idx++]] : nullptr;
+        auto out = kernel.Run(env[n.inputs[0]], env[n.inputs[1]], bias,
+                              residual);
+        if (!out.ok()) return out.status();
+        env[n.id] = std::move(out).value();
+        break;
+      }
+      case OpKind::kBoltB2BGemm: {
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        const auto& plan = plans_.at(n.id);
+        std::vector<B2bStage> kstages;
+        std::vector<const Tensor*> weights, biases;
+        int idx = 1;
+        for (int s = 0; s < stages; ++s) {
+          const GemmCoord p = GemmProblemOf(graph_, n, s);
+          const EpilogueSpec e =
+              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          kstages.push_back(B2bStage{p, plan.configs[s], e});
+          weights.push_back(&env[n.inputs[idx++]]);
+          biases.push_back(e.has_bias ? &env[n.inputs[idx++]] : nullptr);
+        }
+        auto kernel = B2bGemmKernel::Create(kstages, plan.residence, spec);
+        if (!kernel.ok()) return kernel.status();
+        auto out = kernel.value().Run(env[n.inputs[0]], weights, biases);
+        if (!out.ok()) return out.status();
+        env[n.id] = std::move(out).value();
+        break;
+      }
+      case OpKind::kBoltB2BConv: {
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        const auto& plan = plans_.at(n.id);
+        std::vector<B2bConvStage> kstages;
+        std::vector<const Tensor*> weights, biases;
+        int idx = 1;
+        for (int s = 0; s < stages; ++s) {
+          const ConvProblem p = ConvProblemOf(graph_, n, s);
+          const EpilogueSpec e =
+              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          kstages.push_back(B2bConvStage{p, plan.configs[s], e});
+          weights.push_back(&env[n.inputs[idx++]]);
+          biases.push_back(e.has_bias ? &env[n.inputs[idx++]] : nullptr);
+        }
+        auto kernel = B2bConvKernel::Create(kstages, plan.residence, spec);
+        if (!kernel.ok()) return kernel.status();
+        auto out = kernel.value().Run(env[n.inputs[0]], weights, biases);
+        if (!out.ok()) return out.status();
+        env[n.id] = std::move(out).value();
+        break;
+      }
+      case OpKind::kInput: {
+        auto it = inputs.find(n.name);
+        if (it == inputs.end()) {
+          return Status::InvalidArgument("missing input tensor: " + n.name);
+        }
+        env[n.id] = it->second;
+        env[n.id].Quantize();
+        break;
+      }
+      case OpKind::kConstant:
+        if (!graph_.is_constant(n.id)) {
+          return Status::FailedPrecondition(
+              "constant " + n.name + " has no materialized data");
+        }
+        env[n.id] = graph_.constant(n.id);
+        break;
+      case OpKind::kPadChannels:
+        env[n.id] = refop::PadChannels(env[n.inputs[0]],
+                                       n.out_desc.shape.back());
+        break;
+      case OpKind::kBatchNorm:
+        env[n.id] = refop::BatchNorm(
+            env[n.inputs[0]], env[n.inputs[1]], env[n.inputs[2]],
+            env[n.inputs[3]], env[n.inputs[4]],
+            static_cast<float>(n.attrs.GetFloat("eps", 1e-5)));
+        break;
+      case OpKind::kConcat: {
+        std::vector<const Tensor*> parts;
+        for (NodeId in : n.inputs) parts.push_back(&env[in]);
+        env[n.id] = refop::Concat(parts);
+        break;
+      }
+      case OpKind::kBiasAdd:
+        env[n.id] = refop::BiasAdd(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kActivation: {
+        auto k = ActivationFromName(n.attrs.GetStr("kind"));
+        if (!k.ok()) return k.status();
+        env[n.id] = refop::Activation(env[n.inputs[0]], k.value());
+        break;
+      }
+      case OpKind::kAdd:
+        env[n.id] = refop::Add(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kMul:
+        env[n.id] = refop::Mul(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kCast:
+        env[n.id] = env[n.inputs[0]].Cast(n.out_desc.dtype);
+        break;
+      case OpKind::kMaxPool2d:
+        env[n.id] =
+            refop::MaxPool2d(env[n.inputs[0]], n.attrs.GetInt("kernel"),
+                             n.attrs.GetInt("stride"));
+        break;
+      case OpKind::kGlobalAvgPool:
+        env[n.id] = refop::GlobalAvgPool(env[n.inputs[0]]);
+        break;
+      case OpKind::kFlatten:
+        env[n.id] = refop::Flatten(env[n.inputs[0]]);
+        break;
+      case OpKind::kSoftmax:
+        env[n.id] = refop::Softmax(env[n.inputs[0]]);
+        break;
+      case OpKind::kLayoutTransform:
+        env[n.id] = refop::LayoutTransform(env[n.inputs[0]],
+                                           n.out_desc.layout);
+        break;
+      default:
+        return Status::Unsupported(StrCat("engine cannot execute op ",
+                                          OpKindName(n.kind)));
+    }
+  }
+  std::vector<Tensor> outs;
+  for (NodeId id : graph_.output_ids()) outs.push_back(env[id]);
+  return outs;
+}
+
+}  // namespace bolt

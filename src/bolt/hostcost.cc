@@ -1,0 +1,117 @@
+#include "bolt/hostcost.h"
+
+#include <algorithm>
+
+#include "device/timing.h"
+
+namespace bolt {
+
+namespace {
+
+double BytesOf(const TensorDesc& desc) {
+  return static_cast<double>(desc.num_bytes());
+}
+
+double ElementwiseComputeUs(const DeviceSpec& spec, const Node& node) {
+  double mult = 1.0;
+  if (node.kind == OpKind::kActivation) {
+    auto k = ActivationFromName(node.attrs.GetStr("kind"));
+    mult = k.ok() ? ActivationCostMultiplier(k.value()) : 1.0;
+  }
+  const double flops =
+      static_cast<double>(node.out_desc.num_elements()) * mult;
+  return ComputeTimeUs(flops, spec.simt_fp32_flops(), 0.7);
+}
+
+}  // namespace
+
+bool IsElementwiseFusable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasAdd:
+    case OpKind::kActivation:
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kCast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double HostOpCostUs(const DeviceSpec& spec, const Graph& graph,
+                    const Node& node) {
+  const double out_bytes = BytesOf(node.out_desc);
+  double in_bytes = 0.0;
+  for (NodeId in : node.inputs) {
+    const Node& producer = graph.node(in);
+    if (producer.kind == OpKind::kConstant &&
+        producer.out_desc.num_elements() < 1 << 16) {
+      continue;  // small constants live in L2 / constant cache
+    }
+    in_bytes += BytesOf(producer.out_desc);
+  }
+
+  switch (node.kind) {
+    case OpKind::kInput:
+    case OpKind::kConstant:
+    case OpKind::kFlatten:  // metadata-only reshape
+      return 0.0;
+    case OpKind::kSoftmax: {
+      // max + exp-sum + normalize: two read passes, one write.
+      const double traffic = 2.0 * in_bytes + out_bytes;
+      return MemoryTimeUs(traffic, spec.dram_gbps, 0.9) +
+             spec.kernel_launch_us;
+    }
+    case OpKind::kLayoutTransform: {
+      // Transposes lose some coalescing on one side.
+      const double traffic = in_bytes + out_bytes;
+      return MemoryTimeUs(traffic, spec.dram_gbps, 0.7) +
+             spec.kernel_launch_us;
+    }
+    case OpKind::kPadChannels: {
+      const double traffic = in_bytes + out_bytes;
+      return MemoryTimeUs(traffic, spec.dram_gbps, 0.6) +
+             spec.kernel_launch_us;
+    }
+    case OpKind::kMaxPool2d:
+    case OpKind::kGlobalAvgPool: {
+      const double traffic = in_bytes + out_bytes;
+      return MemoryTimeUs(traffic, spec.dram_gbps, 0.9) +
+             spec.kernel_launch_us;
+    }
+    default: {
+      const double traffic = in_bytes + out_bytes;
+      const double mem = MemoryTimeUs(traffic, spec.dram_gbps, 0.95);
+      return std::max(mem, ElementwiseComputeUs(spec, node)) +
+             spec.kernel_launch_us;
+    }
+  }
+}
+
+double ElementwiseChainCostUs(const DeviceSpec& spec, const Graph& graph,
+                              const std::vector<NodeId>& chain) {
+  if (chain.empty()) return 0.0;
+  // One fused kernel: read the chain input once, read secondary operands,
+  // write the final output once.
+  const Node& first = graph.node(chain.front());
+  const Node& last = graph.node(chain.back());
+  double traffic = BytesOf(graph.node(first.inputs[0]).out_desc) +
+                   BytesOf(last.out_desc);
+  double compute_us = 0.0;
+  for (NodeId id : chain) {
+    const Node& n = graph.node(id);
+    compute_us += ElementwiseComputeUs(spec, n);
+    for (size_t i = 1; i < n.inputs.size(); ++i) {
+      const Node& operand = graph.node(n.inputs[i]);
+      if (operand.kind == OpKind::kConstant &&
+          operand.out_desc.num_elements() < 1 << 16) {
+        continue;
+      }
+      traffic += BytesOf(operand.out_desc);
+    }
+  }
+  const double mem = MemoryTimeUs(traffic, spec.dram_gbps, 0.95);
+  return std::max(mem, compute_us) + spec.kernel_launch_us;
+}
+
+}  // namespace bolt

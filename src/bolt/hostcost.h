@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Latency model for non-anchor ("host framework") operators — the ops TVM
+// executes outside the Bolt/cutlite region: pooling, softmax, element-wise
+// chains, layout transforms.  Shared by the Bolt engine and the Ansor
+// baseline so end-to-end comparisons differ only in the anchor kernels and
+// fusion structure, exactly as in the paper.
+
+#pragma once
+
+#include <vector>
+
+#include "device/spec.h"
+#include "ir/graph.h"
+
+namespace bolt {
+
+/// Latency of one op executed as a standalone device kernel.
+double HostOpCostUs(const DeviceSpec& spec, const Graph& graph,
+                    const Node& node);
+
+/// Latency of a chain of element-wise ops (bias/activation/add/mul/cast)
+/// fused into a single kernel, TVM-style: one launch, one read of the chain
+/// input (plus secondary operands), one write of the final output.
+double ElementwiseChainCostUs(const DeviceSpec& spec, const Graph& graph,
+                              const std::vector<NodeId>& chain);
+
+/// True if the op is element-wise and eligible for TVM-style fusion into a
+/// producer kernel chain.
+bool IsElementwiseFusable(OpKind kind);
+
+}  // namespace bolt

@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Templated code generation (Section 3.2.3).
+//
+// Unlike conventional BYOC backends that call device libraries as opaque
+// external functions, Bolt treats the library as a white box and emits
+// code *in its convention*: a complete CUDA C++ translation unit per kernel
+// that instantiates the library templates with the profiler-chosen
+// parameters.  Because the code is generated rather than linked, Bolt can
+// edit it — folding the NCHW<->NHWC layout transformations into the first
+// and last kernels and padding unaligned tensors, both without extra kernel
+// launches from the host's perspective.
+//
+// In this reproduction the emitted source is real, self-consistent CUDA-
+// style C++ against the cutlite template names; it is the artifact the
+// code-generation tests inspect, and the runtime executes the semantically
+// equivalent cutlite host kernels.
+
+#pragma once
+
+#include <string>
+
+#include "cutlite/b2b.h"
+#include "cutlite/conv.h"
+#include "cutlite/gemm.h"
+
+namespace bolt {
+namespace codegen {
+
+/// Options for kernel-boundary rewrites folded into the generated code.
+struct EmitOptions {
+  bool fold_input_layout_transform = false;   // NCHW -> NHWC on load
+  bool fold_output_layout_transform = false;  // NHWC -> NCHW on store
+  int64_t pad_input_channels_to = 0;          // 0 = no padding
+};
+
+/// Emit a device-level GEMM kernel translation unit.
+std::string EmitGemmKernel(const cutlite::GemmCoord& problem,
+                           const cutlite::KernelConfig& config,
+                           const cutlite::EpilogueSpec& epilogue,
+                           const EmitOptions& opts = {});
+
+/// Emit an implicit-GEMM Conv2D kernel translation unit.
+std::string EmitConvKernel(const cutlite::ConvProblem& problem,
+                           const cutlite::KernelConfig& config,
+                           const cutlite::EpilogueSpec& epilogue,
+                           const EmitOptions& opts = {});
+
+/// Emit a persistent back-to-back GEMM kernel translation unit.
+std::string EmitB2bGemmKernel(const std::vector<cutlite::B2bStage>& stages,
+                              cutlite::ResidenceKind residence);
+
+/// Emit a persistent back-to-back Conv kernel translation unit.
+std::string EmitB2bConvKernel(
+    const std::vector<cutlite::B2bConvStage>& stages,
+    cutlite::ResidenceKind residence);
+
+}  // namespace codegen
+}  // namespace bolt

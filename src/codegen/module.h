@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Runtime module assembly: the collection of generated kernels for one
+// compiled model, in launch order, together with their emitted source.
+// TVM-side fallback ops are recorded as host ops.  The Bolt engine walks
+// this module to execute (functionally) and to sum simulated latency.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace bolt {
+namespace codegen {
+
+enum class LaunchKind {
+  kGemm,       // cutlite GEMM (+ fused epilogue)
+  kConv,       // cutlite Conv2D (+ fused epilogue)
+  kB2bGemm,    // persistent back-to-back GEMM
+  kB2bConv,    // persistent back-to-back Conv
+  kPadding,    // channel-padding copy kernel
+  kHostOp,     // non-offloaded op executed by the host framework
+};
+
+inline const char* LaunchKindName(LaunchKind k) {
+  switch (k) {
+    case LaunchKind::kGemm:
+      return "gemm";
+    case LaunchKind::kConv:
+      return "conv2d";
+    case LaunchKind::kB2bGemm:
+      return "b2b_gemm";
+    case LaunchKind::kB2bConv:
+      return "b2b_conv2d";
+    case LaunchKind::kPadding:
+      return "pad";
+    case LaunchKind::kHostOp:
+      return "host";
+  }
+  return "?";
+}
+
+/// One entry in the module's launch sequence.
+struct LaunchRecord {
+  LaunchKind kind = LaunchKind::kHostOp;
+  std::string kernel_name;   // mangled cutlite name (empty for host ops)
+  NodeId node = -1;          // graph node this launch implements
+  double estimated_us = 0.0; // simulated latency contribution
+};
+
+/// A compiled model: generated sources + launch plan + latency estimate.
+class RuntimeModule {
+ public:
+  void AddKernelSource(const std::string& name, std::string source) {
+    sources_[name] = std::move(source);
+  }
+  void AddLaunch(LaunchRecord record) {
+    total_us_ += record.estimated_us;
+    launches_.push_back(std::move(record));
+  }
+
+  const std::map<std::string, std::string>& sources() const {
+    return sources_;
+  }
+  const std::vector<LaunchRecord>& launches() const { return launches_; }
+  double estimated_total_us() const { return total_us_; }
+
+  int num_device_launches() const {
+    int k = 0;
+    for (const auto& l : launches_) {
+      if (l.kind != LaunchKind::kHostOp) ++k;
+    }
+    return k;
+  }
+
+  /// Concatenated generated source (what would be handed to nvcc).
+  std::string FullSource() const {
+    std::string out;
+    for (const auto& [name, src] : sources_) {
+      out += StrCat("// ==== ", name, " ====\n", src, "\n");
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> sources_;
+  std::vector<LaunchRecord> launches_;
+  double total_us_ = 0.0;
+};
+
+}  // namespace codegen
+}  // namespace bolt

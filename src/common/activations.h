@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Scalar activation functions shared by the graph interpreter, the cutlite
+// epilogue functors, and the training substrate.  The set matches the
+// activations studied in the paper (Section 3.3 / Table 4): ReLU, GELU,
+// Hardswish, Softplus, plus Sigmoid and Identity for completeness.
+
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "common/status.h"
+
+namespace bolt {
+
+enum class ActivationKind {
+  kIdentity = 0,
+  kRelu,
+  kGelu,
+  kHardswish,
+  kSoftplus,
+  kSigmoid,
+};
+
+inline const char* ActivationName(ActivationKind k) {
+  switch (k) {
+    case ActivationKind::kIdentity:
+      return "identity";
+    case ActivationKind::kRelu:
+      return "relu";
+    case ActivationKind::kGelu:
+      return "gelu";
+    case ActivationKind::kHardswish:
+      return "hardswish";
+    case ActivationKind::kSoftplus:
+      return "softplus";
+    case ActivationKind::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+inline Result<ActivationKind> ActivationFromName(const std::string& name) {
+  if (name == "identity") return ActivationKind::kIdentity;
+  if (name == "relu") return ActivationKind::kRelu;
+  if (name == "gelu") return ActivationKind::kGelu;
+  if (name == "hardswish") return ActivationKind::kHardswish;
+  if (name == "softplus") return ActivationKind::kSoftplus;
+  if (name == "sigmoid") return ActivationKind::kSigmoid;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+/// Apply the activation to a scalar.
+inline float ApplyActivation(ActivationKind k, float x) {
+  switch (k) {
+    case ActivationKind::kIdentity:
+      return x;
+    case ActivationKind::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case ActivationKind::kGelu: {
+      // tanh approximation, as used by CUTLASS's GELU_taylor epilogue.
+      const float kAlpha = 0.7978845608028654f;  // sqrt(2/pi)
+      const float inner = kAlpha * (x + 0.044715f * x * x * x);
+      return 0.5f * x * (1.0f + std::tanh(inner));
+    }
+    case ActivationKind::kHardswish: {
+      const float r = x + 3.0f;
+      const float clipped = r < 0.0f ? 0.0f : (r > 6.0f ? 6.0f : r);
+      return x * clipped / 6.0f;
+    }
+    case ActivationKind::kSoftplus:
+      // Numerically stable log(1 + exp(x)).
+      return x > 20.0f ? x : std::log1p(std::exp(x));
+    case ActivationKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+  }
+  return x;
+}
+
+/// Derivative d(activation)/dx, used by the training substrate.
+inline float ActivationGrad(ActivationKind k, float x) {
+  switch (k) {
+    case ActivationKind::kIdentity:
+      return 1.0f;
+    case ActivationKind::kRelu:
+      return x > 0.0f ? 1.0f : 0.0f;
+    case ActivationKind::kGelu: {
+      const float kAlpha = 0.7978845608028654f;
+      const float x3 = x * x * x;
+      const float inner = kAlpha * (x + 0.044715f * x3);
+      const float t = std::tanh(inner);
+      const float dinner = kAlpha * (1.0f + 3.0f * 0.044715f * x * x);
+      return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+    }
+    case ActivationKind::kHardswish: {
+      if (x <= -3.0f) return 0.0f;
+      if (x >= 3.0f) return 1.0f;
+      return (2.0f * x + 3.0f) / 6.0f;
+    }
+    case ActivationKind::kSoftplus:
+      return 1.0f / (1.0f + std::exp(-x));
+    case ActivationKind::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+  }
+  return 1.0f;
+}
+
+/// Relative arithmetic cost of an activation in "multiply-add equivalents"
+/// per element.  Used by the device timing model to cost epilogues: complex
+/// activations (Softplus, GELU) take more SFU/ALU work than ReLU.
+inline double ActivationCostMultiplier(ActivationKind k) {
+  switch (k) {
+    case ActivationKind::kIdentity:
+      return 0.0;
+    case ActivationKind::kRelu:
+      return 1.0;
+    case ActivationKind::kHardswish:
+      return 3.0;
+    case ActivationKind::kGelu:
+      return 8.0;
+    case ActivationKind::kSigmoid:
+      return 6.0;
+    case ActivationKind::kSoftplus:
+      return 10.0;
+  }
+  return 1.0;
+}
+
+}  // namespace bolt

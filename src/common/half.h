@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Software IEEE-754 binary16 ("half") emulation.
+//
+// The paper's kernels store activations and weights in FP16 and accumulate
+// in FP32 on tensor cores.  To make the functional simulator bit-realistic
+// we round every FP16 store through this type (round-to-nearest-even,
+// including subnormals, infinities and NaN propagation).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace bolt {
+
+/// IEEE-754 binary16 value stored as its 16-bit pattern.
+class half_t {
+ public:
+  half_t() = default;
+  explicit half_t(float f) : bits_(FloatToBits(f)) {}
+
+  static half_t FromBits(uint16_t bits) {
+    half_t h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  uint16_t bits() const { return bits_; }
+  float to_float() const { return BitsToFloat(bits_); }
+  explicit operator float() const { return to_float(); }
+
+  bool is_nan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  bool is_inf() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) == 0;
+  }
+
+  friend bool operator==(half_t a, half_t b) {
+    if (a.is_nan() || b.is_nan()) return false;
+    // +0 == -0.
+    if (((a.bits_ | b.bits_) & 0x7FFFu) == 0) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(half_t a, half_t b) { return !(a == b); }
+
+  /// Round a float to the nearest representable FP16 value and return the
+  /// result as float.  This is the canonical "store to FP16" operation used
+  /// by the functional kernels.
+  static float Quantize(float f) { return half_t(f).to_float(); }
+
+  static uint16_t FloatToBits(float f);
+  static float BitsToFloat(uint16_t h);
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+inline uint16_t half_t::FloatToBits(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t abs = x & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN. Preserve a quiet NaN payload bit.
+    const uint32_t mantissa = abs > 0x7F800000u ? 0x0200u : 0;
+    return static_cast<uint16_t>(sign | 0x7C00u | mantissa);
+  }
+  if (abs >= 0x477FF000u) {
+    // Overflows FP16 range after rounding -> infinity.
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x33000000u) {
+    // Rounds to zero (below half of the smallest subnormal).
+    return static_cast<uint16_t>(sign);
+  }
+
+  int32_t exp = static_cast<int32_t>(abs >> 23) - 127;
+  uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;  // implicit bit
+  uint16_t result;
+  if (exp < -14) {
+    // Subnormal: shift mantissa so the exponent becomes -14.
+    const int shift = -14 - exp;  // in [1, 10]
+    const uint32_t shifted = mant >> (shift + 13);
+    const uint32_t rem = mant & ((1u << (shift + 13)) - 1);
+    const uint32_t halfway = 1u << (shift + 12);
+    uint32_t rounded = shifted;
+    if (rem > halfway || (rem == halfway && (shifted & 1u))) ++rounded;
+    result = static_cast<uint16_t>(sign | rounded);
+  } else {
+    // Normal: keep 10 mantissa bits, round-to-nearest-even on the rest.
+    const uint32_t shifted = mant >> 13;
+    const uint32_t rem = mant & 0x1FFFu;
+    uint32_t rounded = shifted;
+    if (rem > 0x1000u || (rem == 0x1000u && (shifted & 1u))) ++rounded;
+    // Rounding may carry into the exponent; the bit layout handles it:
+    // mantissa overflow 0x400 adds one to the exponent field.
+    uint32_t bits = (static_cast<uint32_t>(exp + 15) << 10) +
+                    (rounded - 0x400u);  // remove implicit bit
+    result = static_cast<uint16_t>(sign | bits);
+  }
+  return result;
+}
+
+inline float half_t::BitsToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Largest finite FP16 value.
+inline constexpr float kHalfMax = 65504.0f;
+
+}  // namespace bolt

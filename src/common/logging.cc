@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace bolt {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarning;
+  return level;
+}
+
+}  // namespace bolt

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Lightweight leveled logging to stderr.  Off-by-default verbose level keeps
+// benches quiet; tests can raise the level to debug pass behaviour.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bolt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level that is actually emitted.
+LogLevel& GlobalLogLevel();
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GlobalLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define BOLT_LOG(level)                                                  \
+  ::bolt::detail::LogMessage(::bolt::LogLevel::k##level, __FILE__, \
+                             __LINE__)                                   \
+      .stream()
+
+}  // namespace bolt

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Deterministic random number generation helpers.  Everything in the
+// simulator and the tuners must be reproducible from a seed.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bolt {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  static constexpr uint64_t kDefaultSeed = 0xB017B017ULL;
+
+  explicit Rng(uint64_t seed = kDefaultSeed) : engine_(seed) {}
+
+  uint64_t NextU64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Normal draw with given mean and stddev.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Fill a vector with N(0, stddev) samples.
+  void FillNormal(std::vector<float>& out, float stddev = 1.0f) {
+    for (auto& v : out) v = Normal(0.0f, stddev);
+  }
+
+  /// Fill with uniform samples in [lo, hi).
+  void FillUniform(std::vector<float>& out, float lo, float hi) {
+    for (auto& v : out) v = UniformFloat(lo, hi);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bolt

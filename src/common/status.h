@@ -1,0 +1,148 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Minimal Status / Result error-handling vocabulary used across the library.
+// We avoid exceptions on hot paths; constructors that can fail are replaced
+// by factory functions returning Result<T>.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bolt {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+  kResourceExhausted,
+  kFailedPrecondition,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error Result aborts in debug builds and throws in release builds, so
+/// misuse is never silent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      throw std::runtime_error("Result accessed without value: " +
+                               status_.ToString());
+    }
+  }
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+/// Stream-style message builder for the check macros below.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Fatal invariant check: throws std::logic_error with a formatted message.
+/// Used for programmer errors (violated invariants), not user input.
+#define BOLT_CHECK(cond)                                                     \
+  if (!(cond))                                                               \
+  throw std::logic_error(std::string("BOLT_CHECK failed: " #cond " at ") +  \
+                         __FILE__ + ":" + std::to_string(__LINE__))
+
+#define BOLT_CHECK_MSG(cond, msg)                                            \
+  if (!(cond))                                                               \
+  throw std::logic_error(std::string("BOLT_CHECK failed: " #cond " at ") +  \
+                         __FILE__ + ":" + std::to_string(__LINE__) + ": " + \
+                         (::bolt::detail::MessageBuilder() << msg).str())
+
+/// Propagate an error Status from an expression returning Status.
+#define BOLT_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::bolt::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+}  // namespace bolt

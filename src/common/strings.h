@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Small string helpers used by code generation and kernel name mangling.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bolt {
+
+/// Join elements with a separator using operator<< formatting.
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// printf-free concatenation of stream-formattable values.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Split on a single character, keeping empty tokens.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True if `s` contains `needle`.
+bool Contains(const std::string& s, const std::string& needle);
+
+/// Replace all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, const std::string& from,
+                       const std::string& to);
+
+}  // namespace bolt

@@ -1,0 +1,57 @@
+#include "cutlite/config.h"
+
+namespace bolt {
+namespace cutlite {
+
+Status KernelConfig::Validate(const DeviceSpec& spec) const {
+  if (!threadblock.DivisibleBy(warp)) {
+    return Status::InvalidArgument(
+        StrCat("threadblock ", threadblock.ToString(),
+               " not divisible by warp ", warp.ToString()));
+  }
+  if (warp.m % instruction.m != 0 || warp.n % instruction.n != 0 ||
+      warp.k % instruction.k != 0) {
+    return Status::InvalidArgument(
+        StrCat("warp ", warp.ToString(), " not divisible by instruction ",
+               instruction.ToString()));
+  }
+  if (instruction.m != spec.mma_m || instruction.n != spec.mma_n ||
+      instruction.k != spec.mma_k) {
+    return Status::Unsupported(
+        StrCat("instruction shape ", instruction.ToString(),
+               " is not native on ", spec.arch));
+  }
+  if (stages < 2 || stages > 6) {
+    return Status::InvalidArgument("stages must be in [2, 6]");
+  }
+  if (split_k < 1 || split_k > 32) {
+    return Status::InvalidArgument("split_k must be in [1, 32]");
+  }
+  if (smem_bytes() > spec.max_smem_per_cta) {
+    return Status::ResourceExhausted(
+        StrCat("smem ", smem_bytes(), "B exceeds per-CTA limit ",
+               spec.max_smem_per_cta, "B"));
+  }
+  if (regs_per_thread() > spec.max_regs_per_thread) {
+    return Status::ResourceExhausted(
+        StrCat("estimated ", regs_per_thread(),
+               " registers/thread exceeds limit"));
+  }
+  if (CtasPerSm(spec, Resources()) == 0) {
+    return Status::ResourceExhausted("zero occupancy on " + spec.name);
+  }
+  return Status::Ok();
+}
+
+std::string KernelConfig::Name(const std::string& op) const {
+  // Mirrors CUTLASS's kernel naming convention:
+  //   cutlass_tensorop_h16816gemm_256x128_32x3_tn_align8
+  return StrCat("cutlite_tensorop_h", instruction.m, instruction.n,
+                instruction.k, op, "_", threadblock.m, "x", threadblock.n,
+                "_", threadblock.k, "x", stages, "_tn_align",
+                min_alignment(),
+                split_k > 1 ? StrCat("_splitk", split_k) : "");
+}
+
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Kernel configuration: the declarative template parameters of a cutlite
+// tensor-core GEMM/Conv kernel.  These are exactly the parameters the
+// paper's profiler searches over (Section 3.2.2): threadblock shape, warp
+// shape, instruction shape, swizzling functor, pipeline stages, alignments.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "cutlite/shapes.h"
+#include "device/occupancy.h"
+#include "device/spec.h"
+
+namespace bolt {
+namespace cutlite {
+
+/// Threadblock rasterization swizzle. Wider swizzles keep concurrently
+/// resident CTAs in compact 2-D blocks of the output, improving L2 reuse.
+enum class Swizzle { kIdentity1 = 1, kIdentity2 = 2, kIdentity4 = 4,
+                     kIdentity8 = 8 };
+
+inline int SwizzleWidth(Swizzle s) { return static_cast<int>(s); }
+inline const char* SwizzleName(Swizzle s) {
+  switch (s) {
+    case Swizzle::kIdentity1:
+      return "swizzle1";
+    case Swizzle::kIdentity2:
+      return "swizzle2";
+    case Swizzle::kIdentity4:
+      return "swizzle4";
+    case Swizzle::kIdentity8:
+      return "swizzle8";
+  }
+  return "?";
+}
+
+/// Declarative parameters of one tensor-core kernel instantiation.
+struct KernelConfig {
+  GemmShape threadblock{128, 128, 32};
+  GemmShape warp{64, 64, 32};
+  GemmShape instruction{16, 8, 8};  // native MMA shape of the target arch
+  int stages = 2;                   // software pipeline depth
+  Swizzle swizzle = Swizzle::kIdentity4;
+  int align_a = 8, align_b = 8, align_c = 8;
+  /// Parallel split of the K dimension across CTAs. Slices accumulate
+  /// FP32 partials into a workspace; a reduction pass combines them and
+  /// runs the epilogue. >1 helps small-MN / large-K problems that cannot
+  /// otherwise fill the SMs.
+  int split_k = 1;
+
+  int warps_per_cta() const {
+    return (threadblock.m / warp.m) * (threadblock.n / warp.n);
+  }
+  int threads_per_cta() const { return warps_per_cta() * 32; }
+
+  /// Shared memory for the multi-stage A/B tile pipeline (FP16 operands).
+  int64_t smem_bytes() const {
+    return static_cast<int64_t>(stages) *
+           (threadblock.mk() + threadblock.nk()) * 2;
+  }
+
+  /// Register estimate per thread: FP32 accumulators (warp tile spread over
+  /// 32 lanes) + double-buffered operand fragments + addressing overhead.
+  int regs_per_thread() const {
+    const int acc = static_cast<int>(warp.mn() / 32);
+    const int operands = (warp.m + warp.n) / 4;
+    return acc + operands + 32;
+  }
+
+  /// Structural validity against a device: divisibility of the tile
+  /// hierarchy, resource fit, and at least one resident CTA.
+  Status Validate(const DeviceSpec& spec) const;
+
+  CtaResources Resources() const {
+    return CtaResources{threads_per_cta(), smem_bytes(), regs_per_thread()};
+  }
+
+  /// Minimum of the three operand alignments (drives load efficiency).
+  int min_alignment() const {
+    return std::min(align_a, std::min(align_b, align_c));
+  }
+
+  /// CUTLASS-convention kernel name, e.g.
+  /// "cutlite_tensorop_h16816gemm_128x128_32x2_tn_align8".
+  std::string Name(const std::string& op = "gemm") const;
+
+  bool operator==(const KernelConfig& o) const {
+    return threadblock == o.threadblock && warp == o.warp &&
+           instruction == o.instruction && stages == o.stages &&
+           swizzle == o.swizzle && align_a == o.align_a &&
+           align_b == o.align_b && align_c == o.align_c &&
+           split_k == o.split_k;
+  }
+};
+
+}  // namespace cutlite
+}  // namespace bolt

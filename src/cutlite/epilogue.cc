@@ -1,0 +1,34 @@
+#include "cutlite/epilogue.h"
+
+#include "common/strings.h"
+
+namespace bolt {
+namespace cutlite {
+
+std::string EpilogueSpec::FunctorName() const {
+  if (activations.empty()) {
+    return "cutlite::epilogue::thread::LinearCombination";
+  }
+  std::string name = "cutlite::epilogue::thread::LinearCombination";
+  for (ActivationKind a : activations) {
+    std::string act = ActivationName(a);
+    act[0] = static_cast<char>(act[0] - 'a' + 'A');
+    name += act;
+  }
+  return name;
+}
+
+std::string EpilogueSpec::ToString() const {
+  std::string out = StrCat("epilogue(alpha=", alpha, ", beta=", beta);
+  if (has_bias) out += ", bias";
+  if (has_residual) out += ", residual";
+  for (ActivationKind a : activations) {
+    out += StrCat(", ", ActivationName(a));
+  }
+  if (column_reduction) out += ", col_reduce";
+  out += ")";
+  return out;
+}
+
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Epilogue functors in the CUTLASS style (Section 3.1 of the paper).  The
+// supported fusion patterns mirror CUTLASS's epilogue catalogue: (i)
+// element-wise operators (activation chains), (ii) data-type conversion,
+// (iii) per-column broadcast (bias), and (iv) partial column reduction.
+//
+// The compile-time functor templates (LinearCombinationAct<Act>) are the
+// "templated primitives"; EpilogueSpec is the declarative parameterization
+// that Bolt's code generator instantiates them from.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/activations.h"
+#include "common/half.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+namespace cutlite {
+
+/// CUTLASS-style compile-time epilogue functor: D = Act(alpha*acc +
+/// beta*src + bias).  Instantiated by generated code; the runtime library
+/// dispatches to it through ApplyEpilogueElement below.
+template <ActivationKind Act>
+struct LinearCombinationAct {
+  float alpha = 1.0f;
+  float beta = 0.0f;
+
+  float operator()(float accumulator, float source, float bias) const {
+    return ApplyActivation(Act, alpha * accumulator + beta * source + bias);
+  }
+};
+
+using LinearCombination = LinearCombinationAct<ActivationKind::kIdentity>;
+using LinearCombinationRelu = LinearCombinationAct<ActivationKind::kRelu>;
+using LinearCombinationGelu = LinearCombinationAct<ActivationKind::kGelu>;
+using LinearCombinationHardswish =
+    LinearCombinationAct<ActivationKind::kHardswish>;
+using LinearCombinationSoftplus =
+    LinearCombinationAct<ActivationKind::kSoftplus>;
+
+/// Declarative epilogue description (what Bolt's fusion pass produces and
+/// the code generator instantiates).
+struct EpilogueSpec {
+  float alpha = 1.0f;
+  float beta = 0.0f;           // scales the C source operand when present
+  bool has_bias = false;       // per-column broadcast vector
+  bool has_residual = false;   // element-wise source add (beta path)
+  std::vector<ActivationKind> activations;  // applied in order
+  DType output_dtype = DType::kFloat16;     // conversion on store
+  bool column_reduction = false;  // also emit per-column partial sums
+
+  /// Epilogue with a single activation.
+  static EpilogueSpec WithActivation(ActivationKind act, bool bias = true) {
+    EpilogueSpec e;
+    e.has_bias = bias;
+    if (act != ActivationKind::kIdentity) e.activations.push_back(act);
+    return e;
+  }
+
+  /// Plain linear combination (no bias / activation).
+  static EpilogueSpec Linear() { return EpilogueSpec{}; }
+
+  /// Total per-element arithmetic weight, used by the timing model.
+  double CostMultiplier() const {
+    double c = 1.0;  // alpha scale
+    if (has_bias) c += 1.0;
+    if (has_residual) c += 2.0;
+    if (column_reduction) c += 1.0;
+    for (ActivationKind a : activations) c += ActivationCostMultiplier(a);
+    return c;
+  }
+
+  /// CUTLASS-convention functor name for code generation.
+  std::string FunctorName() const;
+
+  std::string ToString() const;
+};
+
+/// Runtime application of a declarative epilogue to one accumulator element.
+/// `source` is the C operand (residual), `bias` the per-column bias value.
+inline float ApplyEpilogueElement(const EpilogueSpec& e, float acc,
+                                  float source, float bias) {
+  float v = e.alpha * acc;
+  if (e.has_residual || e.beta != 0.0f) v += e.beta * source;
+  if (e.has_bias) v += bias;
+  for (ActivationKind a : e.activations) v = ApplyActivation(a, v);
+  if (e.output_dtype == DType::kFloat16) v = half_t::Quantize(v);
+  return v;
+}
+
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,19 @@
+#include "cutlite/padding.h"
+
+namespace bolt {
+namespace cutlite {
+
+double PaddingKernelUs(const DeviceSpec& spec, double bytes,
+                       double padded_bytes) {
+  // The padding kernel is a bulk strided copy: reads are contiguous runs
+  // of C elements (near-streaming, mild penalty), writes are fully
+  // aligned.  Small tensors are L2-resident from the producer kernel.
+  const double gbps = EffectiveReadGbps(spec, bytes + padded_bytes);
+  const double read_us = MemoryTimeUs(bytes, gbps, 0.85);
+  const double write_us = MemoryTimeUs(padded_bytes, gbps, 1.0);
+  // Copy kernels launch cheaply (no parameter setup, tiny grid ramp).
+  return read_us + write_us + 0.5 * spec.kernel_launch_us;
+}
+
+}  // namespace cutlite
+}  // namespace bolt

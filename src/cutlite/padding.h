@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Automatic kernel padding (Section 3.2.3, Table 3).
+//
+// FP16 tensor shapes whose channel dimension is not divisible by 8 cannot
+// use 128-bit vectorized loads and fall back to alignment 4/2/1, losing
+// coalescing and paying per-access predication.  Bolt pads such tensors to
+// the next multiple of 8 with zeros: zero-padding the reduction (channel)
+// dimension leaves convolution and GEMM results unchanged, and the padded
+// output region is simply never read.
+
+#pragma once
+
+#include <cstdint>
+
+#include "device/spec.h"
+#include "device/timing.h"
+
+namespace bolt {
+namespace cutlite {
+
+/// Next multiple of 8 at or above `dim`.
+inline int64_t PadTo8(int64_t dim) { return (dim + 7) / 8 * 8; }
+
+/// Whether padding `dim` would change it.
+inline bool NeedsPadding(int64_t dim) { return dim % 8 != 0; }
+
+/// Latency of the padding kernel itself: a strided copy of the tensor into
+/// its padded buffer (read `bytes` + write padded bytes, plus a launch).
+/// `bytes` is the unpadded tensor size, `padded_bytes` the target size.
+double PaddingKernelUs(const DeviceSpec& spec, double bytes,
+                       double padded_bytes);
+
+}  // namespace cutlite
+}  // namespace bolt

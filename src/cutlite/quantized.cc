@@ -1,0 +1,185 @@
+#include "cutlite/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bolt {
+namespace cutlite {
+
+int MathModeBits(MathMode m) {
+  switch (m) {
+    case MathMode::kF16:
+    case MathMode::kBF16:
+      return 16;
+    case MathMode::kTF32:
+      return 32;  // stored as FP32, computed at TF32 precision
+    case MathMode::kS8:
+      return 8;
+    case MathMode::kS4:
+      return 4;
+  }
+  return 16;
+}
+
+GemmShape NativeInstruction(MathMode m, const DeviceSpec& spec) {
+  const bool ampere = spec.arch == "sm80";
+  switch (m) {
+    case MathMode::kF16:
+      return GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+    case MathMode::kBF16:
+      return ampere ? GemmShape(16, 8, 16) : GemmShape(0, 0, 0);
+    case MathMode::kTF32:
+      return ampere ? GemmShape(16, 8, 8) : GemmShape(0, 0, 0);
+    case MathMode::kS8:
+      return ampere ? GemmShape(16, 8, 32) : GemmShape(8, 8, 16);
+    case MathMode::kS4:
+      return ampere ? GemmShape(16, 8, 64) : GemmShape(8, 8, 32);
+  }
+  return GemmShape(0, 0, 0);
+}
+
+double MathModePeak(MathMode m, const DeviceSpec& spec) {
+  const double f16 = spec.tensor_flops();
+  switch (m) {
+    case MathMode::kF16:
+      return f16;
+    case MathMode::kBF16:
+      return spec.arch == "sm80" ? f16 : 0.0;
+    case MathMode::kTF32:
+      return spec.arch == "sm80" ? f16 / 2.0 : 0.0;
+    case MathMode::kS8:
+      return 2.0 * f16;  // Turing 130 TOPS, Ampere 624 TOPS
+    case MathMode::kS4:
+      return 4.0 * f16;
+  }
+  return 0.0;
+}
+
+int MathModeMaxAlignment(MathMode m) {
+  return 128 / MathModeBits(m);  // elements per 128-bit access
+}
+
+bool MathModeSupported(MathMode m, const DeviceSpec& spec) {
+  return NativeInstruction(m, spec).m != 0 && MathModePeak(m, spec) > 0.0;
+}
+
+float ChooseSymmetricScale(const Tensor& t, float qmax) {
+  float max_abs = 0.0f;
+  for (float v : t.data()) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) return 1.0f;
+  return max_abs / qmax;
+}
+
+namespace {
+
+int8_t QuantizeElement(float v, float scale) {
+  const float q = std::nearbyint(v / scale);
+  return static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+}  // namespace
+
+Status QuantizedGemmKernel::CanImplement(const DeviceSpec& spec) const {
+  if (!MathModeSupported(MathMode::kS8, spec)) {
+    return Status::Unsupported("INT8 tensor cores unavailable on " +
+                               spec.name);
+  }
+  const GemmShape instr = NativeInstruction(MathMode::kS8, spec);
+  if (config_.warp.m % instr.m != 0 || config_.warp.n % instr.n != 0 ||
+      config_.warp.k % instr.k != 0) {
+    return Status::InvalidArgument(
+        StrCat("warp ", config_.warp.ToString(),
+               " not divisible by INT8 instruction ", instr.ToString()));
+  }
+  if (!config_.threadblock.DivisibleBy(config_.warp)) {
+    return Status::InvalidArgument("threadblock not divisible by warp");
+  }
+  // INT8 wants alignment 16 (128-bit = 16 elements).
+  if (problem_.k % 16 != 0) {
+    return Status::InvalidArgument(
+        "INT8 kernels require K divisible by 16");
+  }
+  if (scale_a_ <= 0.0f || scale_w_ <= 0.0f) {
+    return Status::InvalidArgument("quantization scales must be positive");
+  }
+  return Status::Ok();
+}
+
+Result<Tensor> QuantizedGemmKernel::Run(const GemmArguments& args) const {
+  BOLT_CHECK(args.a != nullptr && args.w != nullptr);
+  const int64_t m = problem_.m, n = problem_.n, k = problem_.k;
+
+  // Quantize operands (symmetric, per tensor).
+  std::vector<int8_t> qa(static_cast<size_t>(m) * k);
+  std::vector<int8_t> qw(static_cast<size_t>(n) * k);
+  for (int64_t i = 0; i < m * k; ++i) {
+    qa[i] = QuantizeElement(args.a->at(i), scale_a_);
+  }
+  for (int64_t i = 0; i < n * k; ++i) {
+    qw[i] = QuantizeElement(args.w->at(i), scale_w_);
+  }
+
+  Tensor out(TensorDesc(epilogue_.output_dtype, {m, n}, Layout::kRowMajor));
+  const float rescale = scale_a_ * scale_w_;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;  // exact int32 accumulation (int64 here: no UB)
+      const int8_t* arow = qa.data() + i * k;
+      const int8_t* wrow = qw.data() + j * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<int64_t>(arow[kk]) * wrow[kk];
+      }
+      const float deq = static_cast<float>(acc) * rescale;
+      const float src = args.c != nullptr ? args.c->at(i * n + j) : 0.0f;
+      const float b = epilogue_.has_bias ? args.bias->at(j) : 0.0f;
+      out.at(i * n + j) = ApplyEpilogueElement(epilogue_, deq, src, b);
+    }
+  }
+  return out;
+}
+
+KernelTiming QuantizedGemmKernel::Estimate(const DeviceSpec& spec) const {
+  KernelTiming t =
+      EstimateMixedGemm(spec, MathMode::kS8, problem_, config_, epilogue_);
+  t.launch_us = spec.kernel_launch_us;
+  t.total_us += t.launch_us;
+  return t;
+}
+
+std::string QuantizedGemmKernel::Name() const {
+  const GemmShape i = config_.instruction;
+  return StrCat("cutlite_tensorop_s8i", i.m, i.n, i.k, "gemm_",
+                config_.threadblock.m, "x", config_.threadblock.n, "_",
+                config_.threadblock.k, "x", config_.stages, "_tn_align16");
+}
+
+KernelTiming EstimateMixedGemm(const DeviceSpec& spec, MathMode mode,
+                               const GemmCoord& p, const KernelConfig& c,
+                               const EpilogueSpec& epilogue) {
+  BOLT_CHECK_MSG(MathModeSupported(mode, spec),
+                 MathModeName(mode) << " unsupported on " << spec.arch);
+  // Reuse the FP16 mainloop model, then rescale:
+  //  * compute time by the mode's peak relative to FP16,
+  //  * operand traffic by the element width relative to FP16's 2 bytes.
+  KernelConfig cfg = c;
+  cfg.instruction = GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+  KernelTiming t = EstimateGemmMainloop(spec, p, cfg, epilogue,
+                                        /*reads_c=*/epilogue.has_residual);
+  const double compute_scale =
+      spec.tensor_flops() / MathModePeak(mode, spec);
+  const double bytes_scale = MathModeBits(mode) / 16.0;
+  t.compute_us *= compute_scale;
+  // Operand traffic scales with width; the output write (a small share)
+  // is approximated at the same scale.
+  t.memory_us *= bytes_scale;
+  t.dram_bytes *= bytes_scale;
+  const double quant =
+      WaveQuantization(t.cta_count,
+                       static_cast<int64_t>(t.ctas_per_sm) * spec.sm_count);
+  t.mainloop_us = std::max(t.compute_us, t.memory_us) * quant;
+  t.total_us = t.mainloop_us + t.epilogue_us;
+  return t;
+}
+
+}  // namespace cutlite
+}  // namespace bolt

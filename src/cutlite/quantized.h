@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Mixed-precision tensor-core kernels.
+//
+// CUTLASS "optimizes for a wide range of mixed-precision computations
+// including B1, INT4, INT8, FP16, BF16, FP32, TF32, FP64" (Section 2.2).
+// The paper's evaluation uses FP16; this module extends the reproduction
+// to the other tensor-core math modes so the library covers the same
+// template breadth:
+//   * a MathMode descriptor (element width, native MMA shape, peak
+//     throughput per architecture, max vector alignment),
+//   * an INT8 quantized GEMM with symmetric per-tensor scales (functional
+//     int32 accumulation + requantization) and the analytical timing path.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "cutlite/config.h"
+#include "cutlite/epilogue.h"
+#include "cutlite/gemm.h"
+#include "device/spec.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+namespace cutlite {
+
+enum class MathMode { kF16, kBF16, kTF32, kS8, kS4 };
+
+inline const char* MathModeName(MathMode m) {
+  switch (m) {
+    case MathMode::kF16:
+      return "f16";
+    case MathMode::kBF16:
+      return "bf16";
+    case MathMode::kTF32:
+      return "tf32";
+    case MathMode::kS8:
+      return "s8";
+    case MathMode::kS4:
+      return "s4";
+  }
+  return "?";
+}
+
+/// Bits per element of the operand type.
+int MathModeBits(MathMode m);
+
+/// Native MMA instruction shape for the mode on the given architecture
+/// (m=0 when the architecture lacks tensor-core support for the mode).
+GemmShape NativeInstruction(MathMode m, const DeviceSpec& spec);
+
+/// Tensor-core peak (FLOPS or OPS/sec) for the mode on the architecture.
+/// Turing: INT8 = 2x FP16, INT4 = 4x FP16, no BF16/TF32.
+/// Ampere: BF16 = FP16, TF32 = FP16/2, INT8 = 2x FP16.
+double MathModePeak(MathMode m, const DeviceSpec& spec);
+
+/// Largest vectorized-load alignment (elements per 128-bit access).
+int MathModeMaxAlignment(MathMode m);
+
+/// True if the architecture's tensor cores support the mode.
+bool MathModeSupported(MathMode m, const DeviceSpec& spec);
+
+/// Symmetric per-tensor quantization scale so that max|x| maps to 127.
+float ChooseSymmetricScale(const Tensor& t, float qmax = 127.0f);
+
+/// INT8 tensor-core GEMM: D = epilogue(scale_a*scale_w * (qA x qW^T)).
+/// Inputs are float tensors quantized internally with the given scales;
+/// accumulation is exact int32.
+class QuantizedGemmKernel {
+ public:
+  QuantizedGemmKernel(GemmCoord problem, KernelConfig config,
+                      EpilogueSpec epilogue, float scale_a, float scale_w)
+      : problem_(problem),
+        config_(config),
+        epilogue_(epilogue),
+        scale_a_(scale_a),
+        scale_w_(scale_w) {}
+
+  Status CanImplement(const DeviceSpec& spec) const;
+
+  /// Functional: quantize -> int32 GEMM -> dequantize -> epilogue.
+  Result<Tensor> Run(const GemmArguments& args) const;
+
+  /// Analytical latency (INT8 peak, 1-byte operand traffic).
+  KernelTiming Estimate(const DeviceSpec& spec) const;
+  double EstimateUs(const DeviceSpec& spec) const {
+    return Estimate(spec).total_us;
+  }
+
+  std::string Name() const;
+
+ private:
+  GemmCoord problem_;
+  KernelConfig config_;
+  EpilogueSpec epilogue_;
+  float scale_a_;
+  float scale_w_;
+};
+
+/// Generic mixed-precision timing: the FP16 mainloop model re-scaled by
+/// the mode's operand width and peak. Used by the mixed-precision bench
+/// for BF16/TF32 projections without a separate functional path.
+KernelTiming EstimateMixedGemm(const DeviceSpec& spec, MathMode mode,
+                               const GemmCoord& problem,
+                               const KernelConfig& config,
+                               const EpilogueSpec& epilogue);
+
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tile-shape vocabulary for the cutlite templated kernel library — the
+// reproduction of CUTLASS's GemmShape hierarchy (threadblock tile, warp
+// tile, instruction tile; Figure 2 of the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/strings.h"
+
+namespace bolt {
+namespace cutlite {
+
+/// An (M, N, K) tile shape at any level of the GEMM hierarchy.
+struct GemmShape {
+  int m = 0, n = 0, k = 0;
+
+  constexpr GemmShape() = default;
+  constexpr GemmShape(int mm, int nn, int kk) : m(mm), n(nn), k(kk) {}
+
+  constexpr int64_t mn() const { return static_cast<int64_t>(m) * n; }
+  constexpr int64_t mk() const { return static_cast<int64_t>(m) * k; }
+  constexpr int64_t nk() const { return static_cast<int64_t>(n) * k; }
+  constexpr int64_t mnk() const { return static_cast<int64_t>(m) * n * k; }
+
+  bool operator==(const GemmShape& o) const {
+    return m == o.m && n == o.n && k == o.k;
+  }
+
+  /// True if `inner` evenly tiles this shape in every dimension.
+  bool DivisibleBy(const GemmShape& inner) const {
+    return inner.m > 0 && inner.n > 0 && inner.k > 0 && m % inner.m == 0 &&
+           n % inner.n == 0 && k % inner.k == 0;
+  }
+
+  std::string ToString() const { return StrCat(m, "x", n, "x", k); }
+};
+
+/// GEMM problem size (row-major A [M,K] x weight [N,K] -> D [M,N]).
+struct GemmCoord {
+  int64_t m = 0, n = 0, k = 0;
+
+  constexpr GemmCoord() = default;
+  constexpr GemmCoord(int64_t mm, int64_t nn, int64_t kk)
+      : m(mm), n(nn), k(kk) {}
+
+  double flops() const { return 2.0 * m * n * k; }
+  std::string ToString() const { return StrCat(m, "x", n, "x", k); }
+};
+
+/// Ceil-division helper used throughout tiling arithmetic.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace cutlite
+}  // namespace bolt

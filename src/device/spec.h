@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// GPU device specifications used by the analytical timing model.
+//
+// This module is the substitution for the physical NVIDIA Tesla T4 used in
+// the paper's evaluation: every architectural quantity the paper's
+// optimizations exploit (tensor-core vs CUDA-core throughput, memory
+// bandwidths, shared-memory/register capacities, kernel-launch latency,
+// SM counts, alignment-dependent load efficiency) is an explicit field.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bolt {
+
+/// Static description of a CUDA-like GPU.
+struct DeviceSpec {
+  std::string name;
+  std::string arch;  // "sm75", "sm80", ...
+
+  // Parallelism.
+  int sm_count = 40;
+  int warp_size = 32;
+  int max_threads_per_sm = 1024;
+  int max_ctas_per_sm = 16;
+  int max_warps_per_sm = 32;
+
+  // Memory capacities (bytes).
+  int64_t smem_per_sm = 64 * 1024;
+  int64_t max_smem_per_cta = 64 * 1024;
+  int64_t regs_per_sm = 65536;    // 32-bit registers
+  int max_regs_per_thread = 255;
+  int64_t l2_bytes = 4 * 1024 * 1024;
+
+  // Throughputs.
+  double tensor_tflops_fp16 = 65.0;   // dense FP16 tensor-core peak
+  double simt_tflops_fp32 = 8.1;      // CUDA-core FP32 FMA peak
+  double simt_tflops_fp16 = 16.2;     // CUDA-core half2 peak
+  double dram_gbps = 320.0;           // DRAM bandwidth, GB/s
+  double l2_gbps = 1300.0;            // L2 bandwidth, GB/s
+  double smem_gbps_per_sm = 128.0;    // shared-memory bandwidth per SM
+
+  // Overheads.
+  double kernel_launch_us = 4.0;      // per-kernel launch latency
+
+  // Tensor-core native MMA instruction shape (m, n, k) for FP16.
+  int mma_m = 16, mma_n = 8, mma_k = 8;
+
+  /// NVIDIA Tesla T4 (Turing, sm75) — the paper's evaluation GPU.
+  static DeviceSpec TeslaT4();
+  /// NVIDIA A100 (Ampere, sm80) — used by the paper's codegen discussion.
+  static DeviceSpec A100();
+
+  double tensor_flops() const { return tensor_tflops_fp16 * 1e12; }
+  double simt_fp32_flops() const { return simt_tflops_fp32 * 1e12; }
+  double simt_fp16_flops() const { return simt_tflops_fp16 * 1e12; }
+  double dram_bytes_per_us() const { return dram_gbps * 1e3; }
+};
+
+/// Memory-efficiency multiplier of a global load/store stream with the given
+/// element alignment (elements per vectorized access, FP16). Alignment 8 is
+/// a full 128-bit access; lower alignments need more instructions and more
+/// predicates and lose coalescing (Section 3.2.3, Table 3 of the paper).
+double AlignmentEfficiency(int alignment);
+
+/// Largest alignment in {8,4,2,1} that divides `dim`.
+int MaxAlignment(int64_t dim);
+
+/// Compute-path derating of a tensor-core mainloop whose operands have the
+/// given alignment: below 8, operands cannot use ldmatrix/128-bit staging,
+/// so the mainloop issues several times more load instructions and
+/// predicates, starving the tensor cores even when DRAM is not saturated.
+double ComputeAlignmentFactor(int alignment);
+
+/// Effective read bandwidth (GB/s) for a stream whose working set is
+/// `bytes`: tensors that fit in L2 are typically served from L2 (the
+/// producer kernel just wrote them), at a discount from peak L2 bandwidth.
+double EffectiveReadGbps(const DeviceSpec& spec, double bytes);
+
+}  // namespace bolt

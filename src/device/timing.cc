@@ -1,0 +1,43 @@
+#include "device/timing.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace bolt {
+
+double ComputeTimeUs(double flops, double peak_flops, double utilization) {
+  BOLT_CHECK_MSG(peak_flops > 0 && utilization > 0,
+                 "peak=" << peak_flops << " util=" << utilization);
+  return flops / (peak_flops * utilization) * 1e6;
+}
+
+double MemoryTimeUs(double bytes, double gbps, double efficiency) {
+  BOLT_CHECK_MSG(gbps > 0 && efficiency > 0,
+                 "gbps=" << gbps << " eff=" << efficiency);
+  return bytes / (gbps * 1e9 * efficiency) * 1e6;
+}
+
+double GemmDramBytes(const GemmTraffic& t) {
+  const double m = static_cast<double>(t.m);
+  const double n = static_cast<double>(t.n);
+  const double k = static_cast<double>(t.k);
+  const double tiles_m = std::ceil(m / t.tile_m);
+  const double tiles_n = std::ceil(n / t.tile_n);
+
+  // Global load requests issued by all CTAs.
+  const double a_reads = tiles_n * (m * k);  // A strip re-read per N tile
+  const double b_reads = tiles_m * (k * n);  // B strip re-read per M tile
+  // Compulsory misses: every element must come from DRAM at least once.
+  const double compulsory = m * k + k * n;
+  // L2 absorbs a fraction of the re-reads beyond the compulsory traffic.
+  const double re_reads = std::max(0.0, a_reads + b_reads - compulsory);
+  double dram_elems = compulsory + re_reads * (1.0 - t.l2_hit_rate);
+
+  double bytes = dram_elems * t.bytes_per_element;
+  bytes += m * n * t.bytes_per_element;               // output write
+  if (t.reads_c) bytes += m * n * t.bytes_per_element;  // C read
+  return bytes;
+}
+
+}  // namespace bolt

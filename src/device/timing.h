@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Generic analytical timing primitives.  Kernel libraries (cutlite, the
+// Ansor SIMT backend) assemble per-kernel latency estimates from these
+// building blocks; this file owns the roofline arithmetic and the simple
+// L2 reuse model so both backends are costed consistently.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "device/occupancy.h"
+#include "device/spec.h"
+
+namespace bolt {
+
+/// Microseconds to execute `flops` at `peak_flops` (flops/sec) derated by
+/// `utilization` in (0, 1].
+double ComputeTimeUs(double flops, double peak_flops, double utilization);
+
+/// Microseconds to move `bytes` at `gbps` derated by `efficiency`.
+double MemoryTimeUs(double bytes, double gbps, double efficiency);
+
+/// DRAM traffic model for a tiled GEMM-like kernel.
+///
+/// Each output tile of size (tile_m x tile_n) reads an (tile_m x K) strip of
+/// A and a (K x tile_n) strip of B from global memory; the L2 absorbs part
+/// of the inter-CTA re-reads.  Returns estimated DRAM bytes including the
+/// output write (and optional C read for beta != 0).
+struct GemmTraffic {
+  int64_t m = 0, n = 0, k = 0;
+  int64_t tile_m = 128, tile_n = 128;
+  int bytes_per_element = 2;  // FP16
+  bool reads_c = false;       // beta != 0
+  double l2_hit_rate = 0.55;  // fraction of re-reads served by L2
+};
+double GemmDramBytes(const GemmTraffic& t);
+
+/// Simulated wall-clock accumulator for tuning-time experiments (Fig 10b).
+/// Search procedures charge compilation and measurement costs here instead
+/// of consuming real time.
+class TuningClock {
+ public:
+  void Charge(double seconds) { seconds_ += seconds; }
+  void ChargeCompile(double seconds) {
+    seconds_ += seconds;
+    compile_seconds_ += seconds;
+  }
+  void ChargeMeasure(double seconds) {
+    seconds_ += seconds;
+    measure_seconds_ += seconds;
+  }
+  double seconds() const { return seconds_; }
+  double minutes() const { return seconds_ / 60.0; }
+  double hours() const { return seconds_ / 3600.0; }
+  double compile_seconds() const { return compile_seconds_; }
+  double measure_seconds() const { return measure_seconds_; }
+  void Reset() { seconds_ = compile_seconds_ = measure_seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+  double compile_seconds_ = 0.0;
+  double measure_seconds_ = 0.0;
+};
+
+}  // namespace bolt

@@ -1,0 +1,401 @@
+#include "ir/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bolt {
+namespace refop {
+
+namespace {
+// Read a spatial input element honouring layout, returning 0 for padding.
+inline float ActAt(const Tensor& x, int64_t n, int64_t c, int64_t h,
+                   int64_t w) {
+  const auto& s = x.shape();
+  if (x.layout() == Layout::kNHWC) {
+    if (h < 0 || h >= s[1] || w < 0 || w >= s[2]) return 0.0f;
+    return x.at(IndexNHWC(s, n, h, w, c));
+  }
+  if (h < 0 || h >= s[2] || w < 0 || w >= s[3]) return 0.0f;
+  return x.at(IndexNCHW(s, n, c, h, w));
+}
+}  // namespace
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& a) {
+  const bool nhwc = x.layout() == Layout::kNHWC;
+  const auto& s = x.shape();
+  const int64_t n = s[0];
+  const int64_t c = nhwc ? s[3] : s[1];
+  const int64_t h = nhwc ? s[1] : s[2];
+  const int64_t wd = nhwc ? s[2] : s[3];
+  const int64_t oc = w.shape()[0], kh = w.shape()[1], kw = w.shape()[2];
+  BOLT_CHECK_MSG(w.shape()[3] == c, "conv2d ref channel mismatch");
+  const int64_t oh = (h + 2 * a.pad_h - kh) / a.stride_h + 1;
+  const int64_t ow = (wd + 2 * a.pad_w - kw) / a.stride_w + 1;
+
+  std::vector<int64_t> oshape = nhwc ? std::vector<int64_t>{n, oh, ow, oc}
+                                     : std::vector<int64_t>{n, oc, oh, ow};
+  Tensor out(TensorDesc(x.dtype(), oshape, x.layout()));
+  for (int64_t in = 0; in < n; ++in) {
+    for (int64_t io = 0; io < oc; ++io) {
+      for (int64_t ih = 0; ih < oh; ++ih) {
+        for (int64_t iw = 0; iw < ow; ++iw) {
+          float acc = 0.0f;  // FP32 accumulate, as on tensor cores.
+          for (int64_t r = 0; r < kh; ++r) {
+            for (int64_t t = 0; t < kw; ++t) {
+              const int64_t sh = ih * a.stride_h + r - a.pad_h;
+              const int64_t sw = iw * a.stride_w + t - a.pad_w;
+              for (int64_t ic = 0; ic < c; ++ic) {
+                const float xv = ActAt(x, in, ic, sh, sw);
+                const float wv =
+                    w.at(((io * kh + r) * kw + t) * c + ic);
+                acc += xv * wv;
+              }
+            }
+          }
+          const int64_t idx = nhwc ? IndexNHWC(oshape, in, ih, iw, io)
+                                   : IndexNCHW(oshape, in, io, ih, iw);
+          out.at(idx) = acc;
+        }
+      }
+    }
+  }
+  out.Quantize();
+  return out;
+}
+
+Tensor Dense(const Tensor& x, const Tensor& w) {
+  const int64_t m = x.shape()[0], k = x.shape()[1], n = w.shape()[0];
+  BOLT_CHECK(w.shape()[1] == k);
+  Tensor out(TensorDesc(x.dtype(), {m, n}, Layout::kRowMajor));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += x.at(i * k + kk) * w.at(j * k + kk);
+      }
+      out.at(i * n + j) = acc;
+    }
+  }
+  out.Quantize();
+  return out;
+}
+
+Tensor BiasAdd(const Tensor& x, const Tensor& bias) {
+  Tensor out = x;
+  const int64_t c = bias.num_elements();
+  if (x.desc().rank() == 4 && x.layout() == Layout::kNCHW) {
+    const auto& s = x.shape();
+    BOLT_CHECK(s[1] == c);
+    for (int64_t n = 0; n < s[0]; ++n)
+      for (int64_t ci = 0; ci < s[1]; ++ci)
+        for (int64_t h = 0; h < s[2]; ++h)
+          for (int64_t w = 0; w < s[3]; ++w)
+            out.at(IndexNCHW(s, n, ci, h, w)) += bias.at(ci);
+  } else {
+    // NHWC and row-major 2-D both have channels innermost.
+    BOLT_CHECK(x.shape().back() == c);
+    for (int64_t i = 0; i < x.num_elements(); ++i) {
+      out.at(i) += bias.at(i % c);
+    }
+  }
+  out.Quantize();
+  return out;
+}
+
+Tensor Activation(const Tensor& x, ActivationKind kind) {
+  Tensor out = x;
+  for (float& v : out.data()) v = ApplyActivation(kind, v);
+  out.Quantize();
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  BOLT_CHECK(a.num_elements() == b.num_elements());
+  Tensor out = a;
+  for (int64_t i = 0; i < a.num_elements(); ++i) out.at(i) += b.at(i);
+  out.Quantize();
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  BOLT_CHECK(a.num_elements() == b.num_elements());
+  Tensor out = a;
+  for (int64_t i = 0; i < a.num_elements(); ++i) out.at(i) *= b.at(i);
+  out.Quantize();
+  return out;
+}
+
+Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride) {
+  const bool nhwc = x.layout() == Layout::kNHWC;
+  const auto& s = x.shape();
+  const int64_t n = s[0];
+  const int64_t c = nhwc ? s[3] : s[1];
+  const int64_t h = nhwc ? s[1] : s[2];
+  const int64_t w = nhwc ? s[2] : s[3];
+  const int64_t oh = (h - kernel) / stride + 1;
+  const int64_t ow = (w - kernel) / stride + 1;
+  std::vector<int64_t> oshape = nhwc ? std::vector<int64_t>{n, oh, ow, c}
+                                     : std::vector<int64_t>{n, c, oh, ow};
+  Tensor out(TensorDesc(x.dtype(), oshape, x.layout()));
+  for (int64_t in = 0; in < n; ++in)
+    for (int64_t ic = 0; ic < c; ++ic)
+      for (int64_t ih = 0; ih < oh; ++ih)
+        for (int64_t iw = 0; iw < ow; ++iw) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t r = 0; r < kernel; ++r)
+            for (int64_t t = 0; t < kernel; ++t)
+              best = std::max(best, ActAt(x, in, ic, ih * stride + r,
+                                          iw * stride + t));
+          const int64_t idx = nhwc ? IndexNHWC(oshape, in, ih, iw, ic)
+                                   : IndexNCHW(oshape, in, ic, ih, iw);
+          out.at(idx) = best;
+        }
+  return out;
+}
+
+Tensor GlobalAvgPool(const Tensor& x) {
+  const bool nhwc = x.layout() == Layout::kNHWC;
+  const auto& s = x.shape();
+  const int64_t n = s[0];
+  const int64_t c = nhwc ? s[3] : s[1];
+  const int64_t h = nhwc ? s[1] : s[2];
+  const int64_t w = nhwc ? s[2] : s[3];
+  std::vector<int64_t> oshape = nhwc ? std::vector<int64_t>{n, 1, 1, c}
+                                     : std::vector<int64_t>{n, c, 1, 1};
+  Tensor out(TensorDesc(x.dtype(), oshape, x.layout()));
+  for (int64_t in = 0; in < n; ++in)
+    for (int64_t ic = 0; ic < c; ++ic) {
+      float sum = 0.0f;
+      for (int64_t ih = 0; ih < h; ++ih)
+        for (int64_t iw = 0; iw < w; ++iw) sum += ActAt(x, in, ic, ih, iw);
+      out.at(in * c + ic) = sum / static_cast<float>(h * w);
+    }
+  out.Quantize();
+  return out;
+}
+
+Tensor Flatten(const Tensor& x) {
+  int64_t rest = 1;
+  for (int i = 1; i < x.desc().rank(); ++i) rest *= x.shape()[i];
+  return Tensor(TensorDesc(x.dtype(), {x.shape()[0], rest}, Layout::kRowMajor),
+                x.data());
+}
+
+Tensor Softmax(const Tensor& x) {
+  const int64_t m = x.shape()[0];
+  const int64_t n = x.num_elements() / m;
+  Tensor out = x;
+  for (int64_t i = 0; i < m; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, x.at(i * n + j));
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      out.at(i * n + j) = std::exp(x.at(i * n + j) - mx);
+      sum += out.at(i * n + j);
+    }
+    for (int64_t j = 0; j < n; ++j) out.at(i * n + j) /= sum;
+  }
+  out.Quantize();
+  return out;
+}
+
+Tensor LayoutTransform(const Tensor& x, Layout to) {
+  if (x.layout() == to) return x;
+  const auto& s = x.shape();
+  BOLT_CHECK(x.desc().rank() == 4);
+  if (x.layout() == Layout::kNCHW && to == Layout::kNHWC) {
+    std::vector<int64_t> oshape = {s[0], s[2], s[3], s[1]};
+    Tensor out(TensorDesc(x.dtype(), oshape, Layout::kNHWC));
+    for (int64_t n = 0; n < s[0]; ++n)
+      for (int64_t c = 0; c < s[1]; ++c)
+        for (int64_t h = 0; h < s[2]; ++h)
+          for (int64_t w = 0; w < s[3]; ++w)
+            out.at(IndexNHWC(oshape, n, h, w, c)) =
+                x.at(IndexNCHW(s, n, c, h, w));
+    return out;
+  }
+  if (x.layout() == Layout::kNHWC && to == Layout::kNCHW) {
+    std::vector<int64_t> oshape = {s[0], s[3], s[1], s[2]};
+    Tensor out(TensorDesc(x.dtype(), oshape, Layout::kNCHW));
+    for (int64_t n = 0; n < s[0]; ++n)
+      for (int64_t h = 0; h < s[1]; ++h)
+        for (int64_t w = 0; w < s[2]; ++w)
+          for (int64_t c = 0; c < s[3]; ++c)
+            out.at(IndexNCHW(oshape, n, c, h, w)) =
+                x.at(IndexNHWC(s, n, h, w, c));
+    return out;
+  }
+  BOLT_CHECK_MSG(false, "unsupported layout transform");
+  return x;
+}
+
+Tensor PadChannels(const Tensor& x, int64_t padded) {
+  if (x.desc().rank() == 4) {
+    BOLT_CHECK_MSG(x.layout() == Layout::kNHWC,
+                   "channel padding implemented for NHWC");
+    const auto& s = x.shape();
+    BOLT_CHECK(padded >= s[3]);
+    std::vector<int64_t> oshape = {s[0], s[1], s[2], padded};
+    Tensor out(TensorDesc(x.dtype(), oshape, Layout::kNHWC));
+    for (int64_t n = 0; n < s[0]; ++n)
+      for (int64_t h = 0; h < s[1]; ++h)
+        for (int64_t w = 0; w < s[2]; ++w)
+          for (int64_t c = 0; c < s[3]; ++c)
+            out.at(IndexNHWC(oshape, n, h, w, c)) =
+                x.at(IndexNHWC(s, n, h, w, c));
+    return out;
+  }
+  BOLT_CHECK(x.desc().rank() == 2);
+  const int64_t m = x.shape()[0], k = x.shape()[1];
+  BOLT_CHECK(padded >= k);
+  Tensor out(TensorDesc(x.dtype(), {m, padded}, Layout::kRowMajor));
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < k; ++j) out.at(i * padded + j) = x.at(i * k + j);
+  return out;
+}
+
+Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 const Tensor& mean, const Tensor& var, float eps) {
+  const int64_t c = gamma.num_elements();
+  Tensor out = x;
+  const bool channels_innermost =
+      x.desc().rank() != 4 || x.layout() == Layout::kNHWC;
+  for (int64_t i = 0; i < x.num_elements(); ++i) {
+    int64_t ch;
+    if (channels_innermost) {
+      ch = i % c;
+    } else {
+      const auto& s = x.shape();  // NCHW
+      ch = (i / (s[2] * s[3])) % s[1];
+    }
+    const float scale =
+        gamma.at(ch) / std::sqrt(var.at(ch) + eps);
+    out.at(i) = (x.at(i) - mean.at(ch)) * scale + beta.at(ch);
+  }
+  out.Quantize();
+  return out;
+}
+
+Tensor Concat(const std::vector<const Tensor*>& parts) {
+  BOLT_CHECK(parts.size() >= 2);
+  const Tensor& first = *parts[0];
+  BOLT_CHECK_MSG(first.desc().rank() == 4 &&
+                     first.layout() == Layout::kNHWC,
+                 "concat reference implemented for NHWC");
+  const auto& s = first.shape();
+  int64_t channels = 0;
+  for (const Tensor* p : parts) channels += p->shape()[3];
+  std::vector<int64_t> oshape = {s[0], s[1], s[2], channels};
+  Tensor out(TensorDesc(first.dtype(), oshape, Layout::kNHWC));
+  const int64_t pixels = s[0] * s[1] * s[2];
+  for (int64_t px = 0; px < pixels; ++px) {
+    int64_t offset = 0;
+    for (const Tensor* p : parts) {
+      const int64_t pc = p->shape()[3];
+      for (int64_t ci = 0; ci < pc; ++ci) {
+        out.at(px * channels + offset + ci) = p->at(px * pc + ci);
+      }
+      offset += pc;
+    }
+  }
+  return out;
+}
+
+}  // namespace refop
+
+Result<std::vector<Tensor>> Interpreter::Run(
+    const std::map<std::string, Tensor>& inputs) const {
+  std::vector<Tensor> env(graph_.num_nodes());
+  for (const Node& n : graph_.nodes()) {
+    switch (n.kind) {
+      case OpKind::kInput: {
+        auto it = inputs.find(n.name);
+        if (it == inputs.end()) {
+          return Status::InvalidArgument("missing input tensor: " + n.name);
+        }
+        env[n.id] = it->second;
+        env[n.id].Quantize();
+        break;
+      }
+      case OpKind::kConstant:
+        if (!graph_.is_constant(n.id)) {
+          return Status::FailedPrecondition(
+              "constant " + n.name +
+              " has no materialized data (timing-only graph)");
+        }
+        env[n.id] = graph_.constant(n.id);
+        break;
+      case OpKind::kConv2d:
+        env[n.id] = refop::Conv2d(env[n.inputs[0]], env[n.inputs[1]],
+                                  Conv2dAttrs::FromNode(n));
+        break;
+      case OpKind::kDense:
+        env[n.id] = refop::Dense(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kBiasAdd:
+        env[n.id] = refop::BiasAdd(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kActivation: {
+        auto kind = ActivationFromName(n.attrs.GetStr("kind"));
+        if (!kind.ok()) return kind.status();
+        env[n.id] = refop::Activation(env[n.inputs[0]], kind.value());
+        break;
+      }
+      case OpKind::kAdd:
+        env[n.id] = refop::Add(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kMul:
+        env[n.id] = refop::Mul(env[n.inputs[0]], env[n.inputs[1]]);
+        break;
+      case OpKind::kCast:
+        env[n.id] = env[n.inputs[0]].Cast(n.out_desc.dtype);
+        break;
+      case OpKind::kMaxPool2d:
+        env[n.id] = refop::MaxPool2d(env[n.inputs[0]],
+                                     n.attrs.GetInt("kernel"),
+                                     n.attrs.GetInt("stride"));
+        break;
+      case OpKind::kGlobalAvgPool:
+        env[n.id] = refop::GlobalAvgPool(env[n.inputs[0]]);
+        break;
+      case OpKind::kFlatten:
+        env[n.id] = refop::Flatten(env[n.inputs[0]]);
+        break;
+      case OpKind::kSoftmax:
+        env[n.id] = refop::Softmax(env[n.inputs[0]]);
+        break;
+      case OpKind::kLayoutTransform: {
+        Layout to = n.out_desc.layout;
+        env[n.id] = refop::LayoutTransform(env[n.inputs[0]], to);
+        break;
+      }
+      case OpKind::kPadChannels:
+        env[n.id] = refop::PadChannels(env[n.inputs[0]],
+                                       n.out_desc.shape.back());
+        break;
+      case OpKind::kBatchNorm:
+        env[n.id] = refop::BatchNorm(
+            env[n.inputs[0]], env[n.inputs[1]], env[n.inputs[2]],
+            env[n.inputs[3]], env[n.inputs[4]],
+            static_cast<float>(n.attrs.GetFloat("eps", 1e-5)));
+        break;
+      case OpKind::kConcat: {
+        std::vector<const Tensor*> parts;
+        for (NodeId in : n.inputs) parts.push_back(&env[in]);
+        env[n.id] = refop::Concat(parts);
+        break;
+      }
+      default:
+        return Status::Unsupported(
+            StrCat("interpreter cannot execute composite op ",
+                   OpKindName(n.kind), " (node ", n.name,
+                   "); use the Bolt engine"));
+    }
+  }
+  std::vector<Tensor> outs;
+  outs.reserve(graph_.output_ids().size());
+  for (NodeId id : graph_.output_ids()) outs.push_back(env[id]);
+  return outs;
+}
+
+}  // namespace bolt

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Reference interpreter for the graph IR.  Executes every primitive op with
+// straightforward loops; FP16 tensors are quantized at op boundaries.  The
+// Bolt engine's fused kernels are validated against this interpreter, and
+// the engine reuses the per-op kernels here for non-offloaded (TVM-fallback)
+// nodes.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/graph.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+
+/// Per-op reference kernels (exposed for reuse by the Bolt engine).
+namespace refop {
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& attrs);
+Tensor Dense(const Tensor& x, const Tensor& w);
+Tensor BiasAdd(const Tensor& x, const Tensor& bias);
+Tensor Activation(const Tensor& x, ActivationKind kind);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride);
+Tensor GlobalAvgPool(const Tensor& x);
+Tensor Flatten(const Tensor& x);
+Tensor Softmax(const Tensor& x);
+Tensor LayoutTransform(const Tensor& x, Layout to);
+/// Pads the channel dimension (NHWC C, or dense K) with zeros up to
+/// `padded_channels`.
+Tensor PadChannels(const Tensor& x, int64_t padded_channels);
+/// Inference batch normalization over the channel axis.
+Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 const Tensor& mean, const Tensor& var, float eps);
+/// Channel-axis concatenation of rank-4 tensors (same layout).
+Tensor Concat(const std::vector<const Tensor*>& parts);
+
+}  // namespace refop
+
+/// Executes a graph of primitive ops. Composite bolt.* nodes are rejected —
+/// run those through the Bolt engine instead.
+class Interpreter {
+ public:
+  explicit Interpreter(const Graph& graph) : graph_(graph) {}
+
+  /// Runs the graph. `inputs` maps input-node names to tensors.
+  Result<std::vector<Tensor>> Run(
+      const std::map<std::string, Tensor>& inputs) const;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace bolt

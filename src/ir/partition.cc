@@ -1,0 +1,60 @@
+#include "ir/partition.h"
+
+#include <algorithm>
+
+namespace bolt {
+
+bool DefaultBoltSupport(const Graph& graph, const Node& node) {
+  (void)graph;
+  switch (node.kind) {
+    case OpKind::kConv2d:
+    case OpKind::kDense:
+    case OpKind::kBiasAdd:
+    case OpKind::kActivation:
+    case OpKind::kAdd:
+    case OpKind::kCast:
+    case OpKind::kLayoutTransform:
+    case OpKind::kPadChannels:
+    case OpKind::kBoltGemm:
+    case OpKind::kBoltConv2d:
+    case OpKind::kBoltB2BGemm:
+    case OpKind::kBoltB2BConv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+PartitionResult PartitionGraph(const Graph& graph,
+                               const SupportPredicate& supported) {
+  PartitionResult result;
+  result.region_of.assign(graph.num_nodes(), -1);
+
+  for (const Node& n : graph.nodes()) {
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kConstant) continue;
+    const bool sup = supported(graph, n);
+
+    // Try to join the region of a direct producer with the same support
+    // class. Producers have smaller ids, so regions stay topological.
+    int join = -1;
+    for (NodeId in : n.inputs) {
+      const int r = result.region_of[in];
+      if (r >= 0 && result.regions[r].offloaded == sup) {
+        join = r;
+        break;
+      }
+    }
+    if (join < 0) {
+      Region region;
+      region.id = static_cast<int>(result.regions.size());
+      region.offloaded = sup;
+      result.regions.push_back(region);
+      join = result.regions.back().id;
+    }
+    result.regions[join].nodes.push_back(n.id);
+    result.region_of[n.id] = join;
+  }
+  return result;
+}
+
+}  // namespace bolt

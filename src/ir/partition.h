@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// BYOC-style graph partitioning (Section 3 of the paper).  Bolt carves out
+// the subgraphs its templated backend supports and leaves the rest to the
+// host compiler (TVM in the paper; our reference interpreter here).
+//
+// A Region is a maximal connected group of consecutively-supported nodes.
+// The partitioner is target-agnostic: callers supply a predicate saying
+// which nodes the backend can take.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace bolt {
+
+/// A connected set of nodes offloaded to one backend.
+struct Region {
+  int id = 0;
+  std::vector<NodeId> nodes;  // ascending order (topological)
+  bool offloaded = false;     // true -> Bolt backend, false -> host fallback
+};
+
+using SupportPredicate = std::function<bool(const Graph&, const Node&)>;
+
+/// Partition result: every non-constant, non-input node belongs to exactly
+/// one region; regions are in topological order of their first node.
+struct PartitionResult {
+  std::vector<Region> regions;
+  /// region index per node id (-1 for inputs/constants).
+  std::vector<int> region_of;
+
+  int num_offloaded() const {
+    int k = 0;
+    for (const auto& r : regions) k += r.offloaded ? 1 : 0;
+    return k;
+  }
+};
+
+/// Greedy maximal-region partitioner: walks nodes in topological order and
+/// merges each supported node into the region of a supported producer when
+/// that does not create a cycle (regions stay contiguous in topo order, so
+/// merging with any direct producer region is safe for single-output DAGs
+/// built in topological order).
+PartitionResult PartitionGraph(const Graph& graph,
+                               const SupportPredicate& supported);
+
+/// Default predicate for the Bolt/cutlite backend: anchors (conv2d/dense and
+/// already-fused bolt.* composites) plus epilogue-eligible elementwise ops.
+bool DefaultBoltSupport(const Graph& graph, const Node& node);
+
+}  // namespace bolt

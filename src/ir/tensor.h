@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tensor descriptors and dense host tensors used by the graph IR and the
+// functional simulator.  Data is held in FP32; tensors whose declared dtype
+// is FP16 are quantized through software binary16 at store boundaries so the
+// numerics match what an FP16 pipeline would produce.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/half.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bolt {
+
+enum class DType { kFloat16, kFloat32, kInt8, kInt32 };
+
+inline int DTypeBytes(DType t) {
+  switch (t) {
+    case DType::kFloat16:
+      return 2;
+    case DType::kFloat32:
+      return 4;
+    case DType::kInt8:
+      return 1;
+    case DType::kInt32:
+      return 4;
+  }
+  return 4;
+}
+
+inline const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kFloat16:
+      return "f16";
+    case DType::kFloat32:
+      return "f32";
+    case DType::kInt8:
+      return "i8";
+    case DType::kInt32:
+      return "i32";
+  }
+  return "?";
+}
+
+/// Memory layout of a tensor. Activations are NCHW or NHWC; matrices are
+/// row- or column-major.
+enum class Layout { kNCHW, kNHWC, kRowMajor, kColMajor, kAny };
+
+inline const char* LayoutName(Layout l) {
+  switch (l) {
+    case Layout::kNCHW:
+      return "NCHW";
+    case Layout::kNHWC:
+      return "NHWC";
+    case Layout::kRowMajor:
+      return "RowMajor";
+    case Layout::kColMajor:
+      return "ColMajor";
+    case Layout::kAny:
+      return "Any";
+  }
+  return "?";
+}
+
+/// Shape + dtype + layout of a tensor, without data.
+struct TensorDesc {
+  DType dtype = DType::kFloat16;
+  std::vector<int64_t> shape;
+  Layout layout = Layout::kAny;
+
+  TensorDesc() = default;
+  TensorDesc(DType dt, std::vector<int64_t> s, Layout l = Layout::kAny)
+      : dtype(dt), shape(std::move(s)), layout(l) {}
+
+  int64_t num_elements() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  int64_t num_bytes() const { return num_elements() * DTypeBytes(dtype); }
+  int rank() const { return static_cast<int>(shape.size()); }
+
+  bool operator==(const TensorDesc& o) const {
+    return dtype == o.dtype && shape == o.shape && layout == o.layout;
+  }
+
+  std::string ToString() const {
+    return StrCat(DTypeName(dtype), "[", StrJoin(shape, ","), "]/",
+                  LayoutName(layout));
+  }
+};
+
+/// A dense host tensor. FP32 backing store; dtype kFloat16 means values are
+/// always representable in binary16 (enforced by Quantize()).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorDesc desc)
+      : desc_(std::move(desc)),
+        data_(static_cast<size_t>(desc_.num_elements()), 0.0f) {}
+  Tensor(TensorDesc desc, std::vector<float> data)
+      : desc_(std::move(desc)), data_(std::move(data)) {
+    BOLT_CHECK_MSG(
+        static_cast<int64_t>(data_.size()) == desc_.num_elements(),
+        "data size " << data_.size() << " vs desc " << desc_.ToString());
+  }
+
+  const TensorDesc& desc() const { return desc_; }
+  const std::vector<int64_t>& shape() const { return desc_.shape; }
+  DType dtype() const { return desc_.dtype; }
+  Layout layout() const { return desc_.layout; }
+  int64_t num_elements() const { return desc_.num_elements(); }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+
+  /// Round every element to the tensor's declared storage precision.
+  void Quantize() {
+    if (desc_.dtype == DType::kFloat16) {
+      for (float& v : data_) v = half_t::Quantize(v);
+    }
+  }
+
+  /// Returns a copy re-labelled (and re-quantized) with dtype `dt`.
+  Tensor Cast(DType dt) const {
+    Tensor out(*this);
+    out.desc_.dtype = dt;
+    out.Quantize();
+    return out;
+  }
+
+  /// Max absolute difference against another tensor of identical shape.
+  float MaxAbsDiff(const Tensor& other) const {
+    BOLT_CHECK(num_elements() == other.num_elements());
+    float m = 0.0f;
+    for (size_t i = 0; i < data_.size(); ++i) {
+      float d = std::abs(data_[i] - other.data_[i]);
+      if (d > m) m = d;
+    }
+    return m;
+  }
+
+ private:
+  TensorDesc desc_;
+  std::vector<float> data_;
+};
+
+/// Row-major index helpers for rank-4 activation tensors.
+inline int64_t IndexNCHW(const std::vector<int64_t>& s, int64_t n, int64_t c,
+                         int64_t h, int64_t w) {
+  return ((n * s[1] + c) * s[2] + h) * s[3] + w;
+}
+inline int64_t IndexNHWC(const std::vector<int64_t>& s, int64_t n, int64_t h,
+                         int64_t w, int64_t c) {
+  return ((n * s[1] + h) * s[2] + w) * s[3] + c;
+}
+
+}  // namespace bolt

@@ -1,0 +1,85 @@
+#include "models/repvgg_reparam.h"
+
+#include <cmath>
+
+namespace bolt {
+namespace models {
+
+FusedConv FoldConvBn(const Tensor& weight, const BnParams& bn) {
+  const auto& s = weight.shape();
+  const int64_t oc = s[0];
+  BOLT_CHECK_MSG(static_cast<int64_t>(bn.gamma.size()) == oc,
+                 "BN channel mismatch");
+  FusedConv out;
+  out.weight = weight;
+  out.bias.assign(oc, 0.0f);
+  const int64_t per_oc = s[1] * s[2] * s[3];
+  for (int64_t o = 0; o < oc; ++o) {
+    const float std = std::sqrt(bn.running_var[o] + bn.eps);
+    const float scale = bn.gamma[o] / std;
+    for (int64_t i = 0; i < per_oc; ++i) {
+      out.weight.at(o * per_oc + i) *= scale;
+    }
+    out.bias[o] = bn.beta[o] - bn.running_mean[o] * scale;
+  }
+  return out;
+}
+
+Tensor Pad1x1To3x3(const Tensor& w1x1) {
+  const auto& s = w1x1.shape();
+  BOLT_CHECK_MSG(s[1] == 1 && s[2] == 1, "expected a 1x1 kernel");
+  const int64_t oc = s[0], ic = s[3];
+  Tensor out(TensorDesc(w1x1.dtype(), {oc, 3, 3, ic}, Layout::kAny));
+  for (int64_t o = 0; o < oc; ++o) {
+    for (int64_t i = 0; i < ic; ++i) {
+      // Centre tap (r=1, s=1).
+      out.at(((o * 3 + 1) * 3 + 1) * ic + i) = w1x1.at(o * ic + i);
+    }
+  }
+  return out;
+}
+
+Tensor Identity3x3Kernel(int64_t channels, DType dtype) {
+  Tensor out(TensorDesc(dtype, {channels, 3, 3, channels}, Layout::kAny));
+  for (int64_t c = 0; c < channels; ++c) {
+    out.at(((c * 3 + 1) * 3 + 1) * channels + c) = 1.0f;
+  }
+  return out;
+}
+
+Result<FusedConv> Reparameterize(const RepVggBlockWeights& block) {
+  const auto& s3 = block.w3x3.shape();
+  if (s3[1] != 3 || s3[2] != 3) {
+    return Status::InvalidArgument("main branch must be a 3x3 kernel");
+  }
+  const int64_t oc = s3[0], ic = s3[3];
+  const auto& s1 = block.w1x1.shape();
+  if (s1[0] != oc || s1[3] != ic) {
+    return Status::InvalidArgument("1x1 branch channel mismatch");
+  }
+  if (block.has_identity && (oc != ic || !block.bn_id.has_value())) {
+    return Status::InvalidArgument(
+        "identity branch requires O == I and BN parameters");
+  }
+
+  FusedConv fused3 = FoldConvBn(block.w3x3, block.bn3);
+  FusedConv fused1 = FoldConvBn(Pad1x1To3x3(block.w1x1), block.bn1);
+
+  FusedConv out = fused3;
+  const int64_t n = out.weight.num_elements();
+  for (int64_t i = 0; i < n; ++i) out.weight.at(i) += fused1.weight.at(i);
+  for (int64_t o = 0; o < oc; ++o) out.bias[o] += fused1.bias[o];
+
+  if (block.has_identity) {
+    FusedConv fused_id = FoldConvBn(
+        Identity3x3Kernel(oc, block.w3x3.dtype()), *block.bn_id);
+    for (int64_t i = 0; i < n; ++i) {
+      out.weight.at(i) += fused_id.weight.at(i);
+    }
+    for (int64_t o = 0; o < oc; ++o) out.bias[o] += fused_id.bias[o];
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace bolt

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// RepVGG structural re-parameterization (Ding et al., CVPR'21), used by the
+// paper's system-model codesign case study (Section 4.3).
+//
+// A train-time RepVGG block computes
+//     y = act( BN3(conv3x3(x)) + BN1(conv1x1(x)) + BNid(x) )
+// (the identity branch exists only when in/out channels match and stride
+// is 1).  At deploy time the three branches collapse into a single 3x3
+// convolution with bias:
+//   * each conv+BN folds into a conv with per-output-channel scale/shift,
+//   * the 1x1 kernel zero-pads to 3x3 (centred),
+//   * the identity branch is a 3x3 kernel with 1 at the centre of its own
+//     channel, then BN-folded,
+//   * kernels and biases sum.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+namespace models {
+
+/// BatchNorm inference parameters for one conv output (per channel).
+struct BnParams {
+  std::vector<float> gamma;
+  std::vector<float> beta;
+  std::vector<float> running_mean;
+  std::vector<float> running_var;
+  float eps = 1e-5f;
+};
+
+/// The train-time weights of one RepVGG block. Weight layout [O,kh,kw,I].
+struct RepVggBlockWeights {
+  Tensor w3x3;                     // [O,3,3,I]
+  BnParams bn3;
+  Tensor w1x1;                     // [O,1,1,I]
+  BnParams bn1;
+  bool has_identity = false;       // requires O == I and stride 1
+  std::optional<BnParams> bn_id;
+};
+
+/// A deploy-time fused convolution.
+struct FusedConv {
+  Tensor weight;            // [O,3,3,I]
+  std::vector<float> bias;  // [O]
+};
+
+/// Fold a conv weight with its BatchNorm into scaled weight + bias.
+FusedConv FoldConvBn(const Tensor& weight, const BnParams& bn);
+
+/// Re-parameterize a full block into a single 3x3 conv.
+Result<FusedConv> Reparameterize(const RepVggBlockWeights& block);
+
+/// Zero-pad a [O,1,1,I] kernel to [O,3,3,I] (centred).
+Tensor Pad1x1To3x3(const Tensor& w1x1);
+
+/// 3x3 identity kernel for C channels: delta at the centre tap.
+Tensor Identity3x3Kernel(int64_t channels, DType dtype);
+
+}  // namespace models
+}  // namespace bolt

@@ -1,0 +1,107 @@
+#include "models/workloads.h"
+
+namespace bolt {
+namespace workloads {
+
+using cutlite::ConvProblem;
+using cutlite::GemmCoord;
+
+std::vector<NamedGemm> Fig1Gemms() {
+  // BERT-base with batch 32, seq 40: M = 1280; hidden 768, FFN 3072.
+  return {
+      {"square_4096", GemmCoord(4096, 4096, 4096)},
+      {"square_5120", GemmCoord(5120, 5120, 5120)},
+      {"bert_attn_out_1280x768x768", GemmCoord(1280, 768, 768)},
+      {"bert_ffn1_1280x3072x768", GemmCoord(1280, 3072, 768)},
+      {"bert_ffn2_1280x768x3072", GemmCoord(1280, 768, 3072)},
+  };
+}
+
+namespace {
+ConvProblem MakeConv(int64_t n, int64_t hw, int64_t c, int64_t k,
+                     int64_t rs, int64_t stride, int64_t pad) {
+  ConvProblem p;
+  p.n = n;
+  p.h = hw;
+  p.w = hw;
+  p.c = c;
+  p.k = k;
+  p.r = rs;
+  p.s = rs;
+  p.stride_h = stride;
+  p.stride_w = stride;
+  p.pad_h = pad;
+  p.pad_w = pad;
+  return p;
+}
+}  // namespace
+
+std::vector<NamedConv> Fig8bConvs() {
+  // The 3x3 convolutions inside ResNet-50's bottleneck stages, batch 32.
+  return {
+      {"c56x56x64x64", MakeConv(32, 56, 64, 64, 3, 1, 1)},
+      {"c56x56x128x128_s2", MakeConv(32, 56, 128, 128, 3, 2, 1)},
+      {"c28x28x128x128", MakeConv(32, 28, 128, 128, 3, 1, 1)},
+      {"c28x28x256x256_s2", MakeConv(32, 28, 256, 256, 3, 2, 1)},
+      {"c14x14x256x256", MakeConv(32, 14, 256, 256, 3, 1, 1)},
+      {"c7x7x512x512", MakeConv(32, 7, 512, 512, 3, 1, 1)},
+  };
+}
+
+GemmCoord Fig9Gemm() { return GemmCoord(1280, 3072, 768); }
+
+ConvProblem Fig9Conv() { return MakeConv(32, 56, 64, 64, 3, 1, 1); }
+
+std::vector<B2bGemmWorkload> Table1Workloads() {
+  return {
+      {GemmCoord(2464, 1, 4), GemmCoord(2464, 4, 1), 1.24},
+      {GemmCoord(16384, 64, 256), GemmCoord(16384, 16, 64), 1.34},
+      {GemmCoord(32768, 128, 576), GemmCoord(32768, 64, 128), 1.28},
+      {GemmCoord(128320, 32, 96), GemmCoord(128320, 96, 32), 1.46},
+  };
+}
+
+std::vector<B2bConvWorkload> Table2Workloads() {
+  // 3x3 conv (stride s) followed by 1x1 conv, channels chained; batch 32.
+  auto pw = [](int64_t hw, int64_t c, int64_t k) {
+    return MakeConv(32, hw, c, k, 1, 1, 0);
+  };
+  return {
+      {MakeConv(32, 224, 3, 48, 3, 2, 1), pw(112, 48, 48), 1.10},
+      {MakeConv(32, 112, 48, 48, 3, 2, 1), pw(56, 48, 48), 1.41},
+      {MakeConv(32, 56, 48, 48, 3, 1, 1), pw(56, 48, 48), 1.87},
+      {MakeConv(32, 224, 3, 64, 3, 2, 1), pw(112, 64, 64), 1.24},
+      {MakeConv(32, 112, 64, 64, 3, 2, 1), pw(56, 64, 64), 1.12},
+      {MakeConv(32, 56, 64, 64, 3, 1, 1), pw(56, 64, 64), 2.02},
+  };
+}
+
+std::vector<PaddingWorkload> Table3Workloads() {
+  auto mk = [](int64_t n, int64_t h, int64_t w, int64_t c, int64_t k,
+               int64_t r, int64_t s, int64_t ph, int64_t pw) {
+    ConvProblem p;
+    p.n = n;
+    p.h = h;
+    p.w = w;
+    p.c = c;
+    p.k = k;
+    p.r = r;
+    p.s = s;
+    p.stride_h = 1;
+    p.stride_w = 1;
+    p.pad_h = ph;
+    p.pad_w = pw;
+    return p;
+  };
+  return {
+      {mk(32, 20, 26, 46, 32, 3, 3, 1, 1), 1.62, 0.18},
+      {mk(32, 20, 26, 46, 32, 5, 5, 2, 2), 1.95, 0.09},
+      {mk(128, 14, 19, 46, 32, 5, 7, 0, 0), 1.77, 0.15},
+      {mk(288, 11, 15, 46, 32, 5, 7, 0, 0), 1.71, 0.18},
+      {mk(32, 20, 26, 174, 64, 3, 3, 1, 1), 1.60, 0.24},
+      {mk(32, 20, 26, 174, 64, 5, 5, 2, 2), 1.99, 0.12},
+  };
+}
+
+}  // namespace workloads
+}  // namespace bolt

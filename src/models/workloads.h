@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The exact operator workloads of the paper's evaluation tables/figures.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cutlite/conv.h"
+#include "cutlite/shapes.h"
+
+namespace bolt {
+namespace workloads {
+
+struct NamedGemm {
+  std::string name;
+  cutlite::GemmCoord coord;
+};
+
+/// Fig. 1 / Fig. 8a: three GEMMs from BERT (batch 32, sequence length 40:
+/// M = 32*40 = 1280) and two large square GEMMs.
+std::vector<NamedGemm> Fig1Gemms();
+
+struct NamedConv {
+  std::string name;
+  cutlite::ConvProblem problem;
+};
+
+/// Fig. 8b: 3x3 Conv2Ds from ResNet-50, batch size 32, (1,1) padding.
+std::vector<NamedConv> Fig8bConvs();
+
+/// Fig. 9 workloads: GEMM M=1280 N=3072 K=768; Conv2D H=W=56, IC=OC=64,
+/// 3x3, stride 1, pad 1 (batch 32).
+cutlite::GemmCoord Fig9Gemm();
+cutlite::ConvProblem Fig9Conv();
+
+/// Table 1: back-to-back GEMM pairs from recommendation models
+/// (DCNv2 / DLRM). Each pair: (M,N,K) of GEMM0 and GEMM1.
+struct B2bGemmWorkload {
+  cutlite::GemmCoord gemm0;
+  cutlite::GemmCoord gemm1;
+  double paper_speedup;  // "w/ fuse." column
+};
+std::vector<B2bGemmWorkload> Table1Workloads();
+
+/// Table 2: 3x3 Conv2D + 1x1 Conv2D pairs from RepVGG's first layers.
+struct B2bConvWorkload {
+  cutlite::ConvProblem conv0;  // 3x3
+  cutlite::ConvProblem conv1;  // 1x1
+  double paper_speedup;
+};
+std::vector<B2bConvWorkload> Table2Workloads();
+
+/// Table 3: production Conv2Ds with input channels not divisible by 8.
+struct PaddingWorkload {
+  cutlite::ConvProblem problem;
+  double paper_speedup;   // padded vs unpadded
+  double paper_overhead;  // padding time / total time
+};
+std::vector<PaddingWorkload> Table3Workloads();
+
+}  // namespace workloads
+}  // namespace bolt

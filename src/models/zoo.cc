@@ -1,0 +1,416 @@
+#include "models/zoo.h"
+
+#include <cmath>
+
+namespace bolt {
+namespace models {
+
+namespace {
+
+/// Shared conv/dense emission with weight handling.
+class NetBuilder {
+ public:
+  NetBuilder(const ModelOptions& opts)
+      : opts_(opts), builder_(opts.dtype, opts.layout), rng_(opts.seed) {}
+
+  GraphBuilder& b() { return builder_; }
+
+  NodeId Image(const std::string& name = "data") {
+    std::vector<int64_t> shape =
+        opts_.layout == Layout::kNHWC
+            ? std::vector<int64_t>{opts_.batch, opts_.image_size,
+                                   opts_.image_size, opts_.in_channels}
+            : std::vector<int64_t>{opts_.batch, opts_.in_channels,
+                                   opts_.image_size, opts_.image_size};
+    return builder_.Input(name, shape, opts_.layout);
+  }
+
+  NodeId Weight(const std::string& name, std::vector<int64_t> shape) {
+    TensorDesc desc(opts_.dtype, shape, Layout::kAny);
+    if (!opts_.materialize_weights) {
+      return builder_.ConstantDesc(name, desc);
+    }
+    Tensor t(desc);
+    // Kaiming-style init keeps FP16 activations in range.
+    int64_t fan_in = 1;
+    for (size_t i = 1; i < shape.size(); ++i) fan_in *= shape[i];
+    rng_.FillNormal(t.data(), 1.0f / std::sqrt(static_cast<float>(fan_in)));
+    t.Quantize();
+    return builder_.Constant(name, std::move(t));
+  }
+
+  /// conv + bias + activation.
+  NodeId ConvBlock(NodeId x, int64_t oc, int64_t kernel, int64_t stride,
+                   int64_t pad, ActivationKind act,
+                   const std::string& name) {
+    const TensorDesc& xd = builder_.graph().node(x).out_desc;
+    const int64_t ic =
+        xd.layout == Layout::kNHWC ? xd.shape[3] : xd.shape[1];
+    NodeId w = Weight(name + "_w", {oc, kernel, kernel, ic});
+    Conv2dAttrs a;
+    a.stride_h = a.stride_w = stride;
+    a.pad_h = a.pad_w = pad;
+    NodeId y = builder_.Conv2d(x, w, a, name);
+    NodeId bias = Weight(name + "_b", {oc});
+    y = builder_.BiasAdd(y, bias, name + "_bias");
+    if (act != ActivationKind::kIdentity) {
+      y = builder_.Activation(y, act, name + "_act");
+    }
+    return y;
+  }
+
+  /// conv + bias (no activation) — for residual trunks.
+  NodeId ConvBias(NodeId x, int64_t oc, int64_t kernel, int64_t stride,
+                  int64_t pad, const std::string& name) {
+    return ConvBlock(x, oc, kernel, stride, pad, ActivationKind::kIdentity,
+                     name);
+  }
+
+  /// conv + BatchNorm + activation, as frameworks export it.
+  NodeId ConvBnBlock(NodeId x, int64_t oc, int64_t kernel, int64_t stride,
+                     int64_t pad, ActivationKind act,
+                     const std::string& name) {
+    const TensorDesc& xd = builder_.graph().node(x).out_desc;
+    const int64_t ic =
+        xd.layout == Layout::kNHWC ? xd.shape[3] : xd.shape[1];
+    NodeId w = Weight(name + "_w", {oc, kernel, kernel, ic});
+    Conv2dAttrs a;
+    a.stride_h = a.stride_w = stride;
+    a.pad_h = a.pad_w = pad;
+    NodeId y = builder_.Conv2d(x, w, a, name);
+    NodeId gamma = BnParam(name + "_bn_g", oc, 1.0f, 0.2f);
+    NodeId beta = BnParam(name + "_bn_b", oc, 0.0f, 0.1f);
+    NodeId mean = BnParam(name + "_bn_m", oc, 0.0f, 0.1f);
+    NodeId var = BnParam(name + "_bn_v", oc, 1.0f, 0.1f);
+    y = builder_.BatchNorm(y, gamma, beta, mean, var, 1e-5, name + "_bn");
+    if (act != ActivationKind::kIdentity) {
+      y = builder_.Activation(y, act, name + "_act");
+    }
+    return y;
+  }
+
+  NodeId BnParam(const std::string& name, int64_t c, float center,
+                 float spread) {
+    TensorDesc desc(opts_.dtype, {c}, Layout::kRowMajor);
+    if (!opts_.materialize_weights) {
+      return builder_.ConstantDesc(name, desc);
+    }
+    Tensor t(desc);
+    for (float& v : t.data()) {
+      v = center + rng_.Normal(0.0f, spread);
+      if (center == 1.0f && v < 0.1f) v = 0.1f;  // keep variances positive
+    }
+    t.Quantize();
+    return builder_.Constant(name, std::move(t));
+  }
+
+  NodeId DenseBlock(NodeId x, int64_t out, ActivationKind act,
+                    const std::string& name) {
+    const TensorDesc& xd = builder_.graph().node(x).out_desc;
+    NodeId w = Weight(name + "_w", {out, xd.shape[1]});
+    NodeId y = builder_.Dense(x, w, name);
+    NodeId bias = Weight(name + "_b", {out});
+    y = builder_.BiasAdd(y, bias, name + "_bias");
+    if (act != ActivationKind::kIdentity) {
+      y = builder_.Activation(y, act, name + "_act");
+    }
+    return y;
+  }
+
+ private:
+  const ModelOptions& opts_;
+  GraphBuilder builder_;
+  Rng rng_;
+};
+
+const std::vector<int>* VggConfig(int depth) {
+  // Convs per stage; stage widths are 64,128,256,512,512. -1 marks pool.
+  static const std::vector<int> v11 = {1, 1, 2, 2, 2};
+  static const std::vector<int> v13 = {2, 2, 2, 2, 2};
+  static const std::vector<int> v16 = {2, 2, 3, 3, 3};
+  static const std::vector<int> v19 = {2, 2, 4, 4, 4};
+  switch (depth) {
+    case 11:
+      return &v11;
+    case 13:
+      return &v13;
+    case 16:
+      return &v16;
+    case 19:
+      return &v19;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Result<Graph> BuildVgg(int depth, const ModelOptions& opts) {
+  const std::vector<int>* config = VggConfig(depth);
+  if (config == nullptr) {
+    return Status::InvalidArgument("unsupported VGG depth");
+  }
+  NetBuilder nb(opts);
+  NodeId x = nb.Image();
+  const int64_t widths[5] = {64, 128, 256, 512, 512};
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < (*config)[stage]; ++i) {
+      x = nb.ConvBlock(x, widths[stage], 3, 1, 1, opts.activation,
+                       StrCat("vgg_s", stage, "_c", i));
+    }
+    x = nb.b().MaxPool2d(x, 2, 2, StrCat("vgg_pool", stage));
+  }
+  x = nb.b().Flatten(x, "flatten");
+  x = nb.DenseBlock(x, 4096, opts.activation, "fc6");
+  x = nb.DenseBlock(x, 4096, opts.activation, "fc7");
+  x = nb.DenseBlock(x, opts.num_classes, ActivationKind::kIdentity, "fc8");
+  x = nb.b().Softmax(x, "prob");
+  nb.b().MarkOutput(x);
+  return nb.b().Build();
+}
+
+Result<Graph> BuildResNet(int depth, const ModelOptions& opts) {
+  if (depth != 18 && depth != 50) {
+    return Status::InvalidArgument("supported ResNet depths: 18, 50");
+  }
+  NetBuilder nb(opts);
+  NodeId x = nb.Image();
+  x = nb.ConvBlock(x, 64, 7, 2, 3, opts.activation, "stem");
+  x = nb.b().MaxPool2d(x, 2, 2, "stem_pool");
+
+  const bool bottleneck = depth == 50;
+  const int blocks18[4] = {2, 2, 2, 2};
+  const int blocks50[4] = {3, 4, 6, 3};
+  const int* blocks = bottleneck ? blocks50 : blocks18;
+  const int64_t mid_widths[4] = {64, 128, 256, 512};
+
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t mid = mid_widths[stage];
+    const int64_t out = bottleneck ? mid * 4 : mid;
+    for (int i = 0; i < blocks[stage]; ++i) {
+      const int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      const std::string name = StrCat("res", stage, "_", i);
+      NodeId identity = x;
+      const TensorDesc& xd = nb.b().graph().node(x).out_desc;
+      const int64_t in_ch =
+          xd.layout == Layout::kNHWC ? xd.shape[3] : xd.shape[1];
+      if (stride != 1 || in_ch != out) {
+        identity = nb.ConvBias(x, out, 1, stride, 0, name + "_down");
+      }
+      NodeId y;
+      if (bottleneck) {
+        y = nb.ConvBlock(x, mid, 1, 1, 0, opts.activation, name + "_a");
+        y = nb.ConvBlock(y, mid, 3, stride, 1, opts.activation,
+                         name + "_b");
+        y = nb.ConvBias(y, out, 1, 1, 0, name + "_c");
+      } else {
+        y = nb.ConvBlock(x, mid, 3, stride, 1, opts.activation,
+                         name + "_a");
+        y = nb.ConvBias(y, mid, 3, 1, 1, name + "_b");
+      }
+      y = nb.b().Add(y, identity, name + "_add");
+      x = nb.b().Activation(y, opts.activation, name + "_relu");
+    }
+  }
+  x = nb.b().GlobalAvgPool(x, "gap");
+  x = nb.b().Flatten(x, "flatten");
+  x = nb.DenseBlock(x, opts.num_classes, ActivationKind::kIdentity, "fc");
+  x = nb.b().Softmax(x, "prob");
+  nb.b().MarkOutput(x);
+  return nb.b().Build();
+}
+
+Result<Graph> BuildRepVgg(RepVggVariant variant,
+                          const RepVggOptions& opts) {
+  // Deploy-form RepVGG: plain stacks of 3x3 conv + bias + activation.
+  int depths[5];
+  int64_t widths[5];
+  switch (variant) {
+    case RepVggVariant::kA0: {
+      const int d[5] = {1, 2, 4, 14, 1};
+      const int64_t w[5] = {48, 48, 96, 192, 1280};
+      std::copy(d, d + 5, depths);
+      std::copy(w, w + 5, widths);
+      break;
+    }
+    case RepVggVariant::kA1: {
+      const int d[5] = {1, 2, 4, 14, 1};
+      const int64_t w[5] = {64, 64, 128, 256, 1280};
+      std::copy(d, d + 5, depths);
+      std::copy(w, w + 5, widths);
+      break;
+    }
+    case RepVggVariant::kB0: {
+      const int d[5] = {1, 4, 6, 16, 1};
+      const int64_t w[5] = {64, 64, 128, 256, 1280};
+      std::copy(d, d + 5, depths);
+      std::copy(w, w + 5, widths);
+      break;
+    }
+  }
+
+  NetBuilder nb(opts);
+  NodeId x = nb.Image();
+  int conv_index = 0;
+  int total_3x3 = 0;
+  for (int s = 0; s < 5; ++s) total_3x3 += depths[s];
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < depths[stage]; ++i) {
+      const int64_t stride = i == 0 ? 2 : 1;
+      const std::string name = StrCat("rep", stage, "_", i);
+      x = nb.ConvBlock(x, widths[stage], 3, stride, 1, opts.activation,
+                       name);
+      const bool is_final_wide = stage == 4;  // 1280-wide head
+      const bool in_budget =
+          opts.augment_first_n < 0 || conv_index < opts.augment_first_n;
+      if (opts.augment_1x1 && !is_final_wide && in_budget) {
+        // The paper's augmentation: 1x1 conv, same channels, stride (1,1),
+        // no padding — fusable with the preceding 3x3 by Bolt's
+        // persistent kernels.
+        x = nb.ConvBlock(x, widths[stage], 1, 1, 0, opts.activation,
+                         name + "_aug1x1");
+      }
+      ++conv_index;
+    }
+  }
+  x = nb.b().GlobalAvgPool(x, "gap");
+  x = nb.b().Flatten(x, "flatten");
+  x = nb.DenseBlock(x, opts.num_classes, ActivationKind::kIdentity, "fc");
+  x = nb.b().Softmax(x, "prob");
+  nb.b().MarkOutput(x);
+  return nb.b().Build();
+}
+
+Result<Graph> BuildInceptionish(int num_blocks,
+                                const ModelOptions& opts) {
+  if (num_blocks < 1) {
+    return Status::InvalidArgument("need at least one inception block");
+  }
+  NetBuilder nb(opts);
+  NodeId x = nb.Image();
+  x = nb.ConvBlock(x, 32, 3, 2, 1, opts.activation, "incep_stem");
+  for (int i = 0; i < num_blocks; ++i) {
+    const std::string name = StrCat("incep", i);
+    const TensorDesc& xd = nb.b().graph().node(x).out_desc;
+    const int64_t h = xd.layout == Layout::kNHWC ? xd.shape[1]
+                                                 : xd.shape[2];
+    if (h >= 16 && i > 0) x = nb.b().MaxPool2d(x, 2, 2, name + "_pool");
+    // Parallel branches (filter counts echo Inception-A proportions).
+    NodeId b1 = nb.ConvBlock(x, 32, 1, 1, 0, opts.activation,
+                             name + "_b1x1");
+    NodeId b3 = nb.ConvBlock(x, 24, 1, 1, 0, opts.activation,
+                             name + "_b3_reduce");
+    b3 = nb.ConvBlock(b3, 32, 3, 1, 1, opts.activation, name + "_b3");
+    NodeId b5 = nb.ConvBlock(x, 16, 1, 1, 0, opts.activation,
+                             name + "_b5_reduce");
+    b5 = nb.ConvBlock(b5, 16, 5, 1, 2, opts.activation, name + "_b5");
+    NodeId bp = nb.ConvBlock(x, 16, 1, 1, 0, opts.activation,
+                             name + "_bpool_proj");
+    x = nb.b().Concat({b1, b3, b5, bp}, name + "_concat");
+  }
+  x = nb.b().GlobalAvgPool(x, "gap");
+  x = nb.b().Flatten(x, "flatten");
+  x = nb.DenseBlock(x, opts.num_classes, ActivationKind::kIdentity, "fc");
+  x = nb.b().Softmax(x, "prob");
+  nb.b().MarkOutput(x);
+  return nb.b().Build();
+}
+
+Result<Graph> BuildResNetWithBatchNorm(int depth,
+                                       const ModelOptions& opts) {
+  if (depth != 18 && depth != 50) {
+    return Status::InvalidArgument("supported ResNet depths: 18, 50");
+  }
+  NetBuilder nb(opts);
+  NodeId x = nb.Image();
+  x = nb.ConvBnBlock(x, 64, 7, 2, 3, opts.activation, "stem");
+  x = nb.b().MaxPool2d(x, 2, 2, "stem_pool");
+
+  const bool bottleneck = depth == 50;
+  const int blocks18[4] = {2, 2, 2, 2};
+  const int blocks50[4] = {3, 4, 6, 3};
+  const int* blocks = bottleneck ? blocks50 : blocks18;
+  const int64_t mid_widths[4] = {64, 128, 256, 512};
+
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t mid = mid_widths[stage];
+    const int64_t out = bottleneck ? mid * 4 : mid;
+    for (int i = 0; i < blocks[stage]; ++i) {
+      const int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      const std::string name = StrCat("res", stage, "_", i);
+      NodeId identity = x;
+      const TensorDesc& xd = nb.b().graph().node(x).out_desc;
+      const int64_t in_ch =
+          xd.layout == Layout::kNHWC ? xd.shape[3] : xd.shape[1];
+      if (stride != 1 || in_ch != out) {
+        identity = nb.ConvBnBlock(x, out, 1, stride, 0,
+                                  ActivationKind::kIdentity,
+                                  name + "_down");
+      }
+      NodeId y;
+      if (bottleneck) {
+        y = nb.ConvBnBlock(x, mid, 1, 1, 0, opts.activation, name + "_a");
+        y = nb.ConvBnBlock(y, mid, 3, stride, 1, opts.activation,
+                           name + "_b");
+        y = nb.ConvBnBlock(y, out, 1, 1, 0, ActivationKind::kIdentity,
+                           name + "_c");
+      } else {
+        y = nb.ConvBnBlock(x, mid, 3, stride, 1, opts.activation,
+                           name + "_a");
+        y = nb.ConvBnBlock(y, mid, 3, 1, 1, ActivationKind::kIdentity,
+                           name + "_b");
+      }
+      y = nb.b().Add(y, identity, name + "_add");
+      x = nb.b().Activation(y, opts.activation, name + "_relu");
+    }
+  }
+  x = nb.b().GlobalAvgPool(x, "gap");
+  x = nb.b().Flatten(x, "flatten");
+  x = nb.DenseBlock(x, opts.num_classes, ActivationKind::kIdentity, "fc");
+  x = nb.b().Softmax(x, "prob");
+  nb.b().MarkOutput(x);
+  return nb.b().Build();
+}
+
+double ParamsMillions(const Graph& graph) {
+  double total = 0.0;
+  for (const Node& n : graph.nodes()) {
+    if (n.kind == OpKind::kConstant) {
+      total += static_cast<double>(n.out_desc.num_elements());
+    }
+  }
+  return total / 1e6;
+}
+
+Result<std::vector<ZooEntry>> Fig10Models(const ModelOptions& options) {
+  std::vector<ZooEntry> out;
+  struct Spec {
+    std::string name;
+    int kind;  // 0 vgg, 1 resnet, 2 repvgg
+    int arg;
+  };
+  const Spec specs[] = {
+      {"VGG-13", 0, 13},      {"VGG-16", 0, 16},
+      {"ResNet-18", 1, 18},   {"ResNet-50", 1, 50},
+      {"RepVGG-A0", 2, 0},    {"RepVGG-B0", 2, 2},
+  };
+  for (const Spec& s : specs) {
+    Result<Graph> g = Status::Internal("unreachable");
+    if (s.kind == 0) {
+      g = BuildVgg(s.arg, options);
+    } else if (s.kind == 1) {
+      g = BuildResNet(s.arg, options);
+    } else {
+      RepVggOptions ro;
+      static_cast<ModelOptions&>(ro) = options;
+      g = BuildRepVgg(s.arg == 0 ? RepVggVariant::kA0 : RepVggVariant::kB0,
+                      ro);
+    }
+    if (!g.ok()) return g.status();
+    out.push_back(ZooEntry{s.name, std::move(g).value()});
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace bolt

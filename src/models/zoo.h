@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Model zoo: graph builders for the convolutional networks in the paper's
+// end-to-end evaluation (Fig. 10) and the RepVGG case study (Tables 4-6).
+//
+// Models are built in "deploy" form (RepVGG blocks already
+// re-parameterized into single 3x3 convs — see repvgg_reparam.h for the
+// re-parameterization itself).  Weights can be materialized (random, for
+// functional tests on small configurations) or left as shape-only
+// constants (for timing benches at paper scale).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/activations.h"
+#include "common/rng.h"
+#include "ir/graph.h"
+
+namespace bolt {
+namespace models {
+
+struct ModelOptions {
+  int64_t batch = 32;
+  int64_t image_size = 224;
+  int64_t in_channels = 3;
+  int64_t num_classes = 1000;
+  DType dtype = DType::kFloat16;
+  Layout layout = Layout::kNCHW;  // "all PyTorch models use NCHW"
+  bool materialize_weights = false;
+  uint64_t seed = Rng::kDefaultSeed;
+  ActivationKind activation = ActivationKind::kRelu;
+};
+
+/// VGG-11/13/16/19 (configuration letter by depth).
+Result<Graph> BuildVgg(int depth, const ModelOptions& options);
+
+/// ResNet-18 (basic blocks) or ResNet-50 (bottlenecks).
+Result<Graph> BuildResNet(int depth, const ModelOptions& options);
+
+/// RepVGG deploy-form variants.
+enum class RepVggVariant { kA0, kA1, kB0 };
+
+struct RepVggOptions : ModelOptions {
+  /// Add a 1x1 conv (same channels, stride 1, no padding) after each 3x3
+  /// conv — the paper's 2nd codesign principle ("RepVGGAug" models).
+  bool augment_1x1 = false;
+  /// Restrict augmentation to the first N 3x3 convs (-1 = all but the
+  /// final wide stage, as in the paper).
+  int augment_first_n = -1;
+};
+
+Result<Graph> BuildRepVgg(RepVggVariant variant,
+                          const RepVggOptions& options);
+
+/// A small Inception-style network (parallel 1x1 / 3x3 / 5x5 branches
+/// concatenated along channels). Exercises multi-branch graphs and the
+/// kConcat host path; representative of the Inception-V3 tuning workloads
+/// the paper's Section 2.1 cites.
+Result<Graph> BuildInceptionish(int num_blocks, const ModelOptions& options);
+
+/// VGG/ResNet variants built as frameworks export them: conv + BatchNorm
+/// (+ activation) blocks, which Bolt's FoldBatchNormPass lowers before
+/// fusion. Only ResNet-18/50 supported.
+Result<Graph> BuildResNetWithBatchNorm(int depth,
+                                       const ModelOptions& options);
+
+/// Parameter count of a built graph (constants, in millions).
+double ParamsMillions(const Graph& graph);
+
+/// Names of the six models of Fig. 10, with builders.
+struct ZooEntry {
+  std::string name;
+  Graph graph;
+};
+Result<std::vector<ZooEntry>> Fig10Models(const ModelOptions& options);
+
+}  // namespace models
+}  // namespace bolt

@@ -1,0 +1,210 @@
+#include "profiler/candidates.h"
+
+#include <algorithm>
+
+namespace bolt {
+
+using cutlite::CeilDiv;
+using cutlite::GemmCoord;
+using cutlite::GemmShape;
+using cutlite::KernelConfig;
+using cutlite::ResidenceKind;
+using cutlite::Swizzle;
+
+namespace {
+
+int StagesForArch(const DeviceSpec& spec) {
+  return spec.arch == "sm80" ? 3 : 2;
+}
+
+Swizzle SwizzleForProblem(const GemmCoord& p, int tb_n) {
+  // Wider swizzles pay off when there are many N tiles to group.
+  const int64_t tiles_n = CeilDiv(p.n, tb_n);
+  if (tiles_n >= 8) return Swizzle::kIdentity8;
+  if (tiles_n >= 4) return Swizzle::kIdentity4;
+  if (tiles_n >= 2) return Swizzle::kIdentity2;
+  return Swizzle::kIdentity1;
+}
+
+void SetAlignments(KernelConfig& c, const GemmCoord& p) {
+  const int ka = MaxAlignment(p.k);
+  c.align_a = ka;
+  c.align_b = ka;
+  c.align_c = MaxAlignment(p.n);
+}
+
+/// Warp tiling of a threadblock into 1/2/4/8 warps preferring large,
+/// squarish warp tiles (the paper's RF compute-intensity guideline).
+std::vector<GemmShape> WarpTilings(const GemmShape& tb) {
+  std::vector<GemmShape> out;
+  for (int wm : {32, 64, 128}) {
+    for (int wn : {32, 64, 128}) {
+      if (tb.m % wm != 0 || tb.n % wn != 0) continue;
+      const int warps = (tb.m / wm) * (tb.n / wn);
+      if (warps < 1 || warps > 8) continue;
+      out.push_back(GemmShape(wm, wn, tb.k));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<KernelConfig> EnumerateGemmCandidates(const DeviceSpec& spec,
+                                                  const GemmCoord& p) {
+  std::vector<KernelConfig> out;
+  const int stages = StagesForArch(spec);
+
+  // Threadblock menu: prune by problem size. Small problems need small
+  // threadblocks so enough CTAs exist to occupy the SMs.
+  std::vector<GemmShape> tbs;
+  for (int tbm : {64, 128, 256}) {
+    for (int tbn : {32, 64, 128, 256}) {
+      if (tbm * tbn > 256 * 128) continue;  // smem / RF envelope
+      for (int tbk : {32, 64}) {
+        tbs.push_back(GemmShape(tbm, tbn, tbk));
+      }
+    }
+  }
+  const int64_t tiles_if_128 = CeilDiv(p.m, 128) * CeilDiv(p.n, 128);
+  const bool small_problem = tiles_if_128 < spec.sm_count;
+
+  for (const GemmShape& tb : tbs) {
+    // Skip threadblocks that overshoot the problem by more than one tile.
+    if (tb.m > p.m * 2 && tb.m > 64) continue;
+    if (tb.n > p.n * 2 && tb.n > 64) continue;
+    if (small_problem && tb.mn() > 128 * 64) {
+      // Guideline: small problems -> small threadblocks.
+      continue;
+    }
+    for (const GemmShape& warp : WarpTilings(tb)) {
+      const int warps = (tb.m / warp.m) * (tb.n / warp.n);
+      // Guideline: 4 or 8 warps per CTA run best on modern NVIDIA GPUs;
+      // admit fewer only for small problems.
+      if (!small_problem && warps != 4 && warps != 8) continue;
+      KernelConfig c;
+      c.threadblock = tb;
+      c.warp = warp;
+      c.instruction = GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+      c.stages = stages;
+      c.swizzle = SwizzleForProblem(p, tb.n);
+      SetAlignments(c, p);
+      if (!c.Validate(spec).ok()) continue;
+      out.push_back(c);
+
+      // Guideline: small-MN / deep-K problems cannot fill the SMs with
+      // output tiles alone; add split-K variants that parallelize the
+      // reduction dimension.
+      const int64_t output_tiles =
+          CeilDiv(p.m, tb.m) * CeilDiv(p.n, tb.n);
+      if (output_tiles < spec.sm_count && p.k >= 4 * tb.k) {
+        for (int sk : {2, 4, 8}) {
+          KernelConfig csk = c;
+          csk.split_k = sk;
+          if (CeilDiv(p.k, sk) < tb.k) break;
+          if (!csk.Validate(spec).ok()) continue;
+          out.push_back(csk);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<KernelConfig> EnumerateConvCandidates(
+    const DeviceSpec& spec, const cutlite::ConvProblem& p) {
+  std::vector<KernelConfig> out =
+      EnumerateGemmCandidates(spec, p.AsGemm());
+  // NHWC convs vectorize over the channel dimension: alignment comes from
+  // input channels (operands) and output channels (store).
+  const int ca = MaxAlignment(p.c);
+  const int ck = MaxAlignment(p.k);
+  for (KernelConfig& c : out) {
+    c.align_a = ca;
+    c.align_b = ca;
+    c.align_c = ck;
+  }
+  return out;
+}
+
+std::vector<KernelConfig> EnumerateB2bStageCandidates(
+    const DeviceSpec& spec, const GemmCoord& p, int threadblock_m,
+    ResidenceKind residence) {
+  std::vector<KernelConfig> out;
+  // Threadblock residence pins ThreadBlock_N to the stage's GEMM_N,
+  // rounded up to the 8-wide MMA tile for narrow layers.
+  if (p.n > 256) return out;  // residence infeasible for wide layers
+  const int tb_n = static_cast<int>(std::max<int64_t>(8, (p.n + 7) / 8 * 8));
+  for (int tbk : {32, 64}) {
+    if (residence == ResidenceKind::kRegisterFile) {
+      // Warp_N = ThreadBlock_N = GEMM_N; split M across warps.
+      for (int wm : {16, 32, 64}) {
+        if (threadblock_m % wm != 0) continue;
+        const int warps = threadblock_m / wm;
+        if (warps < 1 || warps > 8) continue;
+        KernelConfig c;
+        c.threadblock = GemmShape(threadblock_m, tb_n, tbk);
+        c.warp = GemmShape(wm, tb_n, tbk);
+        c.instruction = GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+        c.stages = StagesForArch(spec);
+        c.swizzle = Swizzle::kIdentity1;  // tiles_n == 1 under residence
+        SetAlignments(c, p);
+        if (!c.Validate(spec).ok()) continue;
+        out.push_back(c);
+      }
+    } else {
+      // Shared-memory residence: warps may split N.
+      for (int wm : {32, 64}) {
+        for (int wn : {8, 16, 32, 64}) {
+          if (threadblock_m % wm != 0 || tb_n % wn != 0) continue;
+          const int warps = (threadblock_m / wm) * (tb_n / wn);
+          if (warps < 1 || warps > 8) continue;
+          KernelConfig c;
+          c.threadblock = GemmShape(threadblock_m, tb_n, tbk);
+          c.warp = GemmShape(wm, wn, tbk);
+          c.instruction = GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+          c.stages = StagesForArch(spec);
+          c.swizzle = Swizzle::kIdentity1;
+          SetAlignments(c, p);
+          if (!c.Validate(spec).ok()) continue;
+          out.push_back(c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<KernelConfig> EnumerateGemmExhaustive(const DeviceSpec& spec,
+                                                  const GemmCoord& p) {
+  std::vector<KernelConfig> out;
+  for (int tbm : {32, 64, 128, 256}) {
+    for (int tbn : {32, 64, 128, 256}) {
+      for (int tbk : {32, 64}) {
+        for (int wm : {16, 32, 64, 128}) {
+          for (int wn : {16, 32, 64, 128}) {
+            if (tbm % wm != 0 || tbn % wn != 0) continue;
+            for (int stages : {2, 3, 4}) {
+              for (Swizzle sw : {Swizzle::kIdentity1, Swizzle::kIdentity2,
+                                 Swizzle::kIdentity4, Swizzle::kIdentity8}) {
+                KernelConfig c;
+                c.threadblock = GemmShape(tbm, tbn, tbk);
+                c.warp = GemmShape(wm, wn, tbk);
+                c.instruction =
+                    GemmShape(spec.mma_m, spec.mma_n, spec.mma_k);
+                c.stages = stages;
+                c.swizzle = sw;
+                SetAlignments(c, p);
+                if (!c.Validate(spec).ok()) continue;
+                out.push_back(c);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bolt

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Architecture-aware candidate enumeration (Section 3.2.2).
+//
+// This is the heart of Bolt's "hardware-native templated search": instead
+// of exploring millions of loop-nest rewrites, the profiler enumerates only
+// the few dozen template parameterizations that the architecture's tuning
+// guidelines admit:
+//   * large warp tiles within register-file capacity (higher compute/memory
+//     ratio),
+//   * four or eight warps per threadblock,
+//   * small threadblocks for small problems (keep enough CTAs in flight to
+//     occupy all SMs),
+//   * pipeline stages by architecture (2 on sm75, 3-4 on sm80),
+//   * maximal alignments the operand shapes permit.
+
+#pragma once
+
+#include <vector>
+
+#include "cutlite/b2b.h"
+#include "cutlite/config.h"
+#include "cutlite/conv.h"
+#include "cutlite/shapes.h"
+#include "device/spec.h"
+
+namespace bolt {
+
+/// Enumerate plausible tensor-core GEMM configs for `problem` on `spec`.
+/// Returns tens of candidates (never thousands), all structurally valid.
+std::vector<cutlite::KernelConfig> EnumerateGemmCandidates(
+    const DeviceSpec& spec, const cutlite::GemmCoord& problem);
+
+/// Conv candidates: GEMM enumeration over the implicit-GEMM coordinates
+/// with alignments derived from the channel counts.
+std::vector<cutlite::KernelConfig> EnumerateConvCandidates(
+    const DeviceSpec& spec, const cutlite::ConvProblem& problem);
+
+/// Candidates for a stage of a persistent (B2B) kernel: ThreadBlock_N is
+/// pinned to the stage's GEMM_N by threadblock residence; warp_n is either
+/// GEMM_N (RF-resident) or a divisor of it (shared-memory-resident).
+std::vector<cutlite::KernelConfig> EnumerateB2bStageCandidates(
+    const DeviceSpec& spec, const cutlite::GemmCoord& problem,
+    int threadblock_m, cutlite::ResidenceKind residence);
+
+/// Exhaustive (unpruned) enumeration over the full template lattice — used
+/// only by the heuristic-vs-exhaustive ablation bench.
+std::vector<cutlite::KernelConfig> EnumerateGemmExhaustive(
+    const DeviceSpec& spec, const cutlite::GemmCoord& problem);
+
+}  // namespace bolt

@@ -1,0 +1,293 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace bolt {
+
+using cutlite::B2bGemmKernel;
+using cutlite::B2bConvKernel;
+using cutlite::B2bStage;
+using cutlite::B2bConvStage;
+using cutlite::Conv2dKernel;
+using cutlite::EpilogueSpec;
+using cutlite::GemmCoord;
+using cutlite::GemmKernel;
+using cutlite::KernelConfig;
+using cutlite::ResidenceKind;
+
+Status Profiler::SaveCache(std::ostream& out) const {
+  out << "# bolt tuning cache v1 arch=" << spec_.arch << "\n";
+  out.precision(17);  // exact double round-trip
+  for (const auto& [key, result] : cache_) {
+    const KernelConfig& c = result.config;
+    out << key << "|" << c.threadblock.m << " " << c.threadblock.n << " "
+        << c.threadblock.k << " " << c.warp.m << " " << c.warp.n << " "
+        << c.warp.k << " " << c.instruction.m << " " << c.instruction.n
+        << " " << c.instruction.k << " " << c.stages << " "
+        << cutlite::SwizzleWidth(c.swizzle) << " " << c.align_a << " " << c.align_b
+        << " " << c.align_c << " " << c.split_k << "|" << result.us << "|"
+        << result.candidates_tried << "\n";
+  }
+  if (!out.good()) return Status::Internal("cache write failed");
+  return Status::Ok();
+}
+
+Status Profiler::LoadCache(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      // Pre-generated sample programs persist on disk next to the log;
+      // a matching-architecture cache means they need not be rebuilt.
+      if (Contains(line, "arch=" + spec_.arch)) arch_prepared_ = true;
+      continue;
+    }
+    const auto fields = StrSplit(line, '|');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrCat("malformed cache record at line ", line_no));
+    }
+    ProfileResult result;
+    KernelConfig& c = result.config;
+    int swizzle_width = 4;
+    std::istringstream cfg(fields[1]);
+    cfg >> c.threadblock.m >> c.threadblock.n >> c.threadblock.k >>
+        c.warp.m >> c.warp.n >> c.warp.k >> c.instruction.m >>
+        c.instruction.n >> c.instruction.k >> c.stages >> swizzle_width >>
+        c.align_a >> c.align_b >> c.align_c >> c.split_k;
+    if (cfg.fail()) {
+      return Status::InvalidArgument(
+          StrCat("malformed kernel config at line ", line_no));
+    }
+    c.swizzle = static_cast<cutlite::Swizzle>(swizzle_width);
+    result.us = std::atof(fields[2].c_str());
+    result.candidates_tried = std::atoi(fields[3].c_str());
+    if (result.us <= 0.0) {
+      return Status::InvalidArgument(
+          StrCat("non-positive latency at line ", line_no));
+    }
+    cache_[fields[0]] = result;
+  }
+  return Status::Ok();
+}
+
+void Profiler::EnsureArchPrepared() {
+  if (arch_prepared_) return;
+  arch_prepared_ = true;
+  // Sample programs are generated and compiled once per architecture and
+  // reused across every model and workload thereafter.
+  clock_.ChargeCompile(cost_.arch_pregen_s);
+}
+
+void Profiler::ChargeMeasurement(double us) {
+  const double runs = cost_.warmup_runs + cost_.measure_runs;
+  clock_.ChargeMeasure(runs * us * 1e-6 + cost_.per_candidate_overhead_s);
+}
+
+Result<ProfileResult> Profiler::ProfileGemm(const GemmCoord& problem,
+                                            const EpilogueSpec& epilogue) {
+  const std::string key =
+      StrCat("gemm/", problem.ToString(), "/", epilogue.ToString(), "/",
+             spec_.arch);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ProfileResult hit = it->second;
+    hit.cache_hit = true;
+    return hit;
+  }
+  EnsureArchPrepared();  // sample-program generation: only when measuring
+
+  ProfileResult best;
+  best.us = std::numeric_limits<double>::infinity();
+  for (const KernelConfig& c : EnumerateGemmCandidates(spec_, problem)) {
+    GemmKernel kernel(problem, c, epilogue);
+    if (!kernel.CanImplement(spec_).ok()) continue;
+    const double us = kernel.EstimateUs(spec_);
+    ChargeMeasurement(us);
+    ++best.candidates_tried;
+    if (us < best.us) {
+      best.us = us;
+      best.config = c;
+    }
+  }
+  if (best.candidates_tried == 0) {
+    return Status::NotFound(
+        StrCat("no feasible kernel for GEMM ", problem.ToString()));
+  }
+  cache_[key] = best;
+  return best;
+}
+
+Result<ProfileResult> Profiler::ProfileConv(
+    const cutlite::ConvProblem& problem, const EpilogueSpec& epilogue) {
+  const std::string key =
+      StrCat("conv/", problem.ToString(), "/", epilogue.ToString(), "/",
+             spec_.arch);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ProfileResult hit = it->second;
+    hit.cache_hit = true;
+    return hit;
+  }
+  EnsureArchPrepared();
+
+  ProfileResult best;
+  best.us = std::numeric_limits<double>::infinity();
+  for (const KernelConfig& c : EnumerateConvCandidates(spec_, problem)) {
+    Conv2dKernel kernel(problem, c, epilogue);
+    if (!kernel.CanImplement(spec_).ok()) continue;
+    const double us = kernel.EstimateUs(spec_);
+    ChargeMeasurement(us);
+    ++best.candidates_tried;
+    if (us < best.us) {
+      best.us = us;
+      best.config = c;
+    }
+  }
+  if (best.candidates_tried == 0) {
+    return Status::NotFound(
+        StrCat("no feasible kernel for Conv ", problem.ToString()));
+  }
+  cache_[key] = best;
+  return best;
+}
+
+B2bProfileResult Profiler::ProfileB2bGemm(
+    const std::vector<GemmCoord>& problems,
+    const std::vector<EpilogueSpec>& epilogues) {
+  EnsureArchPrepared();
+  BOLT_CHECK(problems.size() == epilogues.size() && problems.size() >= 2);
+  B2bProfileResult result;
+  result.fused_us = std::numeric_limits<double>::infinity();
+
+  // Unfused baseline: best standalone (epilogue-fused) kernel per stage.
+  result.unfused_us = 0.0;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    auto r = ProfileGemm(problems[i], epilogues[i]);
+    if (!r.ok()) return result;  // infeasible -> not beneficial
+    result.unfused_us += r.value().us;
+  }
+
+  for (ResidenceKind residence :
+       {ResidenceKind::kRegisterFile, ResidenceKind::kSharedMemory}) {
+    for (int tb_m : {64, 128, 256}) {
+      // Stage configs: independently pick the best per-stage candidate
+      // under the shared ThreadBlock_M / warp-count constraints by trying
+      // matching warp counts.
+      for (int warps : {2, 4, 8}) {
+        std::vector<B2bStage> stages;
+        bool viable = true;
+        for (size_t i = 0; i < problems.size(); ++i) {
+          auto cands = EnumerateB2bStageCandidates(spec_, problems[i], tb_m,
+                                                   residence);
+          const KernelConfig* pick = nullptr;
+          double pick_us = std::numeric_limits<double>::infinity();
+          for (const KernelConfig& c : cands) {
+            if (c.warps_per_cta() != warps) continue;
+            GemmKernel k(problems[i], c, epilogues[i]);
+            if (!k.CanImplement(spec_).ok()) continue;
+            const double us = k.EstimateUs(spec_);
+            if (us < pick_us) {
+              pick_us = us;
+              pick = &c;
+            }
+          }
+          if (pick == nullptr) {
+            viable = false;
+            break;
+          }
+          stages.push_back(B2bStage{problems[i], *pick, epilogues[i]});
+        }
+        if (!viable) continue;
+        auto kernel = B2bGemmKernel::Create(stages, residence, spec_);
+        if (!kernel.ok()) continue;
+        const double us = kernel.value().EstimateUs(spec_);
+        ChargeMeasurement(us);
+        result.feasible = true;
+        if (us < result.fused_us) {
+          result.fused_us = us;
+          result.residence = residence;
+          result.configs.clear();
+          for (const B2bStage& s : stages) result.configs.push_back(s.config);
+        }
+      }
+    }
+  }
+  result.beneficial = result.feasible && result.fused_us < result.unfused_us;
+  return result;
+}
+
+B2bProfileResult Profiler::ProfileB2bConv(
+    const std::vector<cutlite::ConvProblem>& problems,
+    const std::vector<EpilogueSpec>& epilogues) {
+  EnsureArchPrepared();
+  BOLT_CHECK(problems.size() == epilogues.size() && problems.size() >= 2);
+  B2bProfileResult result;
+  result.fused_us = std::numeric_limits<double>::infinity();
+
+  result.unfused_us = 0.0;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    auto r = ProfileConv(problems[i], epilogues[i]);
+    if (!r.ok()) return result;
+    result.unfused_us += r.value().us;
+  }
+
+  for (ResidenceKind residence :
+       {ResidenceKind::kRegisterFile, ResidenceKind::kSharedMemory}) {
+    for (int tb_m : {64, 128, 256}) {
+      for (int warps : {2, 4, 8}) {
+        std::vector<B2bConvStage> stages;
+        bool viable = true;
+        for (size_t i = 0; i < problems.size(); ++i) {
+          auto cands = EnumerateB2bStageCandidates(
+              spec_, problems[i].AsGemm(), tb_m, residence);
+          const KernelConfig* pick = nullptr;
+          double pick_us = std::numeric_limits<double>::infinity();
+          for (const KernelConfig& c : cands) {
+            if (c.warps_per_cta() != warps) continue;
+            // Conv alignments come from channel counts.
+            KernelConfig cc = c;
+            cc.align_a = MaxAlignment(problems[i].c);
+            cc.align_b = MaxAlignment(problems[i].c);
+            cc.align_c = MaxAlignment(problems[i].k);
+            Conv2dKernel k(problems[i], cc, epilogues[i]);
+            if (!k.CanImplement(spec_).ok()) continue;
+            const double us = k.EstimateUs(spec_);
+            if (us < pick_us) {
+              pick_us = us;
+              pick = &c;
+            }
+          }
+          if (pick == nullptr) {
+            viable = false;
+            break;
+          }
+          KernelConfig cc = *pick;
+          cc.align_a = MaxAlignment(problems[i].c);
+          cc.align_b = MaxAlignment(problems[i].c);
+          cc.align_c = MaxAlignment(problems[i].k);
+          stages.push_back(B2bConvStage{problems[i], cc, epilogues[i]});
+        }
+        if (!viable) continue;
+        auto kernel = B2bConvKernel::Create(stages, residence, spec_);
+        if (!kernel.ok()) continue;
+        const double us = kernel.value().EstimateUs(spec_);
+        ChargeMeasurement(us);
+        result.feasible = true;
+        if (us < result.fused_us) {
+          result.fused_us = us;
+          result.residence = residence;
+          result.configs.clear();
+          for (const auto& s : stages) result.configs.push_back(s.config);
+        }
+      }
+    }
+  }
+  result.beneficial = result.feasible && result.fused_us < result.unfused_us;
+  return result;
+}
+
+}  // namespace bolt

@@ -1,0 +1,108 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Bolt's light-weight performance profiler (Section 3.2.2).
+//
+// For each operator workload the profiler enumerates the architecture's
+// plausible template parameterizations (candidates.h), "measures" each one
+// on the device model, and caches the winner keyed by (op, workload, arch).
+// Tuning cost is accounted on a simulated TuningClock: sample programs are
+// generated once per architecture and reused across models and workloads,
+// so per-workload cost is measurement only — this is what gets Bolt's
+// end-to-end tuning from hours (Ansor) to minutes (Fig. 10b).
+
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cutlite/b2b.h"
+#include "cutlite/conv.h"
+#include "cutlite/gemm.h"
+#include "device/spec.h"
+#include "device/timing.h"
+#include "profiler/candidates.h"
+
+namespace bolt {
+
+/// Outcome of profiling one workload.
+struct ProfileResult {
+  cutlite::KernelConfig config;
+  double us = 0.0;
+  int candidates_tried = 0;
+  bool cache_hit = false;
+};
+
+/// Outcome of profiling a persistent (B2B) chain.
+struct B2bProfileResult {
+  std::vector<cutlite::KernelConfig> configs;  // one per stage
+  cutlite::ResidenceKind residence = cutlite::ResidenceKind::kRegisterFile;
+  double fused_us = 0.0;
+  double unfused_us = 0.0;
+  bool beneficial = false;
+  bool feasible = false;
+};
+
+/// Tuning-cost model constants (simulated seconds).
+struct ProfilerCostModel {
+  double arch_pregen_s = 90.0;    // one-time sample-program generation
+  double per_candidate_overhead_s = 0.004;  // dispatch + result collection
+  int warmup_runs = 5;
+  int measure_runs = 20;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(DeviceSpec spec, ProfilerCostModel cost = {})
+      : spec_(std::move(spec)), cost_(cost) {}
+
+  /// Best template parameters for a GEMM workload.
+  Result<ProfileResult> ProfileGemm(const cutlite::GemmCoord& problem,
+                                    const cutlite::EpilogueSpec& epilogue);
+
+  /// Best template parameters for a Conv2D workload.
+  Result<ProfileResult> ProfileConv(const cutlite::ConvProblem& problem,
+                                    const cutlite::EpilogueSpec& epilogue);
+
+  /// Best persistent-kernel parameterization for a two-stage GEMM chain,
+  /// trying both residence strategies; reports whether fusion beats the
+  /// unfused (epilogue-fused) pair.
+  B2bProfileResult ProfileB2bGemm(
+      const std::vector<cutlite::GemmCoord>& problems,
+      const std::vector<cutlite::EpilogueSpec>& epilogues);
+
+  /// Same for a Conv chain (first conv arbitrary, later stages 1x1).
+  B2bProfileResult ProfileB2bConv(
+      const std::vector<cutlite::ConvProblem>& problems,
+      const std::vector<cutlite::EpilogueSpec>& epilogues);
+
+  const TuningClock& clock() const { return clock_; }
+  TuningClock& clock() { return clock_; }
+  const DeviceSpec& spec() const { return spec_; }
+  int cache_size() const { return static_cast<int>(cache_.size()); }
+
+  /// Serialize the best-config cache (the analogue of TVM's tophub tuning
+  /// logs). Text format, one record per line; stable across sessions so a
+  /// deployment can skip re-profiling known workloads entirely.
+  Status SaveCache(std::ostream& out) const;
+  /// Merge records from a saved cache; malformed lines are rejected.
+  Status LoadCache(std::istream& in);
+
+ private:
+  /// Charges the one-time architecture pre-generation cost on first use.
+  void EnsureArchPrepared();
+  /// Charges measurement cost for one candidate with latency `us`.
+  void ChargeMeasurement(double us);
+
+  DeviceSpec spec_;
+  ProfilerCostModel cost_;
+  TuningClock clock_;
+  bool arch_prepared_ = false;
+  std::map<std::string, ProfileResult> cache_;
+};
+
+}  // namespace bolt

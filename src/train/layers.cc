@@ -1,0 +1,263 @@
+#include "train/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bolt {
+namespace train {
+
+Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride,
+                         int pad, Rng& rng)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_(static_cast<size_t>(out_c) * kernel * kernel * in_c),
+      b_(static_cast<size_t>(out_c)) {
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(in_c * kernel * kernel));
+  rng.FillNormal(w_.value, scale);
+}
+
+Batch Conv2dLayer::Forward(const Batch& x) {
+  BOLT_CHECK_MSG(x.c == in_c_, "conv input channels mismatch");
+  cached_x_ = x;
+  const int oh = (x.h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int ow = (x.w + 2 * pad_ - kernel_) / stride_ + 1;
+  Batch y(x.n, oh, ow, out_c_);
+  for (int n = 0; n < x.n; ++n) {
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        for (int k = 0; k < out_c_; ++k) {
+          float acc = b_.value[k];
+          for (int r = 0; r < kernel_; ++r) {
+            const int sh = i * stride_ + r - pad_;
+            if (sh < 0 || sh >= x.h) continue;
+            for (int s = 0; s < kernel_; ++s) {
+              const int sw = j * stride_ + s - pad_;
+              if (sw < 0 || sw >= x.w) continue;
+              const float* wp =
+                  &w_.value[((static_cast<size_t>(k) * kernel_ + r) *
+                                 kernel_ +
+                             s) *
+                            in_c_];
+              for (int c = 0; c < in_c_; ++c) {
+                acc += x.at(n, sh, sw, c) * wp[c];
+              }
+            }
+          }
+          y.at(n, i, j, k) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Batch Conv2dLayer::Backward(const Batch& dy) {
+  const Batch& x = cached_x_;
+  Batch dx(x.n, x.h, x.w, x.c);
+  for (int n = 0; n < dy.n; ++n) {
+    for (int i = 0; i < dy.h; ++i) {
+      for (int j = 0; j < dy.w; ++j) {
+        for (int k = 0; k < out_c_; ++k) {
+          const float g = dy.at(n, i, j, k);
+          if (g == 0.0f) continue;
+          b_.grad[k] += g;
+          for (int r = 0; r < kernel_; ++r) {
+            const int sh = i * stride_ + r - pad_;
+            if (sh < 0 || sh >= x.h) continue;
+            for (int s = 0; s < kernel_; ++s) {
+              const int sw = j * stride_ + s - pad_;
+              if (sw < 0 || sw >= x.w) continue;
+              float* wg =
+                  &w_.grad[((static_cast<size_t>(k) * kernel_ + r) *
+                                kernel_ +
+                            s) *
+                           in_c_];
+              const float* wv =
+                  &w_.value[((static_cast<size_t>(k) * kernel_ + r) *
+                                 kernel_ +
+                             s) *
+                            in_c_];
+              for (int c = 0; c < in_c_; ++c) {
+                wg[c] += g * x.at(n, sh, sw, c);
+                dx.at(n, sh, sw, c) += g * wv[c];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Batch ActivationLayer::Forward(const Batch& x) {
+  cached_x_ = x;
+  Batch y = x;
+  for (float& v : y.v) v = ApplyActivation(kind_, v);
+  return y;
+}
+
+Batch ActivationLayer::Backward(const Batch& dy) {
+  Batch dx = dy;
+  for (size_t i = 0; i < dx.v.size(); ++i) {
+    dx.v[i] *= ActivationGrad(kind_, cached_x_.v[i]);
+  }
+  return dx;
+}
+
+Batch GlobalAvgPoolLayer::Forward(const Batch& x) {
+  h_ = x.h;
+  w_ = x.w;
+  Batch y(x.n, 1, 1, x.c);
+  const float inv = 1.0f / static_cast<float>(x.h * x.w);
+  for (int n = 0; n < x.n; ++n)
+    for (int i = 0; i < x.h; ++i)
+      for (int j = 0; j < x.w; ++j)
+        for (int c = 0; c < x.c; ++c) y.at(n, 0, 0, c) += x.at(n, i, j, c);
+  for (float& v : y.v) v *= inv;
+  return y;
+}
+
+Batch GlobalAvgPoolLayer::Backward(const Batch& dy) {
+  Batch dx(dy.n, h_, w_, dy.c);
+  const float inv = 1.0f / static_cast<float>(h_ * w_);
+  for (int n = 0; n < dy.n; ++n)
+    for (int i = 0; i < h_; ++i)
+      for (int j = 0; j < w_; ++j)
+        for (int c = 0; c < dy.c; ++c)
+          dx.at(n, i, j, c) = dy.at(n, 0, 0, c) * inv;
+  return dx;
+}
+
+DenseLayer::DenseLayer(int in_features, int out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(static_cast<size_t>(out_features) * in_features),
+      b_(static_cast<size_t>(out_features)) {
+  rng.FillNormal(w_.value, 1.0f / std::sqrt(static_cast<float>(in_)));
+}
+
+Batch DenseLayer::Forward(const Batch& x) {
+  BOLT_CHECK_MSG(x.h * x.w * x.c == in_, "dense input size mismatch");
+  cached_x_ = x;
+  Batch y(x.n, 1, 1, out_);
+  for (int n = 0; n < x.n; ++n) {
+    const float* xv = &x.v[static_cast<size_t>(n) * in_];
+    for (int o = 0; o < out_; ++o) {
+      float acc = b_.value[o];
+      const float* wv = &w_.value[static_cast<size_t>(o) * in_];
+      for (int i = 0; i < in_; ++i) acc += xv[i] * wv[i];
+      y.at(n, 0, 0, o) = acc;
+    }
+  }
+  return y;
+}
+
+Batch DenseLayer::Backward(const Batch& dy) {
+  const Batch& x = cached_x_;
+  Batch dx(x.n, x.h, x.w, x.c);
+  for (int n = 0; n < dy.n; ++n) {
+    const float* xv = &x.v[static_cast<size_t>(n) * in_];
+    float* dxv = &dx.v[static_cast<size_t>(n) * in_];
+    for (int o = 0; o < out_; ++o) {
+      const float g = dy.at(n, 0, 0, o);
+      b_.grad[o] += g;
+      float* wg = &w_.grad[static_cast<size_t>(o) * in_];
+      const float* wv = &w_.value[static_cast<size_t>(o) * in_];
+      for (int i = 0; i < in_; ++i) {
+        wg[i] += g * xv[i];
+        dxv[i] += g * wv[i];
+      }
+    }
+  }
+  return dx;
+}
+
+RepVggTrainBlock::RepVggTrainBlock(int in_c, int out_c, int stride,
+                                   ActivationKind act, Rng& rng)
+    : conv3_(in_c, out_c, 3, stride, 1, rng),
+      conv1_(in_c, out_c, 1, stride, 0, rng),
+      has_identity_(in_c == out_c && stride == 1),
+      act_(act) {}
+
+Batch RepVggTrainBlock::Forward(const Batch& x) {
+  Batch y3 = conv3_.Forward(x);
+  Batch y1 = conv1_.Forward(x);
+  BOLT_CHECK(y3.v.size() == y1.v.size());
+  Batch sum = y3;
+  for (size_t i = 0; i < sum.v.size(); ++i) sum.v[i] += y1.v[i];
+  if (has_identity_) {
+    for (size_t i = 0; i < sum.v.size(); ++i) sum.v[i] += x.v[i];
+  }
+  cached_sum_ = sum;
+  Batch out = sum;
+  for (float& v : out.v) v = ApplyActivation(act_, v);
+  return out;
+}
+
+Batch RepVggTrainBlock::Backward(const Batch& dy) {
+  Batch dsum = dy;
+  for (size_t i = 0; i < dsum.v.size(); ++i) {
+    dsum.v[i] *= ActivationGrad(act_, cached_sum_.v[i]);
+  }
+  Batch dx3 = conv3_.Backward(dsum);
+  Batch dx1 = conv1_.Backward(dsum);
+  Batch dx = dx3;
+  for (size_t i = 0; i < dx.v.size(); ++i) dx.v[i] += dx1.v[i];
+  if (has_identity_) {
+    for (size_t i = 0; i < dx.v.size(); ++i) dx.v[i] += dsum.v[i];
+  }
+  return dx;
+}
+
+std::vector<Param*> RepVggTrainBlock::Params() {
+  return {&conv3_.weight(), &conv3_.bias(), &conv1_.weight(),
+          &conv1_.bias()};
+}
+
+double SoftmaxCrossEntropy(const Batch& logits,
+                           const std::vector<int>& labels, Batch& dlogits) {
+  const int n = logits.n;
+  const int classes = logits.c;
+  BOLT_CHECK(static_cast<int>(labels.size()) == n);
+  dlogits = Batch(n, 1, 1, classes);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    float mx = logits.at(i, 0, 0, 0);
+    for (int c = 1; c < classes; ++c) {
+      mx = std::max(mx, logits.at(i, 0, 0, c));
+    }
+    double sum = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      sum += std::exp(static_cast<double>(logits.at(i, 0, 0, c)) - mx);
+    }
+    const double logz = std::log(sum) + mx;
+    loss += logz - logits.at(i, 0, 0, labels[i]);
+    for (int c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(i, 0, 0, c)) - logz);
+      dlogits.at(i, 0, 0, c) =
+          static_cast<float>((p - (c == labels[i] ? 1.0 : 0.0)) / n);
+    }
+  }
+  return loss / n;
+}
+
+void Sgd::Step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double g = p->grad[i] + weight_decay_ * p->value[i];
+      p->velocity[i] =
+          static_cast<float>(momentum_ * p->velocity[i] + g);
+      p->value[i] -= static_cast<float>(lr_ * p->velocity[i]);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace train
+}  // namespace bolt

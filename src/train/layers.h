@@ -1,0 +1,156 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Minimal CPU training substrate for the RepVGG case study (Section 4.3).
+//
+// The paper trains RepVGG variants on ImageNet; this environment has no
+// GPU or ImageNet, so we reproduce the *trend* experiments (activation
+// sweep, 1x1 deepening) by training small RepVGG-style networks on a
+// synthetic structured-classification task with a real forward/backward
+// implementation: NHWC conv2d, dense, activations, global average pooling
+// and softmax cross-entropy, optimized with SGD + momentum.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/activations.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bolt {
+namespace train {
+
+/// A batch of NHWC activations (FP32 during training).
+struct Batch {
+  int n = 0, h = 0, w = 0, c = 0;
+  std::vector<float> v;
+
+  Batch() = default;
+  Batch(int n_, int h_, int w_, int c_)
+      : n(n_), h(h_), w(w_), c(c_),
+        v(static_cast<size_t>(n_) * h_ * w_ * c_, 0.0f) {}
+  int64_t size() const { return static_cast<int64_t>(v.size()); }
+  float& at(int in, int ih, int iw, int ic) {
+    return v[((static_cast<int64_t>(in) * h + ih) * w + iw) * c + ic];
+  }
+  float at(int in, int ih, int iw, int ic) const {
+    return v[((static_cast<int64_t>(in) * h + ih) * w + iw) * c + ic];
+  }
+};
+
+/// One trainable parameter tensor with gradient and momentum buffers.
+struct Param {
+  std::vector<float> value;
+  std::vector<float> grad;
+  std::vector<float> velocity;
+
+  explicit Param(size_t size = 0)
+      : value(size, 0.0f), grad(size, 0.0f), velocity(size, 0.0f) {}
+  void ZeroGrad() { std::fill(grad.begin(), grad.end(), 0.0f); }
+};
+
+/// Layer interface: forward caches whatever backward needs.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Batch Forward(const Batch& x) = 0;
+  virtual Batch Backward(const Batch& dy) = 0;
+  virtual std::vector<Param*> Params() { return {}; }
+};
+
+/// NHWC convolution, weight layout [K, R, S, C], with bias.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
+              Rng& rng);
+  Batch Forward(const Batch& x) override;
+  Batch Backward(const Batch& dy) override;
+  std::vector<Param*> Params() override { return {&w_, &b_}; }
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+  int kernel() const { return kernel_; }
+
+ private:
+  int in_c_, out_c_, kernel_, stride_, pad_;
+  Param w_, b_;
+  Batch cached_x_;
+};
+
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(ActivationKind kind) : kind_(kind) {}
+  Batch Forward(const Batch& x) override;
+  Batch Backward(const Batch& dy) override;
+
+ private:
+  ActivationKind kind_;
+  Batch cached_x_;
+};
+
+class GlobalAvgPoolLayer : public Layer {
+ public:
+  Batch Forward(const Batch& x) override;
+  Batch Backward(const Batch& dy) override;
+
+ private:
+  int h_ = 0, w_ = 0;
+};
+
+/// Dense layer over flattened input (expects h == w == 1 or flattens).
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(int in_features, int out_features, Rng& rng);
+  Batch Forward(const Batch& x) override;
+  Batch Backward(const Batch& dy) override;
+  std::vector<Param*> Params() override { return {&w_, &b_}; }
+
+ private:
+  int in_, out_;
+  Param w_, b_;
+  Batch cached_x_;
+};
+
+/// The RepVGG train-time block: 3x3 + 1x1 + (identity) branches, summed,
+/// then activated.  Demonstrates the multi-branch training structure the
+/// re-parameterization collapses.
+class RepVggTrainBlock : public Layer {
+ public:
+  RepVggTrainBlock(int in_c, int out_c, int stride, ActivationKind act,
+                   Rng& rng);
+  Batch Forward(const Batch& x) override;
+  Batch Backward(const Batch& dy) override;
+  std::vector<Param*> Params() override;
+
+  Conv2dLayer& branch3x3() { return conv3_; }
+  Conv2dLayer& branch1x1() { return conv1_; }
+  bool has_identity() const { return has_identity_; }
+
+ private:
+  Conv2dLayer conv3_;
+  Conv2dLayer conv1_;
+  bool has_identity_;
+  ActivationKind act_;
+  Batch cached_sum_;
+};
+
+/// Softmax cross-entropy over [N, classes]; returns mean loss and writes
+/// dlogits.
+double SoftmaxCrossEntropy(const Batch& logits,
+                           const std::vector<int>& labels, Batch& dlogits);
+
+/// SGD with momentum over a set of parameters.
+class Sgd {
+ public:
+  Sgd(double lr, double momentum, double weight_decay = 0.0)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+  void Step(const std::vector<Param*>& params);
+
+ private:
+  double lr_, momentum_, weight_decay_;
+};
+
+}  // namespace train
+}  // namespace bolt

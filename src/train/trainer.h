@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Synthetic-dataset generation and the training loop used by the RepVGG
+// case-study benches (Tables 4-6).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "train/layers.h"
+
+namespace bolt {
+namespace train {
+
+/// A labelled image-classification dataset.
+struct Dataset {
+  int image = 0, channels = 0, classes = 0;
+  std::vector<Batch> images;  // one Batch of n=1 per example
+  std::vector<int> labels;
+};
+
+/// Structured synthetic task: a fixed random two-layer conv "teacher"
+/// labels random images; class boundaries are smooth functions of local
+/// image statistics, so deeper/wider students with better activations
+/// genuinely separate them better.
+Dataset MakeSyntheticDataset(int num_examples, int image, int channels,
+                             int classes, uint64_t seed);
+
+/// A small sequential network of layers (RepVGG-style student).
+class Sequential {
+ public:
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+  Batch Forward(const Batch& x);
+  void Backward(const Batch& dy);
+  std::vector<Param*> Params();
+  size_t num_params();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds a tiny RepVGG-style student in train form (multi-branch blocks).
+/// `stage_widths`/`stage_depths` control capacity; `augment_1x1` appends a
+/// trainable 1x1 conv after each block (the paper's deepening principle).
+Sequential BuildStudent(const Dataset& data,
+                        const std::vector<int>& stage_widths,
+                        const std::vector<int>& stage_depths,
+                        ActivationKind activation, bool augment_1x1,
+                        uint64_t seed);
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  uint64_t seed = Rng::kDefaultSeed;
+};
+
+struct TrainResult {
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  std::vector<double> loss_curve;  // per epoch
+};
+
+/// Train on `train_set`, evaluate on `test_set`.
+TrainResult Train(Sequential& model, const Dataset& train_set,
+                  const Dataset& test_set, const TrainConfig& config);
+
+/// Accuracy of the model on a dataset.
+double Evaluate(Sequential& model, const Dataset& data);
+
+/// Mean test accuracy of a student configuration over several seeds —
+/// the noise-robust measurement the Table 4-6 benches report.
+double MeanStudentAccuracy(const Dataset& train_set,
+                           const Dataset& test_set,
+                           const std::vector<int>& stage_widths,
+                           const std::vector<int>& stage_depths,
+                           ActivationKind activation, bool augment_1x1,
+                           const TrainConfig& config, int num_seeds = 3);
+
+}  // namespace train
+}  // namespace bolt

@@ -1,0 +1,250 @@
+// Tests for the Ansor baseline: schedule space validity, the simulated
+// measurement model, the learned cost model, evolutionary search quality,
+// and end-to-end task extraction/tuning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ansor/search.h"
+#include "models/zoo.h"
+
+namespace bolt {
+namespace ansor {
+namespace {
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+
+SearchTask GemmTask(int64_t m, int64_t n, int64_t k) {
+  SearchTask t;
+  t.kind = TaskKind::kGemm;
+  t.gemm = cutlite::GemmCoord(m, n, k);
+  t.name = t.Key();
+  return t;
+}
+
+TEST(ScheduleTest, RandomSchedulesAreValid) {
+  Rng rng(1);
+  const SearchTask task = GemmTask(1280, 3072, 768);
+  for (int i = 0; i < 200; ++i) {
+    SimtSchedule s = RandomSchedule(rng, kT4, task);
+    EXPECT_TRUE(s.Valid(kT4)) << s.ToString();
+  }
+}
+
+TEST(ScheduleTest, MutationsStayValid) {
+  Rng rng(2);
+  const SearchTask task = GemmTask(1280, 3072, 768);
+  SimtSchedule s = RandomSchedule(rng, kT4, task);
+  for (int i = 0; i < 200; ++i) {
+    s = MutateSchedule(s, rng, kT4, task);
+    EXPECT_TRUE(s.Valid(kT4)) << s.ToString();
+  }
+}
+
+TEST(ScheduleTest, FingerprintDistinguishes) {
+  SimtSchedule a, b;
+  b.block_m = 128;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), SimtSchedule{}.Fingerprint());
+}
+
+TEST(ScheduleTest, ResourceArithmetic) {
+  SimtSchedule s;
+  s.block_m = s.block_n = 64;
+  s.thread_m = s.thread_n = 4;
+  EXPECT_EQ(s.threads(), 256);
+  EXPECT_GT(s.smem_bytes(), 0);
+}
+
+TEST(SimtTimingTest, Deterministic) {
+  const SearchTask task = GemmTask(1280, 768, 768);
+  SimtSchedule s;
+  EXPECT_DOUBLE_EQ(MeasureSimtUs(kT4, task, s),
+                   MeasureSimtUs(kT4, task, s));
+}
+
+TEST(SimtTimingTest, NeverBeatsTensorCorePeakShare) {
+  // The structural claim of Fig. 1: SIMT FP16 kernels top out far below
+  // the tensor-core peak.
+  Rng rng(3);
+  const SearchTask task = GemmTask(4096, 4096, 4096);
+  double best = 1e30;
+  for (int i = 0; i < 500; ++i) {
+    best = std::min(best,
+                    MeasureSimtUs(kT4, task, RandomSchedule(rng, kT4,
+                                                            task)));
+  }
+  const double tflops = task.gemm.flops() / best / 1e6;
+  EXPECT_LT(tflops, 0.30 * kT4.tensor_tflops_fp16);
+}
+
+TEST(SimtTimingTest, UnfitScheduleUnmeasurable) {
+  SimtSchedule s;
+  s.block_m = s.block_n = 128;
+  s.thread_m = s.thread_n = 1;  // 16384 threads per CTA: cannot launch
+  EXPECT_GE(MeasureSimtUs(kT4, GemmTask(512, 512, 512), s), 1e11);
+}
+
+TEST(CostModelTest, LearnsLatencyOrdering) {
+  // Fit on random schedules; the model's ranking must correlate with the
+  // simulator on held-out schedules.
+  Rng rng(4);
+  const SearchTask task = GemmTask(1280, 3072, 768);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    SimtSchedule s = RandomSchedule(rng, kT4, task);
+    xs.push_back(Featurize(task, s, kT4));
+    ys.push_back(-std::log(MeasureSimtUs(kT4, task, s)));
+  }
+  BoostedStumps model;
+  model.Fit(xs, ys);
+  ASSERT_TRUE(model.trained());
+
+  int concordant = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    SimtSchedule a = RandomSchedule(rng, kT4, task);
+    SimtSchedule b = RandomSchedule(rng, kT4, task);
+    const double real_a = MeasureSimtUs(kT4, task, a);
+    const double real_b = MeasureSimtUs(kT4, task, b);
+    if (std::abs(real_a - real_b) / std::max(real_a, real_b) < 0.05) {
+      continue;  // too close to call
+    }
+    const double pred_a = model.Predict(Featurize(task, a, kT4));
+    const double pred_b = model.Predict(Featurize(task, b, kT4));
+    ++total;
+    if ((real_a < real_b) == (pred_a > pred_b)) ++concordant;
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.7);
+}
+
+TEST(SearchTest, BeatsRandomSamplingAtEqualBudget) {
+  const SearchTask task = GemmTask(1280, 3072, 768);
+  TuningOptions opts;
+  opts.trials = 192;
+  TuningClock clock;
+  TaskResult tuned = TuneTask(task, kT4, opts, clock);
+
+  Rng rng(5);
+  double random_best = 1e30;
+  for (int i = 0; i < 192; ++i) {
+    random_best = std::min(
+        random_best,
+        MeasureSimtUs(kT4, task, RandomSchedule(rng, kT4, task)));
+  }
+  EXPECT_LE(tuned.best_us, random_best * 1.02);
+  EXPECT_EQ(tuned.trials_used, 192);
+}
+
+TEST(SearchTest, DeterministicGivenSeed) {
+  const SearchTask task = GemmTask(512, 512, 512);
+  TuningOptions opts;
+  opts.trials = 96;
+  TuningClock c1, c2;
+  TaskResult a = TuneTask(task, kT4, opts, c1);
+  TaskResult b = TuneTask(task, kT4, opts, c2);
+  EXPECT_DOUBLE_EQ(a.best_us, b.best_us);
+  EXPECT_DOUBLE_EQ(c1.seconds(), c2.seconds());
+}
+
+TEST(SearchTest, TuningTimeScalesWithTrials) {
+  const SearchTask task = GemmTask(512, 512, 512);
+  TuningOptions opts;
+  opts.trials = 64;
+  TuningClock small, large;
+  TuneTask(task, kT4, opts, small);
+  opts.trials = 128;
+  TuneTask(task, kT4, opts, large);
+  EXPECT_GT(large.seconds(), 1.8 * small.seconds());
+  // Per-trial cost ≈ compile + measure overhead: > 1s each.
+  EXPECT_GT(small.seconds(), 64 * 1.0);
+}
+
+TEST(ExtractTasksTest, DeduplicatesIdenticalWorkloads) {
+  models::ModelOptions opts;
+  opts.batch = 8;
+  opts.image_size = 32;
+  auto g = models::BuildVgg(11, opts);
+  ASSERT_TRUE(g.ok());
+  auto tasks = ExtractTasks(*g);
+  // VGG-11 at 32x32 has 8 convs + 3 dense, some sharing workloads.
+  EXPECT_GE(tasks.size(), 6u);
+  EXPECT_LE(tasks.size(), 11u);
+  std::set<std::string> keys;
+  for (const auto& t : tasks) EXPECT_TRUE(keys.insert(t.Key()).second);
+}
+
+TEST(TuneModelTest, ProducesLatencyAndTuningTime) {
+  models::ModelOptions opts;
+  opts.batch = 8;
+  opts.image_size = 32;
+  auto g = models::BuildVgg(11, opts);
+  ASSERT_TRUE(g.ok());
+  TuningOptions topts;
+  topts.trials = 32;  // keep the test fast
+  AnsorModelResult r = TuneModel(*g, kT4, topts);
+  EXPECT_GT(r.latency_us, 0.0);
+  EXPECT_GT(r.tuning_seconds, 0.0);
+  EXPECT_EQ(r.total_trials, r.num_tasks * 32);
+}
+
+TEST(TaskTunerTest, IncrementalStepsMatchOneShotTuning) {
+  const SearchTask task = GemmTask(768, 768, 768);
+  TuningOptions opts;
+  opts.trials = 128;
+  TuningClock c1;
+  TaskResult one_shot = TuneTask(task, kT4, opts, c1);
+
+  TaskTuner tuner(task, kT4, opts);
+  TuningClock c2;
+  tuner.Step(64, c2);
+  tuner.Step(64, c2);
+  EXPECT_EQ(tuner.result().trials_used, 128);
+  // Same seed, same batch boundaries -> identical search trajectory.
+  EXPECT_DOUBLE_EQ(tuner.result().best_us, one_shot.best_us);
+  EXPECT_DOUBLE_EQ(c1.seconds(), c2.seconds());
+}
+
+TEST(TaskSchedulerTest, MatchesUniformAtEqualBudgetOrBetter) {
+  models::ModelOptions opts;
+  opts.batch = 16;
+  opts.image_size = 32;
+  auto g = models::BuildVgg(11, opts);
+  ASSERT_TRUE(g.ok());
+
+  TuningOptions topts;
+  topts.trials = 48;
+  AnsorModelResult uniform = TuneModel(*g, kT4, topts);
+  AnsorModelResult scheduled = TuneModelWithScheduler(
+      *g, kT4, topts, uniform.total_trials);
+  EXPECT_EQ(scheduled.total_trials, uniform.total_trials);
+  // The scheduler spends trials where latency lives; it should not lose
+  // by more than noise and usually wins.
+  EXPECT_LE(scheduled.latency_us, uniform.latency_us * 1.05);
+}
+
+TEST(TaskSchedulerTest, SpendsMoreTrialsOnHeavyTasks) {
+  models::ModelOptions opts;
+  opts.batch = 16;
+  opts.image_size = 32;
+  auto g = models::BuildVgg(11, opts);
+  ASSERT_TRUE(g.ok());
+  TuningOptions topts;
+  const int num_tasks = static_cast<int>(ExtractTasks(*g).size());
+  // Twice the warm-up budget: the surplus goes to high-impact tasks.
+  AnsorModelResult r = TuneModelWithScheduler(
+      *g, kT4, topts, 2 * num_tasks * topts.measure_batch);
+  // Trials are not uniform: some task got more than the warm-up round.
+  int max_trials = 0, min_trials = 1 << 30;
+  for (const auto& [name, task_result] : r.per_task) {
+    max_trials = std::max(max_trials, task_result.trials_used);
+    min_trials = std::min(min_trials, task_result.trials_used);
+  }
+  EXPECT_GT(max_trials, min_trials);
+}
+
+}  // namespace
+}  // namespace ansor
+}  // namespace bolt

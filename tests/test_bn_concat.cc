@@ -1,0 +1,240 @@
+// Tests for the BatchNorm and Concat IR ops, the FoldBatchNormPass, and
+// the multi-branch (Inception-style) / BN-exported (ResNet) model paths
+// through the full engine.
+
+#include <gtest/gtest.h>
+
+#include "bolt/engine.h"
+#include "common/rng.h"
+#include "ir/interpreter.h"
+#include "models/zoo.h"
+
+namespace bolt {
+namespace {
+
+Tensor RandomTensor(TensorDesc desc, uint64_t seed, float stddev = 0.4f) {
+  Tensor t(std::move(desc));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), stddev);
+  t.Quantize();
+  return t;
+}
+
+Tensor BnVector(int64_t c, float center, float spread, uint64_t seed) {
+  Tensor t(TensorDesc(DType::kFloat16, {c}, Layout::kRowMajor));
+  Rng rng(seed);
+  for (float& v : t.data()) {
+    v = center + rng.Normal(0.0f, spread);
+    if (center == 1.0f && v < 0.1f) v = 0.1f;
+  }
+  t.Quantize();
+  return t;
+}
+
+TEST(RefOpTest, BatchNormNormalizesChannels) {
+  Tensor x = RandomTensor(
+      TensorDesc(DType::kFloat32, {2, 3, 3, 4}, Layout::kNHWC), 1);
+  Tensor gamma(TensorDesc(DType::kFloat32, {4}));
+  Tensor beta(TensorDesc(DType::kFloat32, {4}));
+  Tensor mean(TensorDesc(DType::kFloat32, {4}));
+  Tensor var(TensorDesc(DType::kFloat32, {4}));
+  gamma.data() = {1, 2, 0.5f, 1};
+  beta.data() = {0, 1, -1, 0.5f};
+  mean.data() = {0.1f, -0.2f, 0.0f, 0.3f};
+  var.data() = {1, 4, 0.25f, 1};
+  Tensor y = refop::BatchNorm(x, gamma, beta, mean, var, 0.0f);
+  // Spot-check channel 1: y = 2*(x+0.2)/2 + 1 = x + 0.2 + 1.
+  EXPECT_NEAR(y.at(1), x.at(1) + 0.2f + 1.0f, 1e-5f);
+  // Channel 2: y = 0.5*(x)/0.5 - 1 = x - 1.
+  EXPECT_NEAR(y.at(2), x.at(2) - 1.0f, 1e-5f);
+}
+
+TEST(RefOpTest, ConcatChannels) {
+  Tensor a = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 2, 2, 3}, Layout::kNHWC), 2);
+  Tensor b = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 2, 2, 5}, Layout::kNHWC), 3);
+  Tensor out = refop::Concat({&a, &b});
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 2, 2, 8}));
+  for (int64_t px = 0; px < 4; ++px) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(out.at(px * 8 + c), a.at(px * 3 + c));
+    }
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(out.at(px * 8 + 3 + c), b.at(px * 5 + c));
+    }
+  }
+}
+
+Graph ConvBnReluGraph(bool second_consumer = false) {
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {1, 6, 6, 4});
+  NodeId w = b.Constant(
+      "w", RandomTensor(TensorDesc(DType::kFloat16, {8, 3, 3, 4}), 4));
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  NodeId conv = b.Conv2d(x, w, a, "conv");
+  NodeId y = b.BatchNorm(conv, b.Constant("g", BnVector(8, 1, 0.2f, 5)),
+                         b.Constant("b", BnVector(8, 0, 0.1f, 6)),
+                         b.Constant("m", BnVector(8, 0, 0.1f, 7)),
+                         b.Constant("v", BnVector(8, 1, 0.1f, 8)), 1e-5,
+                         "bn");
+  y = b.Activation(y, ActivationKind::kRelu);
+  if (second_consumer) {
+    // The conv output escapes: folding must not fire.
+    y = b.Add(y, b.Activation(conv, ActivationKind::kGelu));
+  }
+  b.MarkOutput(y);
+  auto g = b.Build();
+  BOLT_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(FoldBatchNormTest, FoldsConvBnIntoConvBias) {
+  PassStats stats;
+  Graph folded = FoldBatchNormPass(ConvBnReluGraph(), &stats);
+  EXPECT_EQ(stats.batchnorms_folded, 1);
+  int bn = 0, bias = 0;
+  for (const Node& n : folded.nodes()) {
+    bn += n.kind == OpKind::kBatchNorm;
+    bias += n.kind == OpKind::kBiasAdd;
+  }
+  EXPECT_EQ(bn, 0);
+  EXPECT_EQ(bias, 1);
+}
+
+TEST(FoldBatchNormTest, PreservesNumerics) {
+  Graph g = ConvBnReluGraph();
+  Graph folded = FoldBatchNormPass(g, nullptr);
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 6, 6, 4}, Layout::kNHWC), 9);
+  std::map<std::string, Tensor> inputs{{"x", input}};
+  auto a = Interpreter(g).Run(inputs);
+  auto b = Interpreter(folded).Run(inputs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  // Folding changes rounding order (scale folded into FP16 weights);
+  // allow a few FP16 ulps.
+  EXPECT_LE(a.value()[0].MaxAbsDiff(b.value()[0]), 2e-2f);
+}
+
+TEST(FoldBatchNormTest, SkipsWhenConvHasOtherConsumers) {
+  PassStats stats;
+  Graph folded = FoldBatchNormPass(ConvBnReluGraph(true), &stats);
+  EXPECT_EQ(stats.batchnorms_folded, 0);
+  int bn = 0;
+  for (const Node& n : folded.nodes()) bn += n.kind == OpKind::kBatchNorm;
+  EXPECT_EQ(bn, 1);
+}
+
+TEST(FoldBatchNormTest, EngineFusesFoldedBnIntoEpilogue) {
+  // conv+BN+ReLU must end up as ONE bolt.conv2d with bias+relu epilogue.
+  auto engine = Engine::Compile(ConvBnReluGraph(), CompileOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->tuning_report().pass_stats.batchnorms_folded, 1);
+  int composites = 0;
+  for (const Node& n : engine->optimized_graph().nodes()) {
+    EXPECT_NE(n.kind, OpKind::kBatchNorm);
+    if (n.kind == OpKind::kBoltConv2d) {
+      ++composites;
+      EXPECT_EQ(n.attrs.GetInt("has_bias"), 1);
+      EXPECT_EQ(n.attrs.GetStr("acts"), "relu");
+    }
+  }
+  EXPECT_EQ(composites, 1);
+
+  // And the functional result still matches the unfolded interpreter.
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 6, 6, 4}, Layout::kNHWC), 10);
+  std::map<std::string, Tensor> inputs{{"x", input}};
+  auto out = engine->Run(inputs);
+  auto ref = Interpreter(ConvBnReluGraph()).Run(inputs);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 2e-2f);
+}
+
+TEST(InceptionTest, BuildsAndCompiles) {
+  models::ModelOptions opts;
+  opts.batch = 4;
+  opts.image_size = 32;
+  opts.num_classes = 10;
+  auto g = models::BuildInceptionish(2, opts);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  int concats = 0;
+  for (const Node& n : g->nodes()) concats += n.kind == OpKind::kConcat;
+  EXPECT_EQ(concats, 2);
+
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_GT(engine->EstimatedLatencyUs(), 0.0);
+}
+
+TEST(InceptionTest, FunctionalThroughEngineMatchesInterpreter) {
+  models::ModelOptions opts;
+  opts.batch = 1;
+  opts.image_size = 16;
+  opts.num_classes = 5;
+  opts.materialize_weights = true;
+  auto g = models::BuildInceptionish(1, opts);
+  ASSERT_TRUE(g.ok());
+
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 3, 16, 16}, Layout::kNCHW), 11,
+      0.6f);
+  std::map<std::string, Tensor> inputs{{"data", input}};
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto out = engine->Run(inputs);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto ref = Interpreter(LayoutTransformPass(*g)).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 1e-2f);
+}
+
+TEST(ResNetBnTest, FoldsEveryBatchNorm) {
+  models::ModelOptions opts;
+  opts.batch = 2;
+  opts.image_size = 32;
+  opts.num_classes = 10;
+  auto g = models::BuildResNetWithBatchNorm(18, opts);
+  ASSERT_TRUE(g.ok());
+  int bn_before = 0;
+  for (const Node& n : g->nodes()) {
+    bn_before += n.kind == OpKind::kBatchNorm;
+  }
+  EXPECT_EQ(bn_before, 20);  // one per conv
+
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->tuning_report().pass_stats.batchnorms_folded, 20);
+  for (const Node& n : engine->optimized_graph().nodes()) {
+    EXPECT_NE(n.kind, OpKind::kBatchNorm);
+  }
+}
+
+TEST(ResNetBnTest, FunctionalEquivalenceSmall) {
+  models::ModelOptions opts;
+  opts.batch = 1;
+  opts.image_size = 32;
+  opts.num_classes = 4;
+  opts.materialize_weights = true;
+  auto g = models::BuildResNetWithBatchNorm(18, opts);
+  ASSERT_TRUE(g.ok());
+
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 3, 32, 32}, Layout::kNCHW), 12,
+      0.6f);
+  std::map<std::string, Tensor> inputs{{"data", input}};
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto out = engine->Run(inputs);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto ref = Interpreter(LayoutTransformPass(*g)).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  // Softmax output: tight absolute tolerance despite the deep network.
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 3e-2f);
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,152 @@
+// Tests for templated code generation: the emitted CUDA-style sources must
+// carry the exact template parameterization the profiler chose, in the
+// CUTLASS convention, including the folded layout/padding rewrites.
+
+#include <gtest/gtest.h>
+
+#include "codegen/emit.h"
+#include "codegen/module.h"
+#include "common/strings.h"
+
+namespace bolt {
+namespace codegen {
+namespace {
+
+using cutlite::B2bConvStage;
+using cutlite::B2bStage;
+using cutlite::ConvProblem;
+using cutlite::EpilogueSpec;
+using cutlite::GemmCoord;
+using cutlite::GemmShape;
+using cutlite::KernelConfig;
+using cutlite::ResidenceKind;
+
+KernelConfig Config256x128() {
+  KernelConfig c;
+  c.threadblock = GemmShape(256, 128, 32);
+  c.warp = GemmShape(64, 64, 32);
+  c.instruction = GemmShape(16, 8, 8);
+  c.stages = 3;
+  return c;
+}
+
+TEST(EmitGemmTest, ContainsTemplateParameters) {
+  const std::string src =
+      EmitGemmKernel(GemmCoord(1280, 3072, 768), Config256x128(),
+                     EpilogueSpec::WithActivation(ActivationKind::kGelu));
+  EXPECT_TRUE(Contains(src, "cutlite::gemm::device::Gemm"));
+  EXPECT_TRUE(Contains(src, "GemmShape<256, 128, 32>"));
+  EXPECT_TRUE(Contains(src, "GemmShape<64, 64, 32>"));
+  EXPECT_TRUE(Contains(src, "GemmShape<16, 8, 8>"));
+  EXPECT_TRUE(Contains(src, "/*Stages=*/3"));
+  EXPECT_TRUE(Contains(src, "LinearCombinationGelu"));
+  EXPECT_TRUE(Contains(src, "cutlite::arch::OpClassTensorOp"));
+  EXPECT_TRUE(
+      Contains(src, "cutlite_tensorop_h1688gemm_256x128_32x3_tn_align8"));
+  // Problem dimensions appear in the launcher.
+  EXPECT_TRUE(Contains(src, "1280, 3072, 768"));
+}
+
+TEST(EmitGemmTest, AlignmentInNameAndTemplate) {
+  KernelConfig c = Config256x128();
+  c.align_a = c.align_b = 2;
+  const std::string src = EmitGemmKernel(GemmCoord(64, 64, 46), c,
+                                         EpilogueSpec::Linear());
+  EXPECT_TRUE(Contains(src, "align2"));
+  EXPECT_TRUE(Contains(src, "/*AlignmentA=*/2"));
+}
+
+TEST(EmitConvTest, ImplicitGemmConvention) {
+  ConvProblem p;
+  p.n = 32;
+  p.h = p.w = 56;
+  p.c = p.k = 64;
+  p.r = p.s = 3;
+  p.pad_h = p.pad_w = 1;
+  const std::string src = EmitConvKernel(
+      p, Config256x128(), EpilogueSpec::WithActivation(
+                              ActivationKind::kRelu));
+  EXPECT_TRUE(
+      Contains(src, "cutlite::conv::device::ImplicitGemmConvolution"));
+  EXPECT_TRUE(Contains(src, "LinearCombinationRelu"));
+  EXPECT_TRUE(Contains(src, "conv2d_fprop"));
+}
+
+TEST(EmitConvTest, FoldedLayoutTransformAndPadding) {
+  ConvProblem p;
+  p.n = 32;
+  p.h = p.w = 224;
+  p.c = 8;  // padded from 3
+  p.k = 64;
+  p.r = p.s = 7;
+  EmitOptions opts;
+  opts.fold_input_layout_transform = true;
+  opts.pad_input_channels_to = 8;
+  const std::string src =
+      EmitConvKernel(p, Config256x128(), EpilogueSpec::Linear(), opts);
+  EXPECT_TRUE(Contains(src, "NCHWToNHWCTileIterator"));
+  EXPECT_TRUE(Contains(src, "padding"));
+  EXPECT_TRUE(Contains(src, "alignment-8"));
+}
+
+TEST(EmitB2bTest, ResidenceSelectsIterator) {
+  EpilogueSpec relu =
+      EpilogueSpec::WithActivation(ActivationKind::kRelu, false);
+  KernelConfig c0 = Config256x128();
+  c0.threadblock = GemmShape(64, 64, 32);
+  c0.warp = GemmShape(32, 64, 32);
+  KernelConfig c1 = c0;
+  c1.threadblock = GemmShape(64, 32, 32);
+  c1.warp = GemmShape(32, 32, 32);
+  std::vector<B2bStage> stages = {
+      B2bStage{GemmCoord(512, 64, 128), c0, relu},
+      B2bStage{GemmCoord(512, 32, 64), c1, relu},
+  };
+  const std::string rf =
+      EmitB2bGemmKernel(stages, ResidenceKind::kRegisterFile);
+  EXPECT_TRUE(Contains(rf, "WarpFragmentIterator"));
+  EXPECT_TRUE(Contains(rf, "ThreadBlock0_N = GEMM0_N = 64"));
+  const std::string smem =
+      EmitB2bGemmKernel(stages, ResidenceKind::kSharedMemory);
+  EXPECT_TRUE(Contains(smem, "SmemFragmentIterator"));
+}
+
+TEST(EmitB2bConvTest, MarksPointwiseStages) {
+  EpilogueSpec relu = EpilogueSpec::WithActivation(ActivationKind::kRelu);
+  ConvProblem c0;
+  c0.n = 32;
+  c0.h = c0.w = 56;
+  c0.c = c0.k = 64;
+  c0.r = c0.s = 3;
+  c0.pad_h = c0.pad_w = 1;
+  ConvProblem c1;
+  c1.n = 32;
+  c1.h = c1.w = 56;
+  c1.c = c1.k = 64;
+  c1.r = c1.s = 1;
+  KernelConfig cfg = Config256x128();
+  cfg.threadblock = GemmShape(64, 64, 32);
+  cfg.warp = GemmShape(32, 64, 32);
+  std::vector<B2bConvStage> stages = {B2bConvStage{c0, cfg, relu},
+                                      B2bConvStage{c1, cfg, relu}};
+  const std::string src =
+      EmitB2bConvKernel(stages, ResidenceKind::kRegisterFile);
+  EXPECT_TRUE(Contains(src, "B2bImplicitGemmConvolution"));
+  EXPECT_TRUE(Contains(src, "(1x1, stride 1, pad 0)"));
+}
+
+TEST(RuntimeModuleTest, TracksLaunchesAndLatency) {
+  RuntimeModule module;
+  module.AddKernelSource("k1", "// source 1");
+  module.AddLaunch({LaunchKind::kGemm, "k1", 3, 100.0});
+  module.AddLaunch({LaunchKind::kHostOp, "softmax", 4, 10.0});
+  module.AddLaunch({LaunchKind::kConv, "k2", 5, 50.0});
+  EXPECT_DOUBLE_EQ(module.estimated_total_us(), 160.0);
+  EXPECT_EQ(module.num_device_launches(), 2);
+  EXPECT_EQ(module.launches().size(), 3u);
+  EXPECT_TRUE(Contains(module.FullSource(), "==== k1 ===="));
+}
+
+}  // namespace
+}  // namespace codegen
+}  // namespace bolt

@@ -1,0 +1,189 @@
+// Tests for src/common: half-precision emulation, status handling,
+// activations, strings, RNG determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/activations.h"
+#include "common/half.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bolt {
+namespace {
+
+TEST(HalfTest, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(half_t(f).to_float(), f) << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(half_t(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(half_t(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(half_t(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half_t(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(half_t(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000u);
+}
+
+TEST(HalfTest, OverflowToInfinity) {
+  EXPECT_TRUE(half_t(65520.0f).is_inf());  // rounds up past max
+  EXPECT_TRUE(half_t(1e30f).is_inf());
+  EXPECT_TRUE(half_t(-1e30f).is_inf());
+  EXPECT_FALSE(half_t(65503.0f).is_inf());
+}
+
+TEST(HalfTest, NanPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(half_t(nan).is_nan());
+  EXPECT_TRUE(std::isnan(half_t(nan).to_float()));
+}
+
+TEST(HalfTest, SubnormalsRepresentable) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half_t(tiny).bits(), 0x0001u);
+  EXPECT_EQ(half_t(tiny).to_float(), tiny);
+  // Below half the smallest subnormal rounds to zero.
+  EXPECT_EQ(half_t(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half value
+  // (1 + 2^-10); ties to even -> 1.0 (even mantissa).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(halfway).to_float(), 1.0f);
+  // Just above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) * 1.01f;
+  EXPECT_EQ(half_t(above).to_float(), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(HalfTest, QuantizeIsIdempotent) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const float f = rng.Normal(0.0f, 100.0f);
+    const float once = half_t::Quantize(f);
+    EXPECT_EQ(half_t::Quantize(once), once);
+  }
+}
+
+TEST(HalfTest, RoundTripAllBitPatterns) {
+  // Property: every finite half bit pattern survives half->float->half.
+  for (uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    half_t h = half_t::FromBits(static_cast<uint16_t>(bits));
+    if (h.is_nan()) continue;
+    half_t round_tripped(h.to_float());
+    EXPECT_EQ(round_tripped.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad tile");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad tile");
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorAccessThrows) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(StringsTest, JoinSplitReplace) {
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(StrSplit("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(ReplaceAll("xaxax", "a", "bb"), "xbbxbbx");
+  EXPECT_TRUE(StartsWith("cutlite_tensorop", "cutlite"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_EQ(StrCat("m=", 128, " n=", 64), "m=128 n=64");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+// ---- Activations ---------------------------------------------------------
+
+class ActivationParamTest
+    : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(ActivationParamTest, GradientMatchesNumericDerivative) {
+  const ActivationKind kind = GetParam();
+  const float eps = 1e-3f;
+  for (float x : {-4.0f, -1.5f, -0.1f, 0.1f, 0.7f, 2.0f, 5.0f}) {
+    const float numeric = (ApplyActivation(kind, x + eps) -
+                           ApplyActivation(kind, x - eps)) /
+                          (2 * eps);
+    const float analytic = ActivationGrad(kind, x);
+    EXPECT_NEAR(analytic, numeric, 5e-3f)
+        << ActivationName(kind) << " at x=" << x;
+  }
+}
+
+TEST_P(ActivationParamTest, NameRoundTrips) {
+  const ActivationKind kind = GetParam();
+  auto parsed = ActivationFromName(ActivationName(kind));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActivations, ActivationParamTest,
+    ::testing::Values(ActivationKind::kIdentity, ActivationKind::kRelu,
+                      ActivationKind::kGelu, ActivationKind::kHardswish,
+                      ActivationKind::kSoftplus, ActivationKind::kSigmoid));
+
+TEST(ActivationTest, KnownValues) {
+  EXPECT_EQ(ApplyActivation(ActivationKind::kRelu, -1.0f), 0.0f);
+  EXPECT_EQ(ApplyActivation(ActivationKind::kRelu, 2.0f), 2.0f);
+  EXPECT_NEAR(ApplyActivation(ActivationKind::kGelu, 0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(ApplyActivation(ActivationKind::kHardswish, 3.0f), 3.0f,
+              1e-6f);
+  EXPECT_EQ(ApplyActivation(ActivationKind::kHardswish, -3.0f), 0.0f);
+  EXPECT_NEAR(ApplyActivation(ActivationKind::kSoftplus, 0.0f),
+              std::log(2.0f), 1e-6f);
+  EXPECT_NEAR(ApplyActivation(ActivationKind::kSigmoid, 0.0f), 0.5f,
+              1e-6f);
+}
+
+TEST(ActivationTest, CostOrderingMatchesComplexity) {
+  // The paper's Table 4 observation: Softplus is the most expensive
+  // epilogue, ReLU the cheapest.
+  EXPECT_LT(ActivationCostMultiplier(ActivationKind::kRelu),
+            ActivationCostMultiplier(ActivationKind::kHardswish));
+  EXPECT_LT(ActivationCostMultiplier(ActivationKind::kHardswish),
+            ActivationCostMultiplier(ActivationKind::kGelu));
+  EXPECT_LT(ActivationCostMultiplier(ActivationKind::kGelu),
+            ActivationCostMultiplier(ActivationKind::kSoftplus));
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,283 @@
+// Tests for the cutlite GEMM kernel: configuration validity, the CUTLASS
+// naming convention, functional numerics against the reference, epilogue
+// fusion semantics, and timing-model invariants.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cutlite/gemm.h"
+#include "ir/interpreter.h"
+
+namespace bolt {
+namespace cutlite {
+namespace {
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Tensor t(TensorDesc(DType::kFloat16, {rows, cols}, Layout::kRowMajor));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.3f);
+  t.Quantize();
+  return t;
+}
+
+KernelConfig DefaultConfig() {
+  KernelConfig c;
+  c.threadblock = GemmShape(128, 128, 32);
+  c.warp = GemmShape(64, 64, 32);
+  c.instruction = GemmShape(16, 8, 8);
+  c.stages = 2;
+  return c;
+}
+
+TEST(KernelConfigTest, ValidDefault) {
+  EXPECT_TRUE(DefaultConfig().Validate(kT4).ok());
+}
+
+TEST(KernelConfigTest, RejectsNonDivisibleWarp) {
+  KernelConfig c = DefaultConfig();
+  c.warp = GemmShape(48, 64, 32);
+  EXPECT_FALSE(c.Validate(kT4).ok());
+}
+
+TEST(KernelConfigTest, RejectsForeignInstructionShape) {
+  KernelConfig c = DefaultConfig();
+  c.instruction = GemmShape(16, 8, 16);  // sm80 shape on sm75
+  EXPECT_EQ(c.Validate(kT4).code(), StatusCode::kUnsupported);
+}
+
+TEST(KernelConfigTest, RejectsSmemOverflow) {
+  KernelConfig c = DefaultConfig();
+  c.threadblock = GemmShape(256, 256, 64);
+  c.warp = GemmShape(128, 128, 64);
+  c.stages = 2;  // 2*(256+256)*64*2 = 128 KiB > 64 KiB
+  EXPECT_EQ(c.Validate(kT4).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(KernelConfigTest, NameFollowsCutlassConvention) {
+  KernelConfig c = DefaultConfig();
+  EXPECT_EQ(c.Name("gemm"),
+            "cutlite_tensorop_h1688gemm_128x128_32x2_tn_align8");
+  c.align_a = c.align_b = 2;
+  EXPECT_EQ(c.Name("gemm"),
+            "cutlite_tensorop_h1688gemm_128x128_32x2_tn_align2");
+}
+
+TEST(KernelConfigTest, ResourceArithmetic) {
+  KernelConfig c = DefaultConfig();
+  EXPECT_EQ(c.warps_per_cta(), 4);
+  EXPECT_EQ(c.threads_per_cta(), 128);
+  EXPECT_EQ(c.smem_bytes(), 2 * (128 * 32 + 128 * 32) * 2);
+}
+
+TEST(GemmKernelTest, RejectsMisalignedProblem) {
+  // K=46 is not divisible by the declared alignment 8.
+  GemmKernel k(GemmCoord(128, 128, 46), DefaultConfig(),
+               EpilogueSpec::Linear());
+  EXPECT_FALSE(k.CanImplement(kT4).ok());
+}
+
+// ---- Functional correctness over a sweep of configs ----------------------
+
+struct GemmCase {
+  int64_t m, n, k;
+  int tb_m, tb_n, tb_k;
+};
+
+class GemmFunctionalTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmFunctionalTest, MatchesReferenceDense) {
+  const GemmCase& p = GetParam();
+  Tensor a = RandomMatrix(p.m, p.k, 1);
+  Tensor w = RandomMatrix(p.n, p.k, 2);
+
+  KernelConfig c = DefaultConfig();
+  c.threadblock = GemmShape(p.tb_m, p.tb_n, p.tb_k);
+  c.warp = GemmShape(p.tb_m / 2, p.tb_n / 2, p.tb_k);
+  c.align_a = c.align_b = MaxAlignment(p.k);
+  c.align_c = MaxAlignment(p.n);
+
+  GemmKernel kernel(GemmCoord(p.m, p.n, p.k), c, EpilogueSpec::Linear());
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+
+  Tensor ref = refop::Dense(a, w);
+  EXPECT_LE(out.value().MaxAbsDiff(ref), 1e-2f)
+      << p.m << "x" << p.n << "x" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmFunctionalTest,
+    ::testing::Values(GemmCase{32, 32, 32, 32, 32, 32},
+                      GemmCase{64, 48, 40, 32, 16, 32},
+                      GemmCase{100, 24, 16, 64, 16, 32},   // ragged M
+                      GemmCase{128, 128, 64, 64, 64, 32},
+                      GemmCase{17, 8, 8, 32, 16, 32},      // tiny ragged
+                      GemmCase{256, 16, 128, 128, 16, 32}));
+
+// ---- Epilogue semantics ---------------------------------------------------
+
+class EpilogueActTest : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(EpilogueActTest, BiasPlusActivationMatchesReferenceChain) {
+  const ActivationKind act = GetParam();
+  const GemmCoord p(48, 32, 16);
+  Tensor a = RandomMatrix(p.m, p.k, 3);
+  Tensor w = RandomMatrix(p.n, p.k, 4);
+  Tensor bias(TensorDesc(DType::kFloat16, {p.n}, Layout::kRowMajor));
+  Rng rng(5);
+  rng.FillNormal(bias.data(), 0.5f);
+  bias.Quantize();
+
+  KernelConfig c = DefaultConfig();
+  c.threadblock = GemmShape(64, 32, 16);
+  c.warp = GemmShape(32, 16, 16);
+  c.align_a = c.align_b = 8;
+  c.align_c = 8;
+
+  GemmKernel kernel(p, c, EpilogueSpec::WithActivation(act));
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  args.bias = &bias;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+
+  // Reference: unfused chain with an FP16 round after every op.
+  Tensor ref = refop::Activation(refop::BiasAdd(refop::Dense(a, w), bias),
+                                 act);
+  // Fused epilogues keep FP32 precision until the final store, so allow a
+  // couple of FP16 ulps of divergence from the per-op-quantized chain.
+  EXPECT_LE(out.value().MaxAbsDiff(ref), 2e-2f) << ActivationName(act);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActivations, EpilogueActTest,
+    ::testing::Values(ActivationKind::kRelu, ActivationKind::kGelu,
+                      ActivationKind::kHardswish,
+                      ActivationKind::kSoftplus));
+
+TEST(EpilogueTest, ResidualAdd) {
+  const GemmCoord p(32, 16, 8);
+  Tensor a = RandomMatrix(p.m, p.k, 6);
+  Tensor w = RandomMatrix(p.n, p.k, 7);
+  Tensor residual = RandomMatrix(p.m, p.n, 8);
+
+  KernelConfig c = DefaultConfig();
+  c.threadblock = GemmShape(32, 16, 8);
+  c.warp = GemmShape(16, 8, 8);
+  c.align_a = c.align_b = 8;
+  c.align_c = 8;
+
+  EpilogueSpec e;
+  e.has_residual = true;
+  e.beta = 1.0f;
+  e.activations.push_back(ActivationKind::kRelu);
+  GemmKernel kernel(p, c, e);
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  args.c = &residual;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+  Tensor ref = refop::Activation(refop::Add(refop::Dense(a, w), residual),
+                                 ActivationKind::kRelu);
+  EXPECT_LE(out.value().MaxAbsDiff(ref), 2e-2f);
+}
+
+TEST(EpilogueTest, FunctorTemplatesMatchRuntimeDispatch) {
+  LinearCombinationRelu functor;
+  functor.alpha = 1.0f;
+  EpilogueSpec spec = EpilogueSpec::WithActivation(ActivationKind::kRelu,
+                                                   /*bias=*/false);
+  spec.output_dtype = DType::kFloat32;  // avoid quantization in compare
+  for (float acc : {-2.0f, 0.0f, 3.5f}) {
+    EXPECT_EQ(functor(acc, 0.0f, 0.0f),
+              ApplyEpilogueElement(spec, acc, 0.0f, 0.0f));
+  }
+}
+
+TEST(EpilogueTest, NamesEncodeActivations) {
+  EXPECT_EQ(EpilogueSpec::Linear().FunctorName(),
+            "cutlite::epilogue::thread::LinearCombination");
+  EXPECT_EQ(
+      EpilogueSpec::WithActivation(ActivationKind::kRelu).FunctorName(),
+      "cutlite::epilogue::thread::LinearCombinationRelu");
+}
+
+// ---- Timing-model invariants ---------------------------------------------
+
+TEST(GemmTimingTest, BigSquareIsComputeBound) {
+  GemmKernel k(GemmCoord(4096, 4096, 4096), DefaultConfig(),
+               EpilogueSpec::Linear());
+  KernelTiming t = k.Estimate(kT4);
+  EXPECT_GT(t.compute_us, t.memory_us);
+  // Near peak: > 50 TFLOPS effective.
+  const double tflops = k.problem().flops() / t.total_us / 1e6;
+  EXPECT_GT(tflops, 50.0);
+  EXPECT_LT(tflops, 65.0);  // cannot exceed hardware peak
+}
+
+TEST(GemmTimingTest, TallSkinnyIsMemoryBound) {
+  KernelConfig c = DefaultConfig();
+  c.threadblock = GemmShape(128, 64, 32);
+  c.warp = GemmShape(64, 32, 32);
+  GemmKernel k(GemmCoord(16384, 64, 256), c, EpilogueSpec::Linear());
+  KernelTiming t = k.Estimate(kT4);
+  EXPECT_GT(t.memory_us, t.compute_us);
+}
+
+TEST(GemmTimingTest, Alignment8BeatsAlignment2) {
+  KernelConfig aligned = DefaultConfig();
+  KernelConfig misaligned = DefaultConfig();
+  misaligned.align_a = misaligned.align_b = 2;
+  // K=4094 is divisible by 2 but not 8.
+  GemmKernel ka(GemmCoord(4096, 4096, 4096), aligned,
+                EpilogueSpec::Linear());
+  GemmKernel km(GemmCoord(4096, 4096, 4094), misaligned,
+                EpilogueSpec::Linear());
+  EXPECT_LT(ka.EstimateUs(kT4) * 1.3, km.EstimateUs(kT4));
+}
+
+TEST(GemmTimingTest, MonotonicInK) {
+  double prev = 0.0;
+  for (int64_t k = 256; k <= 4096; k *= 2) {
+    GemmKernel kernel(GemmCoord(1024, 1024, k), DefaultConfig(),
+                      EpilogueSpec::Linear());
+    const double us = kernel.EstimateUs(kT4);
+    EXPECT_GT(us, prev);
+    prev = us;
+  }
+}
+
+TEST(GemmTimingTest, ExpensiveEpilogueCostsMore) {
+  GemmKernel plain(GemmCoord(1280, 3072, 768), DefaultConfig(),
+                   EpilogueSpec::Linear());
+  GemmKernel softplus(
+      GemmCoord(1280, 3072, 768), DefaultConfig(),
+      EpilogueSpec::WithActivation(ActivationKind::kSoftplus));
+  EXPECT_GT(softplus.EstimateUs(kT4), plain.EstimateUs(kT4));
+  // But the epilogue is a small fraction of the kernel (it is fused).
+  EXPECT_LT(softplus.EstimateUs(kT4), 1.25 * plain.EstimateUs(kT4));
+}
+
+TEST(VendorPeakTest, NearHardwarePeakOnLargeGemm) {
+  VendorPeakResult r = VendorPeakGemm(kT4, GemmCoord(4096, 4096, 4096));
+  EXPECT_GT(r.tflops, 50.0);
+  EXPECT_TRUE(r.config.Validate(kT4).ok());
+}
+
+TEST(VendorPeakTest, AtLeastAsFastAsAnyFixedConfig) {
+  const GemmCoord p(1280, 768, 3072);
+  VendorPeakResult best = VendorPeakGemm(kT4, p);
+  GemmKernel fixed(p, DefaultConfig(), EpilogueSpec::Linear());
+  EXPECT_LE(best.us, fixed.EstimateUs(kT4) + 1e-9);
+}
+
+}  // namespace
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,184 @@
+// Tests for mixed-precision support: math-mode descriptors, the INT8
+// quantized GEMM (functional exactness of int32 accumulation,
+// requantization), and the mixed-precision timing projections.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cutlite/quantized.h"
+
+namespace bolt {
+namespace cutlite {
+namespace {
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+const DeviceSpec kA100 = DeviceSpec::A100();
+
+KernelConfig Int8Config() {
+  KernelConfig c;
+  c.threadblock = GemmShape(64, 64, 32);
+  c.warp = GemmShape(32, 32, 32);
+  c.instruction = GemmShape(8, 8, 16);  // Turing INT8 MMA
+  c.align_a = c.align_b = c.align_c = 8;
+  return c;
+}
+
+TEST(MathModeTest, WidthsAndAlignments) {
+  EXPECT_EQ(MathModeBits(MathMode::kF16), 16);
+  EXPECT_EQ(MathModeBits(MathMode::kS8), 8);
+  EXPECT_EQ(MathModeBits(MathMode::kS4), 4);
+  EXPECT_EQ(MathModeMaxAlignment(MathMode::kF16), 8);
+  EXPECT_EQ(MathModeMaxAlignment(MathMode::kS8), 16);
+  EXPECT_EQ(MathModeMaxAlignment(MathMode::kS4), 32);
+}
+
+TEST(MathModeTest, ArchitectureSupportMatrix) {
+  // Turing: FP16 + INT8/INT4, no BF16/TF32.
+  EXPECT_TRUE(MathModeSupported(MathMode::kF16, kT4));
+  EXPECT_TRUE(MathModeSupported(MathMode::kS8, kT4));
+  EXPECT_TRUE(MathModeSupported(MathMode::kS4, kT4));
+  EXPECT_FALSE(MathModeSupported(MathMode::kBF16, kT4));
+  EXPECT_FALSE(MathModeSupported(MathMode::kTF32, kT4));
+  // Ampere: everything.
+  for (MathMode m : {MathMode::kF16, MathMode::kBF16, MathMode::kTF32,
+                     MathMode::kS8, MathMode::kS4}) {
+    EXPECT_TRUE(MathModeSupported(m, kA100)) << MathModeName(m);
+  }
+}
+
+TEST(MathModeTest, PeakLadder) {
+  // INT8 = 2x FP16, INT4 = 4x FP16 on both architectures.
+  for (const DeviceSpec* spec : {&kT4, &kA100}) {
+    const double f16 = MathModePeak(MathMode::kF16, *spec);
+    EXPECT_DOUBLE_EQ(MathModePeak(MathMode::kS8, *spec), 2 * f16);
+    EXPECT_DOUBLE_EQ(MathModePeak(MathMode::kS4, *spec), 4 * f16);
+  }
+  // TF32 = FP16/2 on Ampere.
+  EXPECT_DOUBLE_EQ(MathModePeak(MathMode::kTF32, kA100),
+                   MathModePeak(MathMode::kF16, kA100) / 2);
+}
+
+TEST(QuantizationTest, SymmetricScaleMapsMaxTo127) {
+  Tensor t(TensorDesc(DType::kFloat32, {4}));
+  t.data() = {0.5f, -2.54f, 1.0f, 0.0f};
+  const float scale = ChooseSymmetricScale(t);
+  EXPECT_FLOAT_EQ(scale, 2.54f / 127.0f);
+  EXPECT_FLOAT_EQ(ChooseSymmetricScale(Tensor(TensorDesc(
+                      DType::kFloat32, {3}))),
+                  1.0f);  // all-zero tensor: neutral scale
+}
+
+TEST(QuantizedGemmTest, ExactForSmallIntegers) {
+  // Inputs that are exact multiples of the scale: INT8 GEMM is exact.
+  const int64_t m = 8, n = 8, k = 16;
+  Tensor a(TensorDesc(DType::kFloat32, {m, k}, Layout::kRowMajor));
+  Tensor w(TensorDesc(DType::kFloat32, {n, k}, Layout::kRowMajor));
+  Rng rng(3);
+  for (auto* t : {&a, &w}) {
+    for (float& v : t->data()) {
+      v = static_cast<float>(rng.Uniform(-5, 5));
+    }
+  }
+  EpilogueSpec e = EpilogueSpec::Linear();
+  e.output_dtype = DType::kFloat32;
+  QuantizedGemmKernel kernel(GemmCoord(m, n, k), Int8Config(), e,
+                             /*scale_a=*/1.0f, /*scale_w=*/1.0f);
+  ASSERT_TRUE(kernel.CanImplement(kT4).ok());
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float expect = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        expect += a.at(i * k + kk) * w.at(j * k + kk);
+      }
+      EXPECT_FLOAT_EQ(out.value().at(i * n + j), expect);
+    }
+  }
+}
+
+TEST(QuantizedGemmTest, ApproximatesFloatGemmWithCalibratedScales) {
+  const int64_t m = 32, n = 16, k = 64;
+  Tensor a(TensorDesc(DType::kFloat32, {m, k}, Layout::kRowMajor));
+  Tensor w(TensorDesc(DType::kFloat32, {n, k}, Layout::kRowMajor));
+  Rng rng(4);
+  rng.FillNormal(a.data(), 0.5f);
+  rng.FillNormal(w.data(), 0.5f);
+  EpilogueSpec e = EpilogueSpec::Linear();
+  e.output_dtype = DType::kFloat32;
+  QuantizedGemmKernel kernel(GemmCoord(m, n, k), Int8Config(), e,
+                             ChooseSymmetricScale(a),
+                             ChooseSymmetricScale(w));
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+
+  double max_rel = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float expect = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        expect += a.at(i * k + kk) * w.at(j * k + kk);
+      }
+      const double err = std::abs(out.value().at(i * n + j) - expect);
+      max_rel = std::max(max_rel, err / (std::abs(expect) + 1.0));
+    }
+  }
+  EXPECT_LT(max_rel, 0.08);  // ~2 decimal digits from 8-bit mantissas
+}
+
+TEST(QuantizedGemmTest, RejectsBadScalesAndAlignment) {
+  EpilogueSpec e = EpilogueSpec::Linear();
+  QuantizedGemmKernel bad_scale(GemmCoord(8, 8, 16), Int8Config(), e,
+                                -1.0f, 1.0f);
+  EXPECT_FALSE(bad_scale.CanImplement(kT4).ok());
+  QuantizedGemmKernel bad_k(GemmCoord(8, 8, 24), Int8Config(), e, 1.0f,
+                            1.0f);
+  EXPECT_FALSE(bad_k.CanImplement(kT4).ok());
+}
+
+TEST(QuantizedGemmTest, Int8RoughlyTwiceAsFastAsFp16WhenComputeBound) {
+  const GemmCoord p(4096, 4096, 4096);
+  KernelConfig f16;
+  f16.threadblock = GemmShape(128, 128, 32);
+  f16.warp = GemmShape(64, 64, 32);
+  f16.instruction = GemmShape(16, 8, 8);
+  GemmKernel fp16(p, f16, EpilogueSpec::Linear());
+  QuantizedGemmKernel int8(p, Int8Config(), EpilogueSpec::Linear(), 0.01f,
+                           0.01f);
+  const double ratio = fp16.EstimateUs(kT4) / int8.EstimateUs(kT4);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(QuantizedGemmTest, NameConvention) {
+  QuantizedGemmKernel k(GemmCoord(8, 8, 16), Int8Config(),
+                        EpilogueSpec::Linear(), 1.0f, 1.0f);
+  EXPECT_EQ(k.Name(), "cutlite_tensorop_s8i8816gemm_64x64_32x2_tn_align16");
+}
+
+TEST(MixedTimingTest, Bf16MatchesFp16OnAmpere) {
+  const GemmCoord p(4096, 4096, 4096);
+  KernelConfig c;
+  c.threadblock = GemmShape(128, 128, 32);
+  c.warp = GemmShape(64, 64, 32);
+  c.instruction = GemmShape(16, 8, 16);
+  const auto f16 =
+      EstimateMixedGemm(kA100, MathMode::kF16, p, c, EpilogueSpec::Linear());
+  const auto bf16 = EstimateMixedGemm(kA100, MathMode::kBF16, p, c,
+                                      EpilogueSpec::Linear());
+  EXPECT_NEAR(f16.total_us, bf16.total_us, 1e-9);
+  const auto tf32 = EstimateMixedGemm(kA100, MathMode::kTF32, p, c,
+                                      EpilogueSpec::Linear());
+  EXPECT_GT(tf32.total_us, 1.5 * f16.total_us);  // half the peak
+}
+
+}  // namespace
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,144 @@
+// Tests for the device model: occupancy, timing primitives, and the
+// architectural invariants the optimizations in the paper rely on.
+
+#include <gtest/gtest.h>
+
+#include "device/occupancy.h"
+#include "device/spec.h"
+#include "device/timing.h"
+
+namespace bolt {
+namespace {
+
+TEST(DeviceSpecTest, T4Preset) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  EXPECT_EQ(t4.arch, "sm75");
+  EXPECT_EQ(t4.sm_count, 40);
+  EXPECT_DOUBLE_EQ(t4.tensor_tflops_fp16, 65.0);
+  // The paper's key ratio: tensor cores are ~4x the half2 CUDA-core peak.
+  EXPECT_GT(t4.tensor_tflops_fp16 / t4.simt_tflops_fp16, 3.5);
+}
+
+TEST(DeviceSpecTest, A100Preset) {
+  const DeviceSpec a = DeviceSpec::A100();
+  EXPECT_EQ(a.arch, "sm80");
+  EXPECT_GT(a.tensor_tflops_fp16, DeviceSpec::TeslaT4().tensor_tflops_fp16);
+  EXPECT_GT(a.smem_per_sm, DeviceSpec::TeslaT4().smem_per_sm);
+}
+
+TEST(OccupancyTest, LimitedByThreads) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  CtaResources res{512, 1024, 32};
+  EXPECT_EQ(CtasPerSm(t4, res), 2);  // 1024 threads/SM / 512
+}
+
+TEST(OccupancyTest, LimitedBySharedMemory) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  CtaResources res{128, 40 * 1024, 32};
+  EXPECT_EQ(CtasPerSm(t4, res), 1);
+}
+
+TEST(OccupancyTest, LimitedByRegisters) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  CtaResources res{256, 1024, 128};  // 32768 regs per CTA
+  EXPECT_EQ(CtasPerSm(t4, res), 2);
+}
+
+TEST(OccupancyTest, ZeroWhenDoesNotFit) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  EXPECT_EQ(CtasPerSm(t4, CtaResources{128, 100 * 1024, 32}), 0);
+  EXPECT_EQ(CtasPerSm(t4, CtaResources{2048, 1024, 32}), 0);
+  EXPECT_EQ(CtasPerSm(t4, CtaResources{128, 1024, 300}), 0);
+}
+
+TEST(OccupancyTest, LatencyHidingMonotonic) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  double prev = 0.0;
+  for (int warps = 1; warps <= 10; ++warps) {
+    const double f = LatencyHidingFactor(t4, warps);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_EQ(LatencyHidingFactor(t4, 8), 1.0);
+  EXPECT_EQ(LatencyHidingFactor(t4, 0), 0.0);
+}
+
+TEST(OccupancyTest, WaveQuantizationProperties) {
+  // Exact multiples have no penalty.
+  EXPECT_DOUBLE_EQ(WaveQuantization(160, 80), 1.0);
+  // One extra CTA forces a whole extra wave.
+  EXPECT_NEAR(WaveQuantization(161, 80), 3.0 / (161.0 / 80.0), 1e-9);
+  // Single partial wave: no penalty (handled by utilization terms).
+  EXPECT_DOUBLE_EQ(WaveQuantization(40, 80), 1.0);
+  // Penalty shrinks as wave count grows.
+  EXPECT_GT(WaveQuantization(81, 80), WaveQuantization(801, 80));
+}
+
+TEST(AlignmentTest, EfficiencyMonotonic) {
+  EXPECT_GT(AlignmentEfficiency(8), AlignmentEfficiency(4));
+  EXPECT_GT(AlignmentEfficiency(4), AlignmentEfficiency(2));
+  EXPECT_GT(AlignmentEfficiency(2), AlignmentEfficiency(1));
+  EXPECT_DOUBLE_EQ(AlignmentEfficiency(8), 1.0);
+  EXPECT_GT(ComputeAlignmentFactor(8), ComputeAlignmentFactor(2));
+}
+
+TEST(AlignmentTest, MaxAlignment) {
+  EXPECT_EQ(MaxAlignment(768), 8);
+  EXPECT_EQ(MaxAlignment(4), 4);
+  EXPECT_EQ(MaxAlignment(46), 2);
+  EXPECT_EQ(MaxAlignment(3), 1);
+}
+
+TEST(TimingTest, ComputeTimeLinearInFlops) {
+  const double t1 = ComputeTimeUs(1e9, 65e12, 1.0);
+  const double t2 = ComputeTimeUs(2e9, 65e12, 1.0);
+  EXPECT_NEAR(t2, 2 * t1, 1e-9);
+}
+
+TEST(TimingTest, MemoryTimeInverseInEfficiency) {
+  const double fast = MemoryTimeUs(1e6, 320, 1.0);
+  const double slow = MemoryTimeUs(1e6, 320, 0.5);
+  EXPECT_NEAR(slow, 2 * fast, 1e-9);
+}
+
+TEST(TimingTest, GemmDramBytesAtLeastCompulsory) {
+  GemmTraffic t;
+  t.m = 4096;
+  t.n = 4096;
+  t.k = 4096;
+  const double compulsory =
+      (2.0 * 4096 * 4096 + 4096.0 * 4096) * t.bytes_per_element;
+  EXPECT_GE(GemmDramBytes(t), compulsory);
+}
+
+TEST(TimingTest, BiggerTilesReduceTraffic) {
+  GemmTraffic small;
+  small.m = small.n = small.k = 4096;
+  small.tile_m = small.tile_n = 64;
+  GemmTraffic big = small;
+  big.tile_m = big.tile_n = 256;
+  EXPECT_GT(GemmDramBytes(small), GemmDramBytes(big));
+}
+
+TEST(TimingTest, L2ResidentStreamsFaster) {
+  const DeviceSpec t4 = DeviceSpec::TeslaT4();
+  EXPECT_GT(EffectiveReadGbps(t4, 1e6), t4.dram_gbps);   // fits in L2
+  EXPECT_EQ(EffectiveReadGbps(t4, 1e9), t4.dram_gbps);   // does not
+}
+
+TEST(TuningClockTest, AccumulatesAndSplits) {
+  TuningClock clock;
+  clock.ChargeCompile(10.0);
+  clock.ChargeMeasure(5.0);
+  clock.Charge(1.0);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 16.0);
+  EXPECT_DOUBLE_EQ(clock.compile_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(clock.measure_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(clock.minutes(), 16.0 / 60.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,280 @@
+// Tests for the Bolt engine: the full BYOC pipeline, functional
+// equivalence with the reference interpreter, and per-optimization
+// latency ablations.
+
+#include <gtest/gtest.h>
+
+#include "bolt/engine.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ir/interpreter.h"
+
+namespace bolt {
+namespace {
+
+Tensor RandomWeight(std::vector<int64_t> shape, uint64_t seed) {
+  Tensor t(TensorDesc(DType::kFloat16, std::move(shape)));
+  Rng rng(seed);
+  int64_t fan = 1;
+  for (size_t i = 1; i < t.shape().size(); ++i) fan *= t.shape()[i];
+  rng.FillNormal(t.data(), 1.0f / std::sqrt(static_cast<float>(fan)));
+  t.Quantize();
+  return t;
+}
+
+/// Small CNN exercising every optimization: NCHW input (layout pass),
+/// conv+bias+act chains (epilogue fusion), 3x3 -> 1x1 (persistent
+/// fusion), dense head. 46 input channels on the second conv would be
+/// unusual; keep channels aligned here and test padding separately.
+Graph BuildSmallCnn() {
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  NodeId x = b.Input("data", {2, 3, 12, 12}, Layout::kNCHW);
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  NodeId y = b.Conv2d(x, b.Constant("w0", RandomWeight({16, 3, 3, 3}, 1)),
+                      a, "conv0");
+  y = b.BiasAdd(y, b.Constant("b0", RandomWeight({16}, 2)));
+  y = b.Activation(y, ActivationKind::kRelu);
+  y = b.Conv2d(y, b.Constant("w1", RandomWeight({16, 1, 1, 16}, 3)),
+               Conv2dAttrs{}, "conv1");
+  y = b.BiasAdd(y, b.Constant("b1", RandomWeight({16}, 4)));
+  y = b.Activation(y, ActivationKind::kHardswish);
+  y = b.GlobalAvgPool(y);
+  y = b.Flatten(y);
+  y = b.Dense(y, b.Constant("wf", RandomWeight({10, 16}, 5)), "fc");
+  y = b.BiasAdd(y, b.Constant("bf", RandomWeight({10}, 6)));
+  y = b.Softmax(y);
+  b.MarkOutput(y);
+  auto g = b.Build();
+  BOLT_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+Tensor RandomInput(uint64_t seed = 77) {
+  Tensor t(TensorDesc(DType::kFloat16, {2, 3, 12, 12}, Layout::kNCHW));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.7f);
+  t.Quantize();
+  return t;
+}
+
+TEST(EngineTest, CompilesAndRunsMatchingInterpreter) {
+  Graph g = BuildSmallCnn();
+  auto engine = Engine::Compile(g, CompileOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::map<std::string, Tensor> inputs{{"data", RandomInput()}};
+  auto out = engine->Run(inputs);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // Reference on the layout-normalized primitive graph.
+  auto ref = Interpreter(LayoutTransformPass(g)).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  // Fused epilogues keep FP32 until the final store; allow a few FP16
+  // ulps relative to the per-op-quantized reference.
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 5e-3f);
+}
+
+TEST(EngineTest, AppliesAllPasses) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  const PassStats& stats = engine->tuning_report().pass_stats;
+  EXPECT_GE(stats.epilogues_fused, 4);
+  EXPECT_EQ(stats.persistent_fused, 1);  // conv0+conv1 pair
+  EXPECT_GE(stats.layout_transforms_inserted, 1);
+}
+
+TEST(EngineTest, EpilogueFusionReducesLatency) {
+  Graph g = BuildSmallCnn();
+  CompileOptions with;
+  CompileOptions without;
+  without.enable_epilogue_fusion = false;
+  without.enable_persistent_fusion = false;  // isolate the effect
+  CompileOptions with_epi = without;
+  with_epi.enable_epilogue_fusion = true;
+  auto fast = Engine::Compile(g, with_epi);
+  auto slow = Engine::Compile(g, without);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_LT(fast->EstimatedLatencyUs(), slow->EstimatedLatencyUs());
+}
+
+TEST(EngineTest, PersistentFusionReducesLatencyAndLaunches) {
+  Graph g = BuildSmallCnn();
+  CompileOptions base;
+  base.enable_persistent_fusion = false;
+  auto unfused = Engine::Compile(g, base);
+  auto fused = Engine::Compile(g, CompileOptions{});
+  ASSERT_TRUE(unfused.ok());
+  ASSERT_TRUE(fused.ok());
+  EXPECT_LE(fused->EstimatedLatencyUs(), unfused->EstimatedLatencyUs());
+  EXPECT_LT(fused->module().num_device_launches(),
+            unfused->module().num_device_launches());
+}
+
+TEST(EngineTest, DisablingFusionStillMatchesInterpreter) {
+  Graph g = BuildSmallCnn();
+  CompileOptions opts;
+  opts.enable_epilogue_fusion = false;
+  opts.enable_persistent_fusion = false;
+  opts.enable_padding = false;
+  auto engine = Engine::Compile(g, opts);
+  ASSERT_TRUE(engine.ok());
+  std::map<std::string, Tensor> inputs{{"data", RandomInput(123)}};
+  auto out = engine->Run(inputs);
+  ASSERT_TRUE(out.ok());
+  auto ref = Interpreter(LayoutTransformPass(g)).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 5e-3f);
+}
+
+TEST(EngineTest, GeneratesCutlassConventionSources) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  const std::string source = engine->module().FullSource();
+  EXPECT_TRUE(Contains(source, "cutlite::gemm::device::Gemm"));
+  EXPECT_TRUE(Contains(source, "B2bImplicitGemmConvolution"));
+  EXPECT_TRUE(Contains(source, "Auto-generated by Bolt"));
+  // Every device launch besides padding references an emitted kernel.
+  for (const auto& launch : engine->module().launches()) {
+    if (launch.kind == codegen::LaunchKind::kGemm ||
+        launch.kind == codegen::LaunchKind::kConv) {
+      EXPECT_TRUE(engine->module().sources().count(launch.kernel_name))
+          << launch.kernel_name;
+    }
+  }
+}
+
+TEST(EngineTest, FoldedLayoutTransformHasNoLaunch) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  bool found_folded = false;
+  for (const auto& launch : engine->module().launches()) {
+    if (launch.kernel_name == "folded_layout_transform") {
+      found_folded = true;
+    }
+  }
+  EXPECT_TRUE(found_folded);
+}
+
+TEST(EngineTest, TuningReportAccountsProfilerWork) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  const TuningReport& r = engine->tuning_report();
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.workloads_profiled, 0);
+  EXPECT_GT(r.candidates_tried, 0);
+  // Minutes, not hours, for a tiny model.
+  EXPECT_LT(r.seconds, 10 * 60.0);
+}
+
+TEST(EngineTest, MissingInputRejected) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto out = engine->Run({});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, PaddingTriggersOnUnalignedProductionConv) {
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {32, 20, 26, 46});
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 2;
+  NodeId y = b.Conv2d(
+      x, b.Constant("w", RandomWeight({32, 5, 5, 46}, 11)), a);
+  y = b.BiasAdd(y, b.Constant("bias", RandomWeight({32}, 12)));
+  b.MarkOutput(y);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  auto padded = Engine::Compile(*g, CompileOptions{});
+  CompileOptions no_pad;
+  no_pad.enable_padding = false;
+  auto unpadded = Engine::Compile(*g, no_pad);
+  ASSERT_TRUE(padded.ok());
+  ASSERT_TRUE(unpadded.ok());
+  EXPECT_EQ(padded->tuning_report().pass_stats.tensors_padded, 1);
+  EXPECT_LT(padded->EstimatedLatencyUs(), unpadded->EstimatedLatencyUs());
+
+  // Functional equivalence with padding enabled.
+  Tensor input(TensorDesc(DType::kFloat16, {32, 20, 26, 46},
+                          Layout::kNHWC));
+  Rng rng(13);
+  rng.FillNormal(input.data(), 0.5f);
+  input.Quantize();
+  std::map<std::string, Tensor> inputs{{"x", input}};
+  auto out = padded->Run(inputs);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto ref = Interpreter(*g).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 5e-3f);
+}
+
+TEST(EngineTest, MultiOutputGraph) {
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {1, 8, 8, 8});
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  NodeId y1 = b.Conv2d(x, b.Constant("w1", RandomWeight({8, 3, 3, 8}, 21)),
+                       a);
+  NodeId y2 = b.Activation(x, ActivationKind::kGelu);
+  b.MarkOutput(y1);
+  b.MarkOutput(y2);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  Tensor input(TensorDesc(DType::kFloat16, {1, 8, 8, 8}, Layout::kNHWC));
+  Rng rng(22);
+  rng.FillNormal(input.data(), 0.5f);
+  input.Quantize();
+  std::map<std::string, Tensor> inputs{{"x", input}};
+  auto out = engine->Run(inputs);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+  auto ref = Interpreter(*g).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 5e-3f);
+  EXPECT_LE(out.value()[1].MaxAbsDiff(ref.value()[1]), 5e-3f);
+}
+
+TEST(EngineTest, TimingOnlyGraphRejectsFunctionalRun) {
+  // Desc-only weights compile fine (timing) but cannot execute.
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {1, 8, 8, 8});
+  NodeId w = b.ConstantDesc("w", TensorDesc(DType::kFloat16, {8, 3, 3, 8}));
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  NodeId y = b.Conv2d(x, w, a);
+  b.MarkOutput(y);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GT(engine->EstimatedLatencyUs(), 0.0);
+
+  Tensor input(TensorDesc(DType::kFloat16, {1, 8, 8, 8}, Layout::kNHWC));
+  auto out = engine->Run({{"x", input}});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, LaunchRecordsReferenceOptimizedNodes) {
+  auto engine = Engine::Compile(BuildSmallCnn(), CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  const Graph& g = engine->optimized_graph();
+  for (const auto& launch : engine->module().launches()) {
+    ASSERT_GE(launch.node, 0);
+    ASSERT_LT(launch.node, g.num_nodes());
+    EXPECT_GE(launch.estimated_us, 0.0);
+  }
+  // Total latency equals the sum of launch records.
+  double sum = 0.0;
+  for (const auto& l : engine->module().launches()) sum += l.estimated_us;
+  EXPECT_NEAR(sum, engine->EstimatedLatencyUs(), 1e-9);
+}
+
+}  // namespace
+}  // namespace bolt

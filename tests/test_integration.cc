@@ -1,0 +1,184 @@
+// Cross-module integration tests: the paper's headline claims verified
+// end-to-end on small instances — Bolt beats the Ansor baseline on FP16
+// workloads while tuning orders of magnitude faster, fusion preserves
+// numerics, and the full stack composes.
+
+#include <gtest/gtest.h>
+
+#include "ansor/search.h"
+#include "bolt/engine.h"
+#include "common/rng.h"
+#include "ir/interpreter.h"
+#include "models/workloads.h"
+#include "models/zoo.h"
+#include "profiler/profiler.h"
+
+namespace bolt {
+namespace {
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+
+TEST(Integration, BoltBeatsAnsorOnFp16Gemms) {
+  // Fig. 8a's claim, end to end through both tuners.
+  Profiler prof(kT4);
+  TuningClock clock;
+  ansor::TuningOptions topts;
+  topts.trials = 256;
+  for (const auto& w : workloads::Fig1Gemms()) {
+    auto bolt_r = prof.ProfileGemm(w.coord, cutlite::EpilogueSpec::Linear());
+    ASSERT_TRUE(bolt_r.ok());
+    ansor::SearchTask task;
+    task.kind = ansor::TaskKind::kGemm;
+    task.gemm = w.coord;
+    task.name = w.name;
+    auto ansor_r = ansor::TuneTask(task, kT4, topts, clock);
+    const double speedup = ansor_r.best_us / bolt_r.value().us;
+    EXPECT_GT(speedup, 2.0) << w.name;   // decisive win
+    EXPECT_LT(speedup, 12.0) << w.name;  // but physically plausible
+  }
+}
+
+TEST(Integration, AnsorReachesOnlyFractionOfVendorPeak) {
+  // Fig. 1: Ansor < ~20-25% of cuBLAS(-oracle) performance on FP16 GEMM.
+  TuningClock clock;
+  ansor::TuningOptions topts;
+  topts.trials = 256;
+  for (const auto& w : workloads::Fig1Gemms()) {
+    auto vendor = cutlite::VendorPeakGemm(kT4, w.coord);
+    ansor::SearchTask task;
+    task.kind = ansor::TaskKind::kGemm;
+    task.gemm = w.coord;
+    auto r = ansor::TuneTask(task, kT4, topts, clock);
+    EXPECT_LT(vendor.us / r.best_us, 0.30) << w.name;
+  }
+}
+
+TEST(Integration, BoltMatchesVendorPeakClosely) {
+  // Bolt's search over the same native template space should land within
+  // a few percent of the exhaustive vendor oracle.
+  Profiler prof(kT4);
+  for (const auto& w : workloads::Fig1Gemms()) {
+    auto vendor = cutlite::VendorPeakGemm(kT4, w.coord);
+    auto bolt_r = prof.ProfileGemm(w.coord, cutlite::EpilogueSpec::Linear());
+    ASSERT_TRUE(bolt_r.ok());
+    EXPECT_LE(bolt_r.value().us, vendor.us * 1.10) << w.name;
+  }
+}
+
+TEST(Integration, TuningTimeGapIsOrdersOfMagnitude) {
+  // Fig. 10b: Bolt tunes in minutes, Ansor in hours.
+  models::ModelOptions opts;
+  opts.batch = 32;
+  auto g = models::BuildResNet(18, opts);
+  ASSERT_TRUE(g.ok());
+
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  const double bolt_minutes = engine->tuning_report().seconds / 60.0;
+  EXPECT_LT(bolt_minutes, 20.0);  // the paper's headline budget
+
+  // Ansor cost extrapolated from a small trial count (cost is linear in
+  // trials: compile+measure per trial).
+  ansor::TuningOptions topts;
+  topts.trials = 16;
+  ansor::AnsorModelResult ansor_r = ansor::TuneModel(*g, kT4, topts);
+  const double ansor_hours_at_900 =
+      ansor_r.tuning_seconds / 3600.0 * (900.0 / 16.0);
+  EXPECT_GT(ansor_hours_at_900, 2.0);
+  EXPECT_GT(ansor_hours_at_900 * 60.0, 10.0 * bolt_minutes);
+}
+
+TEST(Integration, EndToEndSpeedupOnSmallRepVgg) {
+  // Miniature Fig. 10a: Bolt-compiled RepVGG vs Ansor-tuned, same graph.
+  // Batch 32 / 64x64 keeps the workloads large enough that tensor cores
+  // matter; at toy sizes every kernel is launch-bound and the two tuners
+  // tie (the paper's small-problem caveat).
+  models::RepVggOptions opts;
+  opts.batch = 32;
+  opts.image_size = 64;
+  opts.num_classes = 10;
+  auto g = models::BuildRepVgg(models::RepVggVariant::kA0, opts);
+  ASSERT_TRUE(g.ok());
+
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  ansor::TuningOptions topts;
+  topts.trials = 128;
+  ansor::AnsorModelResult ansor_r = ansor::TuneModel(*g, kT4, topts);
+
+  const double speedup = ansor_r.latency_us / engine->EstimatedLatencyUs();
+  EXPECT_GT(speedup, 1.3);
+}
+
+TEST(Integration, FullPipelinePreservesNumericsOnRepVggBlockPair) {
+  // 3x3 + 1x1 RepVGG-Aug pattern, materialized, run through every pass.
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  Rng rng(5);
+  auto weight = [&](std::vector<int64_t> s, const char* name) {
+    Tensor t(TensorDesc(DType::kFloat16, std::move(s)));
+    int64_t fan = 1;
+    for (size_t i = 1; i < t.shape().size(); ++i) fan *= t.shape()[i];
+    rng.FillNormal(t.data(), 1.0f / std::sqrt(static_cast<float>(fan)));
+    t.Quantize();
+    return b.Constant(name, std::move(t));
+  };
+  NodeId x = b.Input("data", {1, 8, 14, 14}, Layout::kNCHW);
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  a.stride_h = a.stride_w = 2;
+  NodeId y = b.Conv2d(x, weight({16, 3, 3, 8}, "w3"), a);
+  y = b.BiasAdd(y, weight({16}, "b3"));
+  y = b.Activation(y, ActivationKind::kHardswish);
+  y = b.Conv2d(y, weight({16, 1, 1, 16}, "w1"), Conv2dAttrs{});
+  y = b.BiasAdd(y, weight({16}, "b1"));
+  y = b.Activation(y, ActivationKind::kHardswish);
+  b.MarkOutput(y);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  auto engine = Engine::Compile(*g, CompileOptions{});
+  ASSERT_TRUE(engine.ok());
+  // The pair must actually fuse into a persistent kernel.
+  EXPECT_EQ(engine->tuning_report().pass_stats.persistent_fused, 1);
+
+  Tensor input(TensorDesc(DType::kFloat16, {1, 8, 14, 14}, Layout::kNCHW));
+  rng.FillNormal(input.data(), 0.5f);
+  input.Quantize();
+  std::map<std::string, Tensor> inputs{{"data", input}};
+  auto fused_out = engine->Run(inputs);
+  ASSERT_TRUE(fused_out.ok());
+  auto ref = Interpreter(LayoutTransformPass(*g)).Run(inputs);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(fused_out.value()[0].MaxAbsDiff(ref.value()[0]), 5e-3f);
+}
+
+TEST(Integration, AblationLadderIsMonotone) {
+  // Each optimization must not hurt: none <= +epilogue <= +persistent.
+  models::RepVggOptions opts;
+  opts.batch = 8;
+  opts.image_size = 32;
+  opts.num_classes = 10;
+  opts.augment_1x1 = true;  // creates persistent-fusion opportunities
+  auto g = models::BuildRepVgg(models::RepVggVariant::kA0, opts);
+  ASSERT_TRUE(g.ok());
+
+  CompileOptions none;
+  none.enable_epilogue_fusion = false;
+  none.enable_persistent_fusion = false;
+  CompileOptions epi = none;
+  epi.enable_epilogue_fusion = true;
+  CompileOptions full;
+
+  auto e_none = Engine::Compile(*g, none);
+  auto e_epi = Engine::Compile(*g, epi);
+  auto e_full = Engine::Compile(*g, full);
+  ASSERT_TRUE(e_none.ok());
+  ASSERT_TRUE(e_epi.ok());
+  ASSERT_TRUE(e_full.ok());
+  EXPECT_LT(e_epi->EstimatedLatencyUs(), e_none->EstimatedLatencyUs());
+  EXPECT_LE(e_full->EstimatedLatencyUs(), e_epi->EstimatedLatencyUs());
+  EXPECT_GT(e_full->tuning_report().pass_stats.persistent_fused, 0);
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,332 @@
+// Tests for the model zoo and the RepVGG re-parameterization.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ir/interpreter.h"
+#include "models/repvgg_reparam.h"
+#include "models/workloads.h"
+#include "models/zoo.h"
+
+namespace bolt {
+namespace models {
+namespace {
+
+ModelOptions SmallOptions() {
+  ModelOptions o;
+  o.batch = 1;
+  o.image_size = 32;
+  o.num_classes = 10;
+  o.materialize_weights = false;
+  return o;
+}
+
+TEST(ZooTest, VggStructure) {
+  auto g = BuildVgg(16, SmallOptions());
+  ASSERT_TRUE(g.ok());
+  int convs = 0, pools = 0, dense = 0;
+  for (const Node& n : g->nodes()) {
+    convs += n.kind == OpKind::kConv2d;
+    pools += n.kind == OpKind::kMaxPool2d;
+    dense += n.kind == OpKind::kDense;
+  }
+  EXPECT_EQ(convs, 13);  // VGG-16 = 13 convs + 3 FC
+  EXPECT_EQ(pools, 5);
+  EXPECT_EQ(dense, 3);
+  const Node& out = g->node(g->output_ids()[0]);
+  EXPECT_EQ(out.out_desc.shape, (std::vector<int64_t>{1, 10}));
+}
+
+TEST(ZooTest, VggDepthVariants) {
+  for (int depth : {11, 13, 16, 19}) {
+    auto g = BuildVgg(depth, SmallOptions());
+    ASSERT_TRUE(g.ok()) << depth;
+    int convs = 0;
+    for (const Node& n : g->nodes()) convs += n.kind == OpKind::kConv2d;
+    EXPECT_EQ(convs, depth - 3) << depth;
+  }
+  EXPECT_FALSE(BuildVgg(15, SmallOptions()).ok());
+}
+
+TEST(ZooTest, ResNet50Structure) {
+  auto g = BuildResNet(50, SmallOptions());
+  ASSERT_TRUE(g.ok());
+  int convs = 0, adds = 0;
+  for (const Node& n : g->nodes()) {
+    convs += n.kind == OpKind::kConv2d;
+    adds += n.kind == OpKind::kAdd;
+  }
+  // 1 stem + 16 blocks x 3 convs + 4 downsamples = 53 convs, 16 adds.
+  EXPECT_EQ(convs, 53);
+  EXPECT_EQ(adds, 16);
+}
+
+TEST(ZooTest, ResNet18Structure) {
+  auto g = BuildResNet(18, SmallOptions());
+  ASSERT_TRUE(g.ok());
+  int convs = 0;
+  for (const Node& n : g->nodes()) convs += n.kind == OpKind::kConv2d;
+  // 1 stem + 8 blocks x 2 + 3 downsamples = 20.
+  EXPECT_EQ(convs, 20);
+}
+
+TEST(ZooTest, RepVggDeployIsPlainStack) {
+  RepVggOptions o;
+  static_cast<ModelOptions&>(o) = SmallOptions();
+  auto g = BuildRepVgg(RepVggVariant::kA0, o);
+  ASSERT_TRUE(g.ok());
+  int convs = 0, adds = 0;
+  for (const Node& n : g->nodes()) {
+    convs += n.kind == OpKind::kConv2d;
+    adds += n.kind == OpKind::kAdd;
+  }
+  EXPECT_EQ(convs, 22);  // A0 depths 1+2+4+14+1
+  EXPECT_EQ(adds, 0);    // deploy form: branches re-parameterized away
+}
+
+TEST(ZooTest, RepVggAugmentAdds1x1Convs) {
+  RepVggOptions base;
+  static_cast<ModelOptions&>(base) = SmallOptions();
+  RepVggOptions aug = base;
+  aug.augment_1x1 = true;
+  auto g0 = BuildRepVgg(RepVggVariant::kA0, base);
+  auto g1 = BuildRepVgg(RepVggVariant::kA0, aug);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  int convs0 = 0, convs1 = 0, pointwise = 0;
+  for (const Node& n : g0->nodes()) convs0 += n.kind == OpKind::kConv2d;
+  for (const Node& n : g1->nodes()) {
+    if (n.kind != OpKind::kConv2d) continue;
+    ++convs1;
+    const Node& w = g1->node(n.inputs[1]);
+    if (w.out_desc.shape[1] == 1 && w.out_desc.shape[2] == 1) ++pointwise;
+  }
+  // One 1x1 after each 3x3 except the final wide stage (21 of 22).
+  EXPECT_EQ(convs1, convs0 + 21);
+  EXPECT_EQ(pointwise, 21);
+  // Augmentation grows parameters (paper Table 5: A0 8.31M -> 13.35M).
+  EXPECT_GT(ParamsMillions(*g1), ParamsMillions(*g0));
+}
+
+TEST(ZooTest, RepVggParamCountsMatchPaperBallpark) {
+  // Paper Table 5 (ImageNet, 1000 classes): A0 8.31M, A1 12.79M,
+  // B0 14.34M params. Our deploy-form builder should land within ~15%
+  // (we add biases instead of folded BN parameters).
+  RepVggOptions o;
+  o.batch = 1;
+  o.image_size = 224;
+  o.num_classes = 1000;
+  struct Case {
+    RepVggVariant v;
+    double paper_millions;
+  };
+  for (const Case& c : {Case{RepVggVariant::kA0, 8.31},
+                        Case{RepVggVariant::kA1, 12.79},
+                        Case{RepVggVariant::kB0, 14.34}}) {
+    auto g = BuildRepVgg(c.v, o);
+    ASSERT_TRUE(g.ok());
+    const double params = ParamsMillions(*g);
+    EXPECT_GT(params, c.paper_millions * 0.85);
+    EXPECT_LT(params, c.paper_millions * 1.15);
+  }
+}
+
+TEST(ZooTest, ParamCountsMatchTheRealModels) {
+  // Ground truth from torchvision (conv/dense weights + biases, no BN):
+  // VGG-16 138.36M, ResNet-50 25.56M, ResNet-18 11.69M.
+  ModelOptions o;
+  o.batch = 1;
+  o.image_size = 224;
+  o.num_classes = 1000;
+  auto vgg16 = BuildVgg(16, o);
+  auto resnet50 = BuildResNet(50, o);
+  auto resnet18 = BuildResNet(18, o);
+  ASSERT_TRUE(vgg16.ok());
+  ASSERT_TRUE(resnet50.ok());
+  ASSERT_TRUE(resnet18.ok());
+  EXPECT_NEAR(ParamsMillions(*vgg16), 138.36, 0.2);
+  EXPECT_NEAR(ParamsMillions(*resnet50), 25.56, 0.2);
+  EXPECT_NEAR(ParamsMillions(*resnet18), 11.69, 0.2);
+}
+
+TEST(ZooTest, Fig10ModelsBuild) {
+  ModelOptions o = SmallOptions();
+  auto models = Fig10Models(o);
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(models->size(), 6u);
+  for (const auto& entry : *models) {
+    EXPECT_TRUE(entry.graph.Validate().ok()) << entry.name;
+  }
+}
+
+TEST(ZooTest, MaterializedWeightsRunFunctionally) {
+  ModelOptions o = SmallOptions();
+  o.image_size = 16;
+  o.materialize_weights = true;
+  auto g = BuildVgg(11, o);
+  ASSERT_TRUE(g.ok());
+  Tensor input(TensorDesc(DType::kFloat16, {1, 3, 16, 16}, Layout::kNCHW));
+  Rng rng(3);
+  rng.FillNormal(input.data(), 0.5f);
+  input.Quantize();
+  auto out = Interpreter(*g).Run({{"data", input}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Softmax output sums to ~1.
+  float sum = 0.0f;
+  for (int i = 0; i < 10; ++i) sum += out.value()[0].at(i);
+  EXPECT_NEAR(sum, 1.0f, 1e-2f);
+}
+
+TEST(WorkloadsTest, PaperTablesPopulated) {
+  EXPECT_EQ(workloads::Fig1Gemms().size(), 5u);
+  EXPECT_EQ(workloads::Fig8bConvs().size(), 6u);
+  EXPECT_EQ(workloads::Table1Workloads().size(), 4u);
+  EXPECT_EQ(workloads::Table2Workloads().size(), 6u);
+  EXPECT_EQ(workloads::Table3Workloads().size(), 6u);
+  // BERT GEMM M = batch 32 x seqlen 40.
+  EXPECT_EQ(workloads::Fig1Gemms()[2].coord.m, 1280);
+  // Table 2 second convs are pointwise and channel-chained.
+  for (const auto& w : workloads::Table2Workloads()) {
+    EXPECT_TRUE(w.conv1.IsPointwise());
+    EXPECT_EQ(w.conv1.c, w.conv0.k);
+    EXPECT_EQ(w.conv1.h, w.conv0.out_h());
+  }
+  // Table 3 input channels are not divisible by 8.
+  for (const auto& w : workloads::Table3Workloads()) {
+    EXPECT_NE(w.problem.c % 8, 0);
+  }
+}
+
+// ---- Re-parameterization ---------------------------------------------------
+
+BnParams RandomBn(int64_t channels, uint64_t seed) {
+  Rng rng(seed);
+  BnParams bn;
+  bn.gamma.resize(channels);
+  bn.beta.resize(channels);
+  bn.running_mean.resize(channels);
+  bn.running_var.resize(channels);
+  for (int64_t i = 0; i < channels; ++i) {
+    bn.gamma[i] = rng.UniformFloat(0.5f, 1.5f);
+    bn.beta[i] = rng.Normal(0.0f, 0.2f);
+    bn.running_mean[i] = rng.Normal(0.0f, 0.2f);
+    bn.running_var[i] = rng.UniformFloat(0.5f, 1.5f);
+  }
+  return bn;
+}
+
+Tensor RandomKernel(std::vector<int64_t> shape, uint64_t seed) {
+  Tensor t(TensorDesc(DType::kFloat32, std::move(shape)));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.3f);
+  return t;
+}
+
+// Reference: conv + BN applied per channel.
+Tensor ConvBnRef(const Tensor& x, const Tensor& w, const BnParams& bn,
+                 const Conv2dAttrs& attrs) {
+  Tensor y = refop::Conv2d(x, w, attrs);
+  const int64_t c = w.shape()[0];
+  for (int64_t i = 0; i < y.num_elements(); ++i) {
+    const int64_t ch = i % c;  // NHWC: channels innermost
+    const float scale =
+        bn.gamma[ch] / std::sqrt(bn.running_var[ch] + bn.eps);
+    y.at(i) = (y.at(i) - bn.running_mean[ch]) * scale + bn.beta[ch];
+  }
+  return y;
+}
+
+TEST(ReparamTest, FoldConvBnMatchesReference) {
+  Tensor x(TensorDesc(DType::kFloat32, {1, 6, 6, 4}, Layout::kNHWC));
+  Rng rng(7);
+  rng.FillNormal(x.data(), 0.5f);
+  Tensor w = RandomKernel({8, 3, 3, 4}, 8);
+  BnParams bn = RandomBn(8, 9);
+
+  FusedConv fused = FoldConvBn(w, bn);
+  Conv2dAttrs attrs;
+  attrs.pad_h = attrs.pad_w = 1;
+  Tensor expected = ConvBnRef(x, w, bn, attrs);
+  Tensor got = refop::Conv2d(x, fused.weight, attrs);
+  Tensor bias(TensorDesc(DType::kFloat32, {8}), std::vector<float>(
+                                                    fused.bias));
+  got = refop::BiasAdd(got, bias);
+  EXPECT_LE(got.MaxAbsDiff(expected), 1e-4f);
+}
+
+TEST(ReparamTest, FullBlockCollapsesToSingleConv) {
+  // y = BN3(conv3(x)) + BN1(conv1(x)) + BNid(x) must equal the fused conv.
+  const int64_t c = 6;
+  Tensor x(TensorDesc(DType::kFloat32, {2, 5, 5, c}, Layout::kNHWC));
+  Rng rng(17);
+  rng.FillNormal(x.data(), 0.5f);
+
+  RepVggBlockWeights block;
+  block.w3x3 = RandomKernel({c, 3, 3, c}, 18);
+  block.bn3 = RandomBn(c, 19);
+  block.w1x1 = RandomKernel({c, 1, 1, c}, 20);
+  block.bn1 = RandomBn(c, 21);
+  block.has_identity = true;
+  block.bn_id = RandomBn(c, 22);
+
+  auto fused = Reparameterize(block);
+  ASSERT_TRUE(fused.ok());
+
+  Conv2dAttrs pad1;
+  pad1.pad_h = pad1.pad_w = 1;
+  Tensor branch3 = ConvBnRef(x, block.w3x3, block.bn3, pad1);
+  Tensor branch1 = ConvBnRef(x, block.w1x1, block.bn1, Conv2dAttrs{});
+  // Identity branch: BN applied directly to x.
+  Tensor branch_id = x;
+  for (int64_t i = 0; i < x.num_elements(); ++i) {
+    const int64_t ch = i % c;
+    const float scale = block.bn_id->gamma[ch] /
+                        std::sqrt(block.bn_id->running_var[ch] + 1e-5f);
+    branch_id.at(i) =
+        (x.at(i) - block.bn_id->running_mean[ch]) * scale +
+        block.bn_id->beta[ch];
+  }
+  Tensor expected = refop::Add(refop::Add(branch3, branch1), branch_id);
+
+  Tensor got = refop::Conv2d(x, fused->weight, pad1);
+  Tensor bias(TensorDesc(DType::kFloat32, {c}),
+              std::vector<float>(fused->bias));
+  got = refop::BiasAdd(got, bias);
+  EXPECT_LE(got.MaxAbsDiff(expected), 1e-3f);
+}
+
+TEST(ReparamTest, IdentityBranchRequiresMatchingChannels) {
+  RepVggBlockWeights block;
+  block.w3x3 = RandomKernel({8, 3, 3, 4}, 23);
+  block.bn3 = RandomBn(8, 24);
+  block.w1x1 = RandomKernel({8, 1, 1, 4}, 25);
+  block.bn1 = RandomBn(8, 26);
+  block.has_identity = true;  // but 8 != 4
+  block.bn_id = RandomBn(8, 27);
+  EXPECT_FALSE(Reparameterize(block).ok());
+}
+
+TEST(ReparamTest, Pad1x1PlacesCentreTap) {
+  Tensor w = RandomKernel({2, 1, 1, 3}, 28);
+  Tensor padded = Pad1x1To3x3(w);
+  EXPECT_EQ(padded.shape(), (std::vector<int64_t>{2, 3, 3, 3}));
+  // Centre tap of output channel 1, input channel 2.
+  EXPECT_EQ(padded.at(((1 * 3 + 1) * 3 + 1) * 3 + 2), w.at(1 * 3 + 2));
+  // A corner tap is zero.
+  EXPECT_EQ(padded.at(0), 0.0f);
+}
+
+TEST(ReparamTest, IdentityKernelIsDelta) {
+  Tensor id = Identity3x3Kernel(4, DType::kFloat32);
+  Tensor x(TensorDesc(DType::kFloat32, {1, 4, 4, 4}, Layout::kNHWC));
+  Rng rng(29);
+  rng.FillNormal(x.data(), 0.5f);
+  Conv2dAttrs pad1;
+  pad1.pad_h = pad1.pad_w = 1;
+  Tensor y = refop::Conv2d(x, id, pad1);
+  EXPECT_LE(y.MaxAbsDiff(x), 1e-6f);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace bolt

@@ -1,0 +1,244 @@
+// Property-based tests: randomized model graphs pushed through the full
+// Bolt pipeline under every optimization setting must (a) compile, (b)
+// produce outputs numerically equivalent to the reference interpreter,
+// and (c) never get slower as optimizations are enabled.  Plus properties
+// of the new engine features (shared tuning cache, column reduction).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bolt/engine.h"
+#include "common/rng.h"
+#include "ir/interpreter.h"
+#include "models/zoo.h"
+
+namespace bolt {
+namespace {
+
+/// Generates a random small CNN: conv blocks with random kernel sizes,
+/// strides, channel counts (sometimes unaligned), activations, optional
+/// residual connections and pooling, ending in a dense head.
+Graph RandomModel(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(DType::kFloat16,
+                 rng.UniformFloat() < 0.5 ? Layout::kNCHW : Layout::kNHWC);
+
+  auto weight = [&](std::vector<int64_t> shape) {
+    Tensor t(TensorDesc(DType::kFloat16, std::move(shape)));
+    int64_t fan = 1;
+    for (size_t i = 1; i < t.shape().size(); ++i) fan *= t.shape()[i];
+    rng.FillNormal(t.data(), 1.0f / std::sqrt(static_cast<float>(fan)));
+    t.Quantize();
+    return b.Constant(StrCat("w", rng.NextU64() % 100000), std::move(t));
+  };
+
+  const int64_t image = 8 + 2 * rng.Uniform(0, 4);  // 8..16
+  int64_t channels = rng.Uniform(2, 6);
+  const std::vector<int64_t> input_shape =
+      b.act_layout() == Layout::kNCHW
+          ? std::vector<int64_t>{2, channels, image, image}
+          : std::vector<int64_t>{2, image, image, channels};
+  NodeId x = b.Input("data", input_shape, b.act_layout());
+
+  const ActivationKind acts[] = {ActivationKind::kRelu,
+                                 ActivationKind::kGelu,
+                                 ActivationKind::kHardswish,
+                                 ActivationKind::kSoftplus};
+  const int blocks = static_cast<int>(rng.Uniform(2, 4));
+  for (int i = 0; i < blocks; ++i) {
+    const TensorDesc& xd = b.graph().node(x).out_desc;
+    const bool nhwc = xd.layout == Layout::kNHWC;
+    const int64_t cur_h = nhwc ? xd.shape[1] : xd.shape[2];
+    const int64_t in_c = nhwc ? xd.shape[3] : xd.shape[1];
+    const int64_t out_c = rng.Uniform(4, 20);
+    const int64_t kernel = rng.UniformFloat() < 0.4 ? 1 : 3;
+    const int64_t stride =
+        (cur_h >= 8 && rng.UniformFloat() < 0.3) ? 2 : 1;
+    Conv2dAttrs a;
+    a.stride_h = a.stride_w = stride;
+    a.pad_h = a.pad_w = kernel == 3 ? 1 : 0;
+    NodeId skip = x;
+    x = b.Conv2d(x, weight({out_c, kernel, kernel, in_c}), a);
+    if (rng.UniformFloat() < 0.8) {
+      x = b.BiasAdd(x, weight({out_c}));
+    }
+    // Residual when shapes permit.
+    if (stride == 1 && kernel == 1 && out_c == in_c &&
+        rng.UniformFloat() < 0.5) {
+      x = b.Add(x, skip);
+    }
+    if (rng.UniformFloat() < 0.9) {
+      x = b.Activation(x, acts[rng.Uniform(0, 3)]);
+    }
+    const TensorDesc& yd = b.graph().node(x).out_desc;
+    const int64_t h = yd.layout == Layout::kNHWC ? yd.shape[1]
+                                                 : yd.shape[2];
+    if (h >= 8 && rng.UniformFloat() < 0.3) {
+      x = b.MaxPool2d(x, 2, 2);
+    }
+  }
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  const TensorDesc& fd = b.graph().node(x).out_desc;
+  x = b.Dense(x, weight({5, fd.shape[1]}));
+  x = b.Softmax(x);
+  b.MarkOutput(x);
+  auto g = b.Build();
+  BOLT_CHECK_MSG(g.ok(), g.status().ToString());
+  return std::move(g).value();
+}
+
+Tensor RandomInputFor(const Graph& g, uint64_t seed) {
+  const Node& input = g.node(g.input_ids()[0]);
+  Tensor t(input.out_desc);
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.6f);
+  t.Quantize();
+  return t;
+}
+
+class RandomModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomModelTest, EngineMatchesInterpreterUnderAllOptionSets) {
+  const uint64_t seed = 1000 + GetParam();
+  Graph g = RandomModel(seed);
+  const Tensor input = RandomInputFor(g, seed * 7);
+  std::map<std::string, Tensor> inputs{{"data", input}};
+
+  auto ref = Interpreter(LayoutTransformPass(g)).Run(inputs);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (int mask = 0; mask < 8; ++mask) {
+    CompileOptions opts;
+    opts.enable_epilogue_fusion = mask & 1;
+    opts.enable_persistent_fusion = mask & 2;
+    opts.enable_padding = mask & 4;
+    auto engine = Engine::Compile(g, opts);
+    ASSERT_TRUE(engine.ok())
+        << "seed " << seed << " mask " << mask << ": "
+        << engine.status().ToString();
+    auto out = engine->Run(inputs);
+    ASSERT_TRUE(out.ok())
+        << "seed " << seed << " mask " << mask << ": "
+        << out.status().ToString();
+    EXPECT_LE(out.value()[0].MaxAbsDiff(ref.value()[0]), 1e-2f)
+        << "seed " << seed << " mask " << mask;
+    EXPECT_GT(engine->EstimatedLatencyUs(), 0.0);
+  }
+}
+
+TEST_P(RandomModelTest, OptimizationsNeverHurtLatency) {
+  const uint64_t seed = 2000 + GetParam();
+  Graph g = RandomModel(seed);
+  CompileOptions none;
+  none.enable_epilogue_fusion = false;
+  none.enable_persistent_fusion = false;
+  none.enable_padding = false;
+  auto base = Engine::Compile(g, none);
+  auto full = Engine::Compile(g, CompileOptions{});
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(full->EstimatedLatencyUs(),
+            base->EstimatedLatencyUs() * 1.0001)
+      << "seed " << seed;
+}
+
+TEST_P(RandomModelTest, CompilationIsDeterministic) {
+  const uint64_t seed = 3000 + GetParam();
+  Graph g = RandomModel(seed);
+  auto a = Engine::Compile(g, CompileOptions{});
+  auto b = Engine::Compile(g, CompileOptions{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->EstimatedLatencyUs(), b->EstimatedLatencyUs());
+  EXPECT_EQ(a->module().FullSource(), b->module().FullSource());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest, ::testing::Range(0, 12));
+
+TEST(SharedProfilerTest, SecondCompileReusesTheCache) {
+  models::RepVggOptions opts;
+  opts.batch = 8;
+  opts.image_size = 32;
+  opts.num_classes = 10;
+  auto a0 = models::BuildRepVgg(models::RepVggVariant::kA0, opts);
+  ASSERT_TRUE(a0.ok());
+
+  Profiler shared(DeviceSpec::TeslaT4());
+  CompileOptions copts;
+  copts.shared_profiler = &shared;
+  auto first = Engine::Compile(*a0, copts);
+  ASSERT_TRUE(first.ok());
+  const double first_s = first->tuning_report().seconds;
+  auto second = Engine::Compile(*a0, copts);
+  ASSERT_TRUE(second.ok());
+  // Everything is cached: the second compile adds (almost) no tuning
+  // time — in particular it skips the 90 s arch preparation.
+  EXPECT_LT(second->tuning_report().seconds, 0.1 * first_s);
+  EXPECT_DOUBLE_EQ(second->EstimatedLatencyUs(),
+                   first->EstimatedLatencyUs());
+}
+
+TEST(SharedProfilerTest, CacheTransfersAcrossSessionsViaSerialization) {
+  models::ModelOptions opts;
+  opts.batch = 8;
+  opts.image_size = 32;
+  opts.num_classes = 10;
+  auto g = models::BuildVgg(11, opts);
+  ASSERT_TRUE(g.ok());
+
+  Profiler session1(DeviceSpec::TeslaT4());
+  CompileOptions copts;
+  copts.shared_profiler = &session1;
+  ASSERT_TRUE(Engine::Compile(*g, copts).ok());
+  std::ostringstream saved;
+  ASSERT_TRUE(session1.SaveCache(saved).ok());
+
+  Profiler session2(DeviceSpec::TeslaT4());
+  std::istringstream loaded(saved.str());
+  ASSERT_TRUE(session2.LoadCache(loaded).ok());
+  CompileOptions copts2;
+  copts2.shared_profiler = &session2;
+  auto warm = Engine::Compile(*g, copts2);
+  ASSERT_TRUE(warm.ok());
+  // All anchor workloads hit the loaded cache; only pass-level B2B
+  // probing (which is not cached) may add time.
+  EXPECT_LT(warm->tuning_report().seconds, 10.0);
+}
+
+TEST(ColumnReductionTest, SumsMatchOutputColumns) {
+  const cutlite::GemmCoord p(24, 16, 32);
+  Tensor a(TensorDesc(DType::kFloat16, {p.m, p.k}, Layout::kRowMajor));
+  Tensor w(TensorDesc(DType::kFloat16, {p.n, p.k}, Layout::kRowMajor));
+  Rng rng(5);
+  rng.FillNormal(a.data(), 0.3f);
+  rng.FillNormal(w.data(), 0.3f);
+  a.Quantize();
+  w.Quantize();
+
+  cutlite::EpilogueSpec e =
+      cutlite::EpilogueSpec::WithActivation(ActivationKind::kRelu, false);
+  e.column_reduction = true;
+  cutlite::KernelConfig c;
+  c.threadblock = cutlite::GemmShape(32, 16, 32);
+  c.warp = cutlite::GemmShape(16, 16, 32);
+  c.instruction = cutlite::GemmShape(16, 8, 8);
+  cutlite::GemmKernel kernel(p, c, e);
+  cutlite::GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  Tensor sums;
+  args.column_sums = &sums;
+  auto out = kernel.Run(args);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(sums.num_elements(), p.n);
+  for (int64_t j = 0; j < p.n; ++j) {
+    float expect = 0.0f;
+    for (int64_t i = 0; i < p.m; ++i) expect += out.value().at(i * p.n + j);
+    EXPECT_NEAR(sums.at(j), expect, 1e-3f) << "column " << j;
+  }
+}
+
+}  // namespace
+}  // namespace bolt

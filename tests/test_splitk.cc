@@ -1,0 +1,186 @@
+// Tests for split-K GEMM: functional equivalence with the single-pass
+// kernel, validity rules, timing behaviour on deep-K problems, candidate
+// enumeration, and cache round-trips including split-K configs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "cutlite/gemm.h"
+#include "profiler/profiler.h"
+
+namespace bolt {
+namespace cutlite {
+namespace {
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Tensor t(TensorDesc(DType::kFloat16, {rows, cols}, Layout::kRowMajor));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.3f);
+  t.Quantize();
+  return t;
+}
+
+KernelConfig ConfigWithSplitK(int split_k) {
+  KernelConfig c;
+  c.threadblock = GemmShape(64, 64, 32);
+  c.warp = GemmShape(32, 32, 32);
+  c.instruction = GemmShape(16, 8, 8);
+  c.split_k = split_k;
+  return c;
+}
+
+TEST(SplitKTest, NameEncodesSlices) {
+  EXPECT_EQ(ConfigWithSplitK(4).Name("gemm"),
+            "cutlite_tensorop_h1688gemm_64x64_32x2_tn_align8_splitk4");
+  EXPECT_EQ(ConfigWithSplitK(1).Name("gemm"),
+            "cutlite_tensorop_h1688gemm_64x64_32x2_tn_align8");
+}
+
+TEST(SplitKTest, ValidityRules) {
+  EXPECT_TRUE(ConfigWithSplitK(8).Validate(kT4).ok());
+  EXPECT_FALSE(ConfigWithSplitK(0).Validate(kT4).ok());
+  EXPECT_FALSE(ConfigWithSplitK(64).Validate(kT4).ok());
+  // Slices must hold at least one ThreadBlock_K chunk of the problem.
+  GemmKernel too_deep(GemmCoord(64, 64, 64), ConfigWithSplitK(4),
+                      EpilogueSpec::Linear());
+  EXPECT_FALSE(too_deep.CanImplement(kT4).ok());
+  GemmKernel fine(GemmCoord(64, 64, 1024), ConfigWithSplitK(4),
+                  EpilogueSpec::Linear());
+  EXPECT_TRUE(fine.CanImplement(kT4).ok());
+}
+
+TEST(SplitKTest, FunctionalEquivalenceWithSinglePass) {
+  const GemmCoord p(48, 32, 256);
+  Tensor a = RandomMatrix(p.m, p.k, 61);
+  Tensor w = RandomMatrix(p.n, p.k, 62);
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+
+  GemmKernel single(p, ConfigWithSplitK(1), EpilogueSpec::Linear());
+  auto base = single.Run(args);
+  ASSERT_TRUE(base.ok());
+  for (int sk : {2, 4, 8}) {
+    GemmKernel split(p, ConfigWithSplitK(sk), EpilogueSpec::Linear());
+    auto out = split.Run(args);
+    ASSERT_TRUE(out.ok()) << "split_k=" << sk;
+    // FP32 partial sums differ from sequential accumulation only by
+    // rounding; after the FP16 store they should be within one ulp.
+    EXPECT_LE(out.value().MaxAbsDiff(base.value()), 2e-2f)
+        << "split_k=" << sk;
+  }
+}
+
+TEST(SplitKTest, EpilogueRunsAfterReduction) {
+  const GemmCoord p(32, 16, 128);
+  Tensor a = RandomMatrix(p.m, p.k, 63);
+  Tensor w = RandomMatrix(p.n, p.k, 64);
+  Tensor bias(TensorDesc(DType::kFloat16, {p.n}, Layout::kRowMajor));
+  Rng rng(65);
+  rng.FillNormal(bias.data(), 0.3f);
+  bias.Quantize();
+  GemmArguments args;
+  args.a = &a;
+  args.w = &w;
+  args.bias = &bias;
+
+  const auto epi = EpilogueSpec::WithActivation(ActivationKind::kRelu);
+  GemmKernel single(p, ConfigWithSplitK(1), epi);
+  GemmKernel split(p, ConfigWithSplitK(4), epi);
+  auto base = single.Run(args);
+  auto out = split.Run(args);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out.value().MaxAbsDiff(base.value()), 2e-2f);
+}
+
+TEST(SplitKTest, WinsOnSmallMnDeepK) {
+  // One output tile, very deep K: only split-K fills the SMs.
+  const GemmCoord p(64, 64, 65536);
+  GemmKernel single(p, ConfigWithSplitK(1), EpilogueSpec::Linear());
+  GemmKernel split(p, ConfigWithSplitK(8), EpilogueSpec::Linear());
+  EXPECT_LT(split.EstimateUs(kT4), single.EstimateUs(kT4));
+}
+
+TEST(SplitKTest, LosesOnLargeProblems) {
+  // The reduction-pass traffic outweighs any occupancy benefit when the
+  // grid is already full.
+  const GemmCoord p(4096, 4096, 4096);
+  KernelConfig base;
+  base.threadblock = GemmShape(128, 128, 32);
+  base.warp = GemmShape(64, 64, 32);
+  KernelConfig sk = base;
+  sk.split_k = 8;
+  GemmKernel single(p, base, EpilogueSpec::Linear());
+  GemmKernel split(p, sk, EpilogueSpec::Linear());
+  EXPECT_GT(split.EstimateUs(kT4), single.EstimateUs(kT4));
+}
+
+TEST(SplitKTest, CandidatesIncludeSplitKForDeepProblems) {
+  bool found = false;
+  for (const auto& c :
+       EnumerateGemmCandidates(kT4, GemmCoord(128, 128, 32768))) {
+    if (c.split_k > 1) found = true;
+  }
+  EXPECT_TRUE(found);
+  // But not for well-shaped large problems.
+  for (const auto& c :
+       EnumerateGemmCandidates(kT4, GemmCoord(4096, 4096, 4096))) {
+    EXPECT_EQ(c.split_k, 1);
+  }
+}
+
+TEST(SplitKTest, ProfilerPicksSplitKWhereItWins) {
+  Profiler prof(kT4);
+  auto r = prof.ProfileGemm(GemmCoord(64, 64, 65536),
+                            EpilogueSpec::Linear());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().config.split_k, 1);
+}
+
+TEST(CacheSerializationTest, RoundTripsConfigsIncludingSplitK) {
+  Profiler prof(kT4);
+  ASSERT_TRUE(prof.ProfileGemm(GemmCoord(64, 64, 65536),
+                               EpilogueSpec::Linear())
+                  .ok());
+  ASSERT_TRUE(prof.ProfileGemm(GemmCoord(1280, 3072, 768),
+                               EpilogueSpec::Linear())
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(prof.SaveCache(out).ok());
+
+  Profiler fresh(kT4);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(fresh.LoadCache(in).ok());
+  EXPECT_EQ(fresh.cache_size(), prof.cache_size());
+
+  // Loaded entries are cache hits and charge no tuning time.
+  auto hit = fresh.ProfileGemm(GemmCoord(64, 64, 65536),
+                               EpilogueSpec::Linear());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_GT(hit.value().config.split_k, 1);
+  EXPECT_DOUBLE_EQ(fresh.clock().seconds(), 0.0);
+}
+
+TEST(CacheSerializationTest, RejectsMalformedRecords) {
+  Profiler prof(kT4);
+  std::istringstream bad1("gemm/x|1 2 3|10|5\n");
+  EXPECT_FALSE(prof.LoadCache(bad1).ok());
+  std::istringstream bad2("no-separators-at-all\n");
+  EXPECT_FALSE(prof.LoadCache(bad2).ok());
+  std::istringstream bad3(
+      "gemm/x|64 64 32 32 32 32 16 8 8 2 4 8 8 8 1|-5|3\n");
+  EXPECT_FALSE(prof.LoadCache(bad3).ok());
+  // Comments and blank lines are fine.
+  std::istringstream ok("# header\n\n");
+  EXPECT_TRUE(prof.LoadCache(ok).ok());
+}
+
+}  // namespace
+}  // namespace cutlite
+}  // namespace bolt

@@ -1,0 +1,229 @@
+// Tests for the training substrate: gradient correctness (numerical
+// differentiation), optimization behaviour, and the RepVGG train-block /
+// re-parameterization bridge.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/interpreter.h"
+#include "models/repvgg_reparam.h"
+#include "train/trainer.h"
+
+namespace bolt {
+namespace train {
+namespace {
+
+/// Central-difference gradient check for one parameter entry.
+double NumericalGrad(Layer& layer, const Batch& x, Param& param,
+                     size_t index, const Batch& dy) {
+  const float eps = 1e-3f;
+  const float saved = param.value[index];
+  param.value[index] = saved + eps;
+  Batch up = layer.Forward(x);
+  param.value[index] = saved - eps;
+  Batch down = layer.Forward(x);
+  param.value[index] = saved;
+  double diff = 0.0;
+  for (size_t i = 0; i < up.v.size(); ++i) {
+    diff += static_cast<double>(up.v[i] - down.v[i]) * dy.v[i];
+  }
+  return diff / (2 * eps);
+}
+
+TEST(GradCheckTest, Conv2dWeightsAndBias) {
+  Rng rng(1);
+  Conv2dLayer conv(3, 4, 3, 1, 1, rng);
+  Batch x(2, 5, 5, 3);
+  rng.FillNormal(x.v, 0.5f);
+  Batch y = conv.Forward(x);
+  Batch dy(y.n, y.h, y.w, y.c);
+  rng.FillNormal(dy.v, 0.5f);
+  conv.Backward(dy);
+
+  for (size_t idx : {0u, 7u, 35u, 100u}) {
+    const double numeric = NumericalGrad(conv, x, conv.weight(), idx, dy);
+    EXPECT_NEAR(conv.weight().grad[idx], numeric, 2e-2)
+        << "weight index " << idx;
+  }
+  const double bias_numeric = NumericalGrad(conv, x, conv.bias(), 1, dy);
+  EXPECT_NEAR(conv.bias().grad[1], bias_numeric, 2e-2);
+}
+
+TEST(GradCheckTest, Conv2dInputGradient) {
+  Rng rng(2);
+  Conv2dLayer conv(2, 3, 3, 2, 1, rng);  // strided
+  Batch x(1, 6, 6, 2);
+  rng.FillNormal(x.v, 0.5f);
+  Batch y = conv.Forward(x);
+  Batch dy(y.n, y.h, y.w, y.c);
+  rng.FillNormal(dy.v, 0.5f);
+  Batch dx = conv.Backward(dy);
+
+  // Perturb one input element, check loss change against dx.
+  const float eps = 1e-3f;
+  for (size_t idx : {0u, 13u, 41u}) {
+    Batch xp = x;
+    xp.v[idx] += eps;
+    Batch yp = conv.Forward(xp);
+    Batch xm = x;
+    xm.v[idx] -= eps;
+    Batch ym = conv.Forward(xm);
+    double numeric = 0.0;
+    for (size_t i = 0; i < yp.v.size(); ++i) {
+      numeric += static_cast<double>(yp.v[i] - ym.v[i]) * dy.v[i];
+    }
+    numeric /= 2 * eps;
+    EXPECT_NEAR(dx.v[idx], numeric, 2e-2) << "input index " << idx;
+  }
+}
+
+TEST(GradCheckTest, DenseLayer) {
+  Rng rng(3);
+  DenseLayer fc(12, 5, rng);
+  Batch x(3, 1, 1, 12);
+  rng.FillNormal(x.v, 0.5f);
+  Batch y = fc.Forward(x);
+  Batch dy(3, 1, 1, 5);
+  rng.FillNormal(dy.v, 0.5f);
+  fc.Backward(dy);
+  auto params = fc.Params();
+  for (size_t idx : {0u, 17u, 59u}) {
+    const double numeric = NumericalGrad(fc, x, *params[0], idx, dy);
+    EXPECT_NEAR(params[0]->grad[idx], numeric, 1e-2);
+  }
+}
+
+TEST(GradCheckTest, RepVggTrainBlock) {
+  Rng rng(4);
+  RepVggTrainBlock block(3, 3, 1, ActivationKind::kGelu, rng);
+  EXPECT_TRUE(block.has_identity());
+  Batch x(1, 4, 4, 3);
+  rng.FillNormal(x.v, 0.5f);
+  Batch y = block.Forward(x);
+  Batch dy(y.n, y.h, y.w, y.c);
+  rng.FillNormal(dy.v, 0.5f);
+  block.Backward(dy);
+  auto params = block.Params();
+  const double numeric =
+      NumericalGrad(block, x, *params[0], 5, dy);  // 3x3 branch weight
+  EXPECT_NEAR(params[0]->grad[5], numeric, 2e-2);
+  const double numeric1 =
+      NumericalGrad(block, x, *params[2], 2, dy);  // 1x1 branch weight
+  EXPECT_NEAR(params[2]->grad[2], numeric1, 2e-2);
+}
+
+TEST(SoftmaxCeTest, LossAndGradient) {
+  Batch logits(2, 1, 1, 3);
+  logits.v = {2.0f, 1.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<int> labels = {0, 2};
+  Batch dlogits;
+  const double loss = SoftmaxCrossEntropy(logits, labels, dlogits);
+  // Sample 2 is uniform: loss contribution log(3).
+  EXPECT_GT(loss, 0.0);
+  // Gradient rows sum to zero.
+  for (int n = 0; n < 2; ++n) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += dlogits.at(n, 0, 0, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+  // True-class gradient is negative.
+  EXPECT_LT(dlogits.at(0, 0, 0, 0), 0.0f);
+  EXPECT_LT(dlogits.at(1, 0, 0, 2), 0.0f);
+}
+
+TEST(SgdTest, MomentumDescendsQuadratic) {
+  // Minimize f(w) = 0.5*w^2 by feeding grad = w.
+  Param p(1);
+  p.value[0] = 10.0f;
+  Sgd sgd(0.1, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    p.grad[0] = p.value[0];
+    sgd.Step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 0.0f, 0.5f);
+}
+
+TEST(DatasetTest, DeterministicAndBalancedEnough) {
+  Dataset a = MakeSyntheticDataset(200, 8, 3, 4, 99);
+  Dataset b = MakeSyntheticDataset(200, 8, 3, 4, 99);
+  ASSERT_EQ(a.labels, b.labels);
+  // Every class appears (the teacher is not degenerate).
+  std::vector<int> counts(4, 0);
+  for (int label : a.labels) ++counts[label];
+  for (int c = 0; c < 4; ++c) EXPECT_GT(counts[c], 5) << "class " << c;
+}
+
+TEST(TrainingTest, LossDecreasesAndBeatsChance) {
+  Dataset train_set = MakeSyntheticDataset(256, 8, 3, 4, 7);
+  Dataset test_set = MakeSyntheticDataset(128, 8, 3, 4, 8);
+  Sequential model = BuildStudent(train_set, {8, 16}, {1, 1},
+                                  ActivationKind::kRelu, false, 1);
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 32;
+  config.lr = 0.05;
+  TrainResult r = Train(model, train_set, test_set, config);
+  EXPECT_LT(r.loss_curve.back(), r.loss_curve.front());
+  EXPECT_GT(r.test_accuracy, 0.40);  // chance = 0.25
+}
+
+TEST(TrainingTest, AugmentedStudentHasMoreParams) {
+  Dataset data = MakeSyntheticDataset(8, 8, 3, 4, 7);
+  Sequential base = BuildStudent(data, {8, 16}, {1, 1},
+                                 ActivationKind::kRelu, false, 1);
+  Sequential aug = BuildStudent(data, {8, 16}, {1, 1},
+                                ActivationKind::kRelu, true, 1);
+  EXPECT_GT(aug.num_params(), base.num_params());
+}
+
+TEST(ReparamBridgeTest, TrainedBlockCollapsesExactly) {
+  // Train-form block (no BN, bias folded in conv) must equal the single
+  // 3x3 conv built from w3 + pad(w1) + identity.
+  Rng rng(11);
+  RepVggTrainBlock block(4, 4, 1, ActivationKind::kIdentity, rng);
+  Batch x(1, 5, 5, 4);
+  rng.FillNormal(x.v, 0.5f);
+  Batch branch_sum = block.Forward(x);
+
+  // Build the fused kernel: identity BN-free variant.
+  const auto& w3 = block.branch3x3().weight().value;
+  const auto& b3 = block.branch3x3().bias().value;
+  const auto& w1 = block.branch1x1().weight().value;
+  const auto& b1 = block.branch1x1().bias().value;
+
+  Tensor w3t(TensorDesc(DType::kFloat32, {4, 3, 3, 4}),
+             std::vector<float>(w3));
+  Tensor w1t(TensorDesc(DType::kFloat32, {4, 1, 1, 4}),
+             std::vector<float>(w1));
+  Tensor fused = models::Pad1x1To3x3(w1t);
+  for (int64_t i = 0; i < fused.num_elements(); ++i) {
+    fused.at(i) += w3t.at(i);
+  }
+  Tensor id = models::Identity3x3Kernel(4, DType::kFloat32);
+  for (int64_t i = 0; i < fused.num_elements(); ++i) {
+    fused.at(i) += id.at(i);
+  }
+  std::vector<float> bias(4);
+  for (int i = 0; i < 4; ++i) bias[i] = b3[i] + b1[i];
+
+  Tensor xt(TensorDesc(DType::kFloat32, {1, 5, 5, 4}, Layout::kNHWC),
+            std::vector<float>(x.v));
+  Conv2dAttrs pad1;
+  pad1.pad_h = pad1.pad_w = 1;
+  Tensor got = refop::Conv2d(xt, fused, pad1);
+  Tensor bias_t(TensorDesc(DType::kFloat32, {4}),
+                std::vector<float>(bias));
+  got = refop::BiasAdd(got, bias_t);
+
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < got.num_elements(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(got.at(i) - branch_sum.v[i]));
+  }
+  EXPECT_LE(max_diff, 1e-4f);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace bolt
