@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dynamic_shapes"
+  "../bench/bench_dynamic_shapes.pdb"
+  "CMakeFiles/bench_dynamic_shapes.dir/bench_dynamic_shapes.cc.o"
+  "CMakeFiles/bench_dynamic_shapes.dir/bench_dynamic_shapes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10a_end2end"
+  "../bench/bench_fig10a_end2end.pdb"
+  "CMakeFiles/bench_fig10a_end2end.dir/bench_fig10a_end2end.cc.o"
+  "CMakeFiles/bench_fig10a_end2end.dir/bench_fig10a_end2end.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

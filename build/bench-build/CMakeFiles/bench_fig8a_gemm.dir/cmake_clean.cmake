@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_gemm"
+  "../bench/bench_fig8a_gemm.pdb"
+  "CMakeFiles/bench_fig8a_gemm.dir/bench_fig8a_gemm.cc.o"
+  "CMakeFiles/bench_fig8a_gemm.dir/bench_fig8a_gemm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8b_conv"
+  "../bench/bench_fig8b_conv.pdb"
+  "CMakeFiles/bench_fig8b_conv.dir/bench_fig8b_conv.cc.o"
+  "CMakeFiles/bench_fig8b_conv.dir/bench_fig8b_conv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

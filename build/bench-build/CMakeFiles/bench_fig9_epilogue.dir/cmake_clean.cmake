@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_epilogue"
+  "../bench/bench_fig9_epilogue.pdb"
+  "CMakeFiles/bench_fig9_epilogue.dir/bench_fig9_epilogue.cc.o"
+  "CMakeFiles/bench_fig9_epilogue.dir/bench_fig9_epilogue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_epilogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mixed_precision"
+  "../bench/bench_mixed_precision.pdb"
+  "CMakeFiles/bench_mixed_precision.dir/bench_mixed_precision.cc.o"
+  "CMakeFiles/bench_mixed_precision.dir/bench_mixed_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_b2b_gemm"
+  "../bench/bench_table1_b2b_gemm.pdb"
+  "CMakeFiles/bench_table1_b2b_gemm.dir/bench_table1_b2b_gemm.cc.o"
+  "CMakeFiles/bench_table1_b2b_gemm.dir/bench_table1_b2b_gemm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_b2b_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

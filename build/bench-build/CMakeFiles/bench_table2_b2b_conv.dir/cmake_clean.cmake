@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_b2b_conv"
+  "../bench/bench_table2_b2b_conv.pdb"
+  "CMakeFiles/bench_table2_b2b_conv.dir/bench_table2_b2b_conv.cc.o"
+  "CMakeFiles/bench_table2_b2b_conv.dir/bench_table2_b2b_conv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_b2b_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_padding"
+  "../bench/bench_table3_padding.pdb"
+  "CMakeFiles/bench_table3_padding.dir/bench_table3_padding.cc.o"
+  "CMakeFiles/bench_table3_padding.dir/bench_table3_padding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_activations"
+  "../bench/bench_table4_activations.pdb"
+  "CMakeFiles/bench_table4_activations.dir/bench_table4_activations.cc.o"
+  "CMakeFiles/bench_table4_activations.dir/bench_table4_activations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

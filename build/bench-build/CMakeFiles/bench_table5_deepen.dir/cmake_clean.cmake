@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_deepen"
+  "../bench/bench_table5_deepen.pdb"
+  "CMakeFiles/bench_table5_deepen.dir/bench_table5_deepen.cc.o"
+  "CMakeFiles/bench_table5_deepen.dir/bench_table5_deepen.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_deepen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_combined"
+  "../bench/bench_table6_combined.pdb"
+  "CMakeFiles/bench_table6_combined.dir/bench_table6_combined.cc.o"
+  "CMakeFiles/bench_table6_combined.dir/bench_table6_combined.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

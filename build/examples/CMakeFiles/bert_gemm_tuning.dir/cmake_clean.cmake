@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_gemm_tuning.dir/bert_gemm_tuning.cpp.o"
+  "CMakeFiles/bert_gemm_tuning.dir/bert_gemm_tuning.cpp.o.d"
+  "bert_gemm_tuning"
+  "bert_gemm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_gemm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repvgg_codesign.dir/repvgg_codesign.cpp.o"
+  "CMakeFiles/repvgg_codesign.dir/repvgg_codesign.cpp.o.d"
+  "repvgg_codesign"
+  "repvgg_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repvgg_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

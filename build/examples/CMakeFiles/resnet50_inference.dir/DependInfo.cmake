@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/resnet50_inference.cpp" "examples/CMakeFiles/resnet50_inference.dir/resnet50_inference.cpp.o" "gcc" "examples/CMakeFiles/resnet50_inference.dir/resnet50_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ansor/CMakeFiles/bolt_ansor.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/bolt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/bolt_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/bolt_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/bolt_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cutlite/CMakeFiles/bolt_cutlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_hostcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bolt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bolt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

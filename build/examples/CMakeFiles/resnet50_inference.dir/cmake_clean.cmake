@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_inference.dir/resnet50_inference.cpp.o"
+  "CMakeFiles/resnet50_inference.dir/resnet50_inference.cpp.o.d"
+  "resnet50_inference"
+  "resnet50_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

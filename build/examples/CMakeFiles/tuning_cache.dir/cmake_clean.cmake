@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_cache.dir/tuning_cache.cpp.o"
+  "CMakeFiles/tuning_cache.dir/tuning_cache.cpp.o.d"
+  "tuning_cache"
+  "tuning_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ansor/cost_model.cc" "src/ansor/CMakeFiles/bolt_ansor.dir/cost_model.cc.o" "gcc" "src/ansor/CMakeFiles/bolt_ansor.dir/cost_model.cc.o.d"
+  "/root/repo/src/ansor/schedule.cc" "src/ansor/CMakeFiles/bolt_ansor.dir/schedule.cc.o" "gcc" "src/ansor/CMakeFiles/bolt_ansor.dir/schedule.cc.o.d"
+  "/root/repo/src/ansor/search.cc" "src/ansor/CMakeFiles/bolt_ansor.dir/search.cc.o" "gcc" "src/ansor/CMakeFiles/bolt_ansor.dir/search.cc.o.d"
+  "/root/repo/src/ansor/simt_timing.cc" "src/ansor/CMakeFiles/bolt_ansor.dir/simt_timing.cc.o" "gcc" "src/ansor/CMakeFiles/bolt_ansor.dir/simt_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cutlite/CMakeFiles/bolt_cutlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bolt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bolt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_hostcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

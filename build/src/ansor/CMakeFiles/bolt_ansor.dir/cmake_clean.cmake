@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_ansor.dir/cost_model.cc.o"
+  "CMakeFiles/bolt_ansor.dir/cost_model.cc.o.d"
+  "CMakeFiles/bolt_ansor.dir/schedule.cc.o"
+  "CMakeFiles/bolt_ansor.dir/schedule.cc.o.d"
+  "CMakeFiles/bolt_ansor.dir/search.cc.o"
+  "CMakeFiles/bolt_ansor.dir/search.cc.o.d"
+  "CMakeFiles/bolt_ansor.dir/simt_timing.cc.o"
+  "CMakeFiles/bolt_ansor.dir/simt_timing.cc.o.d"
+  "libbolt_ansor.a"
+  "libbolt_ansor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_ansor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

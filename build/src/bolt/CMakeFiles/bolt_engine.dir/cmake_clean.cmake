@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_engine.dir/engine.cc.o"
+  "CMakeFiles/bolt_engine.dir/engine.cc.o.d"
+  "CMakeFiles/bolt_engine.dir/passes.cc.o"
+  "CMakeFiles/bolt_engine.dir/passes.cc.o.d"
+  "libbolt_engine.a"
+  "libbolt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_hostcost.dir/hostcost.cc.o"
+  "CMakeFiles/bolt_hostcost.dir/hostcost.cc.o.d"
+  "libbolt_hostcost.a"
+  "libbolt_hostcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_hostcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

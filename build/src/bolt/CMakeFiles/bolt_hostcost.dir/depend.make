@@ -1,0 +1,2 @@
+# Empty dependencies file for bolt_hostcost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_codegen.dir/emit.cc.o"
+  "CMakeFiles/bolt_codegen.dir/emit.cc.o.d"
+  "libbolt_codegen.a"
+  "libbolt_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_common.dir/logging.cc.o"
+  "CMakeFiles/bolt_common.dir/logging.cc.o.d"
+  "CMakeFiles/bolt_common.dir/status.cc.o"
+  "CMakeFiles/bolt_common.dir/status.cc.o.d"
+  "CMakeFiles/bolt_common.dir/strings.cc.o"
+  "CMakeFiles/bolt_common.dir/strings.cc.o.d"
+  "libbolt_common.a"
+  "libbolt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cutlite/b2b.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/b2b.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/b2b.cc.o.d"
+  "/root/repo/src/cutlite/config.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/config.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/config.cc.o.d"
+  "/root/repo/src/cutlite/conv.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/conv.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/conv.cc.o.d"
+  "/root/repo/src/cutlite/epilogue.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/epilogue.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/epilogue.cc.o.d"
+  "/root/repo/src/cutlite/gemm.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/gemm.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/gemm.cc.o.d"
+  "/root/repo/src/cutlite/padding.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/padding.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/padding.cc.o.d"
+  "/root/repo/src/cutlite/quantized.cc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/quantized.cc.o" "gcc" "src/cutlite/CMakeFiles/bolt_cutlite.dir/quantized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bolt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bolt_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_cutlite.dir/b2b.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/b2b.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/config.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/config.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/conv.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/conv.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/epilogue.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/epilogue.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/gemm.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/gemm.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/padding.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/padding.cc.o.d"
+  "CMakeFiles/bolt_cutlite.dir/quantized.cc.o"
+  "CMakeFiles/bolt_cutlite.dir/quantized.cc.o.d"
+  "libbolt_cutlite.a"
+  "libbolt_cutlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_cutlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

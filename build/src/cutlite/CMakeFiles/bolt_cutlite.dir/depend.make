@@ -1,0 +1,2 @@
+# Empty dependencies file for bolt_cutlite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/occupancy.cc" "src/device/CMakeFiles/bolt_device.dir/occupancy.cc.o" "gcc" "src/device/CMakeFiles/bolt_device.dir/occupancy.cc.o.d"
+  "/root/repo/src/device/spec.cc" "src/device/CMakeFiles/bolt_device.dir/spec.cc.o" "gcc" "src/device/CMakeFiles/bolt_device.dir/spec.cc.o.d"
+  "/root/repo/src/device/timing.cc" "src/device/CMakeFiles/bolt_device.dir/timing.cc.o" "gcc" "src/device/CMakeFiles/bolt_device.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

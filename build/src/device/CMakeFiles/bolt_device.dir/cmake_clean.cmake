@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_device.dir/occupancy.cc.o"
+  "CMakeFiles/bolt_device.dir/occupancy.cc.o.d"
+  "CMakeFiles/bolt_device.dir/spec.cc.o"
+  "CMakeFiles/bolt_device.dir/spec.cc.o.d"
+  "CMakeFiles/bolt_device.dir/timing.cc.o"
+  "CMakeFiles/bolt_device.dir/timing.cc.o.d"
+  "libbolt_device.a"
+  "libbolt_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbolt_device.a"
+)

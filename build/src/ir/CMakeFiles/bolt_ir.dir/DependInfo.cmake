@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/graph.cc" "src/ir/CMakeFiles/bolt_ir.dir/graph.cc.o" "gcc" "src/ir/CMakeFiles/bolt_ir.dir/graph.cc.o.d"
+  "/root/repo/src/ir/interpreter.cc" "src/ir/CMakeFiles/bolt_ir.dir/interpreter.cc.o" "gcc" "src/ir/CMakeFiles/bolt_ir.dir/interpreter.cc.o.d"
+  "/root/repo/src/ir/partition.cc" "src/ir/CMakeFiles/bolt_ir.dir/partition.cc.o" "gcc" "src/ir/CMakeFiles/bolt_ir.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

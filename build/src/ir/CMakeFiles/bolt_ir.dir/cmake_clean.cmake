@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_ir.dir/graph.cc.o"
+  "CMakeFiles/bolt_ir.dir/graph.cc.o.d"
+  "CMakeFiles/bolt_ir.dir/interpreter.cc.o"
+  "CMakeFiles/bolt_ir.dir/interpreter.cc.o.d"
+  "CMakeFiles/bolt_ir.dir/partition.cc.o"
+  "CMakeFiles/bolt_ir.dir/partition.cc.o.d"
+  "libbolt_ir.a"
+  "libbolt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

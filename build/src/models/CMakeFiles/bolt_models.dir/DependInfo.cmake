@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/repvgg_reparam.cc" "src/models/CMakeFiles/bolt_models.dir/repvgg_reparam.cc.o" "gcc" "src/models/CMakeFiles/bolt_models.dir/repvgg_reparam.cc.o.d"
+  "/root/repo/src/models/workloads.cc" "src/models/CMakeFiles/bolt_models.dir/workloads.cc.o" "gcc" "src/models/CMakeFiles/bolt_models.dir/workloads.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/bolt_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/bolt_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bolt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cutlite/CMakeFiles/bolt_cutlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bolt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bolt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_models.dir/repvgg_reparam.cc.o"
+  "CMakeFiles/bolt_models.dir/repvgg_reparam.cc.o.d"
+  "CMakeFiles/bolt_models.dir/workloads.cc.o"
+  "CMakeFiles/bolt_models.dir/workloads.cc.o.d"
+  "CMakeFiles/bolt_models.dir/zoo.cc.o"
+  "CMakeFiles/bolt_models.dir/zoo.cc.o.d"
+  "libbolt_models.a"
+  "libbolt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

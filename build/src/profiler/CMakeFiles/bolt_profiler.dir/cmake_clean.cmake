@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_profiler.dir/candidates.cc.o"
+  "CMakeFiles/bolt_profiler.dir/candidates.cc.o.d"
+  "CMakeFiles/bolt_profiler.dir/profiler.cc.o"
+  "CMakeFiles/bolt_profiler.dir/profiler.cc.o.d"
+  "libbolt_profiler.a"
+  "libbolt_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

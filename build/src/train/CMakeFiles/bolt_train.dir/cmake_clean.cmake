@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_train.dir/layers.cc.o"
+  "CMakeFiles/bolt_train.dir/layers.cc.o.d"
+  "CMakeFiles/bolt_train.dir/trainer.cc.o"
+  "CMakeFiles/bolt_train.dir/trainer.cc.o.d"
+  "libbolt_train.a"
+  "libbolt_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ansor.dir/test_ansor.cc.o"
+  "CMakeFiles/test_ansor.dir/test_ansor.cc.o.d"
+  "test_ansor"
+  "test_ansor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ansor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bn_concat.dir/test_bn_concat.cc.o"
+  "CMakeFiles/test_bn_concat.dir/test_bn_concat.cc.o.d"
+  "test_bn_concat"
+  "test_bn_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bn_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutlite_b2b.dir/test_cutlite_b2b.cc.o"
+  "CMakeFiles/test_cutlite_b2b.dir/test_cutlite_b2b.cc.o.d"
+  "test_cutlite_b2b"
+  "test_cutlite_b2b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutlite_b2b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

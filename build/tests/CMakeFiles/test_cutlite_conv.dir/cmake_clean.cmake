@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutlite_conv.dir/test_cutlite_conv.cc.o"
+  "CMakeFiles/test_cutlite_conv.dir/test_cutlite_conv.cc.o.d"
+  "test_cutlite_conv"
+  "test_cutlite_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutlite_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

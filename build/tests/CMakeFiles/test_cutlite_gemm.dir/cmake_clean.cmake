@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutlite_gemm.dir/test_cutlite_gemm.cc.o"
+  "CMakeFiles/test_cutlite_gemm.dir/test_cutlite_gemm.cc.o.d"
+  "test_cutlite_gemm"
+  "test_cutlite_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutlite_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutlite_quantized.dir/test_cutlite_quantized.cc.o"
+  "CMakeFiles/test_cutlite_quantized.dir/test_cutlite_quantized.cc.o.d"
+  "test_cutlite_quantized"
+  "test_cutlite_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutlite_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

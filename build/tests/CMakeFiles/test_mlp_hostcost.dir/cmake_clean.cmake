@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_hostcost.dir/test_mlp_hostcost.cc.o"
+  "CMakeFiles/test_mlp_hostcost.dir/test_mlp_hostcost.cc.o.d"
+  "test_mlp_hostcost"
+  "test_mlp_hostcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_hostcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

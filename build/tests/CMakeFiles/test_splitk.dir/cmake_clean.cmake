@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitk.dir/test_splitk.cc.o"
+  "CMakeFiles/test_splitk.dir/test_splitk.cc.o.d"
+  "test_splitk"
+  "test_splitk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
