@@ -1,0 +1,71 @@
+// Parallel candidate profiling: wall-clock tuning time vs worker count.
+//
+// The real Bolt system measures candidates on a fleet of RPC runners; this
+// bench sweeps the simulated worker count on the RepVGG models and reports
+// wall-clock tuning time (critical path across workers) next to device
+// seconds (summed measurement work), verifying that parallel runs select
+// the identical kernels as the serial baseline.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bolt/engine.h"
+#include "models/zoo.h"
+
+using namespace bolt;
+
+int main() {
+  bench::Title("Parallel tuning", "RepVGG tuning wall-clock vs measurement "
+                                  "workers (simulated tuning clock)");
+
+  models::RepVggOptions mopts;
+  mopts.batch = 32;
+  mopts.image_size = 64;
+  mopts.num_classes = 100;
+
+  const struct {
+    const char* name;
+    models::RepVggVariant variant;
+  } variants[] = {{"RepVGG-A0", models::RepVggVariant::kA0},
+                  {"RepVGG-B0", models::RepVggVariant::kB0}};
+
+  std::printf("  %-10s %8s %12s %12s %12s %10s %10s\n", "model", "workers",
+              "wall s", "device s", "speedup", "latency", "identical");
+  bench::Rule();
+  for (const auto& v : variants) {
+    auto graph = models::BuildRepVgg(v.variant, mopts);
+    if (!graph.ok()) {
+      std::printf("  %-10s build failed: %s\n", v.name,
+                  graph.status().ToString().c_str());
+      continue;
+    }
+    double serial_wall = 0.0;
+    double serial_latency = 0.0;
+    for (int workers : {1, 2, 4, 8, 16}) {
+      CompileOptions opts;
+      opts.profiler_cost.num_threads = workers;
+      auto engine = Engine::Compile(*graph, opts);
+      if (!engine.ok()) {
+        std::printf("  %-10s compile failed: %s\n", v.name,
+                    engine.status().ToString().c_str());
+        break;
+      }
+      const TuningReport& report = engine->tuning_report();
+      if (workers == 1) {
+        serial_wall = report.seconds;
+        serial_latency = engine->EstimatedLatencyUs();
+      }
+      const bool identical =
+          engine->EstimatedLatencyUs() == serial_latency;
+      std::printf("  %-10s %8d %12.2f %12.2f %11.2fx %8.0fus %10s\n",
+                  v.name, workers, report.seconds, report.device_seconds,
+                  serial_wall / report.seconds,
+                  engine->EstimatedLatencyUs(),
+                  identical ? "yes" : "NO");
+    }
+    bench::Rule();
+  }
+  bench::Note("wall s: critical path across measurement workers; device s: "
+              "summed per-candidate work (invariant).");
+  return 0;
+}

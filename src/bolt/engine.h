@@ -44,9 +44,16 @@ struct CompileOptions {
 };
 
 struct TuningReport {
+  /// Simulated wall-clock tuning time.  With a parallel profiler
+  /// (ProfilerCostModel::num_threads > 1) measurement is accounted as the
+  /// critical path across workers, so this is what an operator watching
+  /// the tuning run experiences.
   double seconds = 0.0;
   double compile_seconds = 0.0;
   double measure_seconds = 0.0;
+  /// Summed device-occupancy seconds across all measurement workers; equal
+  /// to `seconds` for a serial profiler, larger under parallelism.
+  double device_seconds = 0.0;
   int workloads_profiled = 0;
   int candidates_tried = 0;
   PassStats pass_stats;
@@ -86,6 +93,12 @@ class Engine {
 
   Engine(Graph graph, CompileOptions options)
       : graph_(std::move(graph)), options_(std::move(options)) {}
+
+  /// Warms the profiler's best-config cache by fanning the graph's
+  /// independent partitioned workloads out across the profiler's worker
+  /// pool.  No-op for a serial profiler.  Profiling errors are deferred to
+  /// BuildModule, which re-encounters and reports them.
+  void PreProfile(Profiler& profiler);
 
   Status BuildModule(Profiler& profiler);
 

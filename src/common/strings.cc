@@ -1,5 +1,7 @@
 #include "common/strings.h"
 
+#include <charconv>
+
 namespace bolt {
 
 std::vector<std::string> StrSplit(const std::string& s, char sep) {
@@ -35,6 +37,24 @@ std::string ReplaceAll(std::string s, const std::string& from,
     pos += to.size();
   }
   return s;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  double value = 0.0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  int value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace bolt

@@ -45,4 +45,10 @@ bool Contains(const std::string& s, const std::string& needle);
 std::string ReplaceAll(std::string s, const std::string& from,
                        const std::string& to);
 
+/// Strict full-string numeric parsing: the entire string must be consumed
+/// ("12.5abc" and "" are rejected, unlike atof/atoi which silently accept
+/// or return 0).  Returns false without touching `out` on failure.
+bool ParseDouble(const std::string& s, double* out);
+bool ParseInt(const std::string& s, int* out);
+
 }  // namespace bolt

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace bolt {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim counter: workers and the caller race to claim indices, so
+  // a busy pool degrades gracefully to caller-executed work (no deadlock
+  // for nested ParallelFor).
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    int64_t n = 0;
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto drain = [](const std::shared_ptr<LoopState>& s) {
+    int64_t i;
+    while ((i = s->next.fetch_add(1)) < s->n) {
+      (*s->fn)(i);
+      if (s->done.fetch_add(1) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+}  // namespace bolt

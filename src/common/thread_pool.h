@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// A small reusable worker pool for fan-out/fan-in parallelism.
+//
+// The profiler measures independent kernel candidates and the engine
+// profiles independent partitioned workloads; both fan work out here.
+// ParallelFor is re-entrant: the calling thread participates in the loop,
+// so nested ParallelFor calls on the same pool (engine-level jobs that
+// each run candidate-level loops) degrade to caller-executed work instead
+// of deadlocking when all workers are busy.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bolt {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1), blocking until all iterations complete.
+  /// Iterations are claimed dynamically by the workers *and* the calling
+  /// thread; `fn` must be safe to call concurrently for distinct indices.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace bolt

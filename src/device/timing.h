@@ -41,28 +41,58 @@ double GemmDramBytes(const GemmTraffic& t);
 /// Simulated wall-clock accumulator for tuning-time experiments (Fig 10b).
 /// Search procedures charge compilation and measurement costs here instead
 /// of consuming real time.
+///
+/// Two accounting views coexist.  Wall seconds (`seconds`,
+/// `compile_seconds`, `measure_seconds`) model elapsed tuning time: when a
+/// fleet of workers measures candidates in parallel, the wall charge is
+/// the critical path across workers.  Device seconds (`device_seconds`)
+/// sum the work performed regardless of parallelism — what the tuning run
+/// costs in device occupancy.  Serial charges add the same amount to both,
+/// so `device_seconds == seconds` until a *Parallel charge is made.
 class TuningClock {
  public:
-  void Charge(double seconds) { seconds_ += seconds; }
+  void Charge(double seconds) {
+    seconds_ += seconds;
+    device_seconds_ += seconds;
+  }
   void ChargeCompile(double seconds) {
     seconds_ += seconds;
     compile_seconds_ += seconds;
+    device_seconds_ += seconds;
   }
   void ChargeMeasure(double seconds) {
     seconds_ += seconds;
     measure_seconds_ += seconds;
+    device_seconds_ += seconds;
+  }
+  /// Parallel accounting: `wall_seconds` is the critical path across the
+  /// measuring workers (charged to the wall clocks); `device_seconds` is
+  /// the summed per-candidate cost (charged to device time only).
+  void ChargeCompileParallel(double device_seconds, double wall_seconds) {
+    seconds_ += wall_seconds;
+    compile_seconds_ += wall_seconds;
+    device_seconds_ += device_seconds;
+  }
+  void ChargeMeasureParallel(double device_seconds, double wall_seconds) {
+    seconds_ += wall_seconds;
+    measure_seconds_ += wall_seconds;
+    device_seconds_ += device_seconds;
   }
   double seconds() const { return seconds_; }
   double minutes() const { return seconds_ / 60.0; }
   double hours() const { return seconds_ / 3600.0; }
   double compile_seconds() const { return compile_seconds_; }
   double measure_seconds() const { return measure_seconds_; }
-  void Reset() { seconds_ = compile_seconds_ = measure_seconds_ = 0.0; }
+  double device_seconds() const { return device_seconds_; }
+  void Reset() {
+    seconds_ = compile_seconds_ = measure_seconds_ = device_seconds_ = 0.0;
+  }
 
  private:
   double seconds_ = 0.0;
   double compile_seconds_ = 0.0;
   double measure_seconds_ = 0.0;
+  double device_seconds_ = 0.0;
 };
 
 }  // namespace bolt

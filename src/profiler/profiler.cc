@@ -17,7 +17,54 @@ using cutlite::GemmKernel;
 using cutlite::KernelConfig;
 using cutlite::ResidenceKind;
 
+namespace {
+
+/// The B2B search grid: shared threadblock-M and warp-count constraints
+/// across both residence strategies, in a fixed enumeration order so the
+/// parallel reduction ties break identically to the serial loop.
+struct B2bCombo {
+  ResidenceKind residence;
+  int tb_m;
+  int warps;
+};
+
+std::vector<B2bCombo> EnumerateB2bCombos() {
+  std::vector<B2bCombo> combos;
+  for (ResidenceKind residence :
+       {ResidenceKind::kRegisterFile, ResidenceKind::kSharedMemory}) {
+    for (int tb_m : {64, 128, 256}) {
+      for (int warps : {2, 4, 8}) {
+        combos.push_back(B2bCombo{residence, tb_m, warps});
+      }
+    }
+  }
+  return combos;
+}
+
+/// One evaluated B2B parameterization (no clock charges: those are applied
+/// by the caller in deterministic enumeration order).
+struct B2bComboOutcome {
+  bool feasible = false;
+  double us = 0.0;
+  std::vector<KernelConfig> configs;
+};
+
+}  // namespace
+
+Profiler::Profiler(DeviceSpec spec, ProfilerCostModel cost)
+    : spec_(std::move(spec)), cost_(cost) {
+  if (cost_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(cost_.num_threads);
+  }
+}
+
+int Profiler::cache_size() const {
+  std::shared_lock<std::shared_mutex> read(cache_mu_);
+  return static_cast<int>(cache_.size());
+}
+
 Status Profiler::SaveCache(std::ostream& out) const {
+  std::shared_lock<std::shared_mutex> read(cache_mu_);
   out << "# bolt tuning cache v1 arch=" << spec_.arch << "\n";
   out.precision(17);  // exact double round-trip
   for (const auto& [key, result] : cache_) {
@@ -37,12 +84,20 @@ Status Profiler::SaveCache(std::ostream& out) const {
 Status Profiler::LoadCache(std::istream& in) {
   std::string line;
   int line_no = 0;
+  std::unique_lock<std::shared_mutex> write(cache_mu_);
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') {
-      // Pre-generated sample programs persist on disk next to the log;
-      // a matching-architecture cache means they need not be rebuilt.
-      if (Contains(line, "arch=" + spec_.arch)) arch_prepared_ = true;
+      // Pre-generated sample programs persist on disk next to the log; a
+      // cache whose header names *exactly* this architecture means they
+      // need not be rebuilt.  Token equality, not substring: a cache saved
+      // for arch "sm75x" must not mark an "sm75" profiler prepared.
+      for (const std::string& token : StrSplit(line, ' ')) {
+        if (token == StrCat("arch=", spec_.arch)) {
+          std::lock_guard<std::mutex> lock(clock_mu_);
+          arch_prepared_ = true;
+        }
+      }
       continue;
     }
     const auto fields = StrSplit(line, '|');
@@ -62,12 +117,33 @@ Status Profiler::LoadCache(std::istream& in) {
       return Status::InvalidArgument(
           StrCat("malformed kernel config at line ", line_no));
     }
+    cfg >> std::ws;
+    if (!cfg.eof()) {
+      return Status::InvalidArgument(
+          StrCat("trailing garbage in kernel config at line ", line_no));
+    }
+    if (swizzle_width != 1 && swizzle_width != 2 && swizzle_width != 4 &&
+        swizzle_width != 8) {
+      return Status::InvalidArgument(StrCat("invalid swizzle width ",
+                                            swizzle_width, " at line ",
+                                            line_no));
+    }
     c.swizzle = static_cast<cutlite::Swizzle>(swizzle_width);
-    result.us = std::atof(fields[2].c_str());
-    result.candidates_tried = std::atoi(fields[3].c_str());
+    if (!ParseDouble(fields[2], &result.us)) {
+      return Status::InvalidArgument(
+          StrCat("malformed latency at line ", line_no));
+    }
+    if (!ParseInt(fields[3], &result.candidates_tried)) {
+      return Status::InvalidArgument(
+          StrCat("malformed candidate count at line ", line_no));
+    }
     if (result.us <= 0.0) {
       return Status::InvalidArgument(
           StrCat("non-positive latency at line ", line_no));
+    }
+    if (result.candidates_tried <= 0) {
+      return Status::InvalidArgument(
+          StrCat("non-positive candidate count at line ", line_no));
     }
     cache_[fields[0]] = result;
   }
@@ -75,16 +151,120 @@ Status Profiler::LoadCache(std::istream& in) {
 }
 
 void Profiler::EnsureArchPrepared() {
+  std::lock_guard<std::mutex> lock(clock_mu_);
   if (arch_prepared_) return;
   arch_prepared_ = true;
   // Sample programs are generated and compiled once per architecture and
   // reused across every model and workload thereafter.
-  clock_.ChargeCompile(cost_.arch_pregen_s);
+  const int workers = std::max(1, cost_.num_threads);
+  if (workers == 1) {
+    clock_.ChargeCompile(cost_.arch_pregen_s);
+    return;
+  }
+  // The pre-generation compiles `pregen_programs` independent sample
+  // programs; workers compile them in parallel, so the wall cost is the
+  // critical path (rounds of `workers` programs) while the full cost still
+  // lands on device seconds.
+  const int programs = std::max(1, cost_.pregen_programs);
+  const int rounds = (programs + workers - 1) / workers;
+  const double wall = cost_.arch_pregen_s * static_cast<double>(rounds) /
+                      static_cast<double>(programs);
+  clock_.ChargeCompileParallel(cost_.arch_pregen_s, wall);
 }
 
-void Profiler::ChargeMeasurement(double us) {
+void Profiler::ChargeMeasurements(const std::vector<double>& candidate_us) {
+  if (candidate_us.empty()) return;
+  std::lock_guard<std::mutex> lock(clock_mu_);
   const double runs = cost_.warmup_runs + cost_.measure_runs;
-  clock_.ChargeMeasure(runs * us * 1e-6 + cost_.per_candidate_overhead_s);
+  const int workers = std::max(1, cost_.num_threads);
+  if (workers == 1) {
+    // Charge per candidate in enumeration order — bit-exact with the
+    // historical serial accounting.
+    for (double us : candidate_us) {
+      clock_.ChargeMeasure(runs * us * 1e-6 + cost_.per_candidate_overhead_s);
+    }
+    return;
+  }
+  // Deterministic parallel accounting: candidates are assigned round-robin
+  // to workers in enumeration order (independent of real thread timing);
+  // wall time is the busiest worker's lane, device time is the sum.
+  std::vector<double> lane(workers, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < candidate_us.size(); ++i) {
+    const double s =
+        runs * candidate_us[i] * 1e-6 + cost_.per_candidate_overhead_s;
+    lane[i % workers] += s;
+    total += s;
+  }
+  const double wall = *std::max_element(lane.begin(), lane.end());
+  clock_.ChargeMeasureParallel(total, wall);
+}
+
+bool Profiler::TryClaimFlight(const std::string& key) {
+  std::unique_lock<std::mutex> lock(flight_mu_);
+  if (inflight_.insert(key).second) return true;
+  flight_cv_.wait(lock, [&] { return inflight_.count(key) == 0; });
+  return false;
+}
+
+bool Profiler::LookupOrBeginFlight(const std::string& key,
+                                   ProfileResult* hit) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> read(cache_mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        *hit = it->second;
+        hit->cache_hit = true;
+        return true;
+      }
+    }
+    if (TryClaimFlight(key)) return false;
+    // A concurrent flight for this key finished (or was abandoned):
+    // re-check the cache and, on a miss, claim the flight ourselves.
+  }
+}
+
+bool Profiler::LookupOrBeginFlightB2b(const std::string& key,
+                                      B2bProfileResult* hit) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> read(cache_mu_);
+      auto it = b2b_cache_.find(key);
+      if (it != b2b_cache_.end()) {
+        *hit = it->second;
+        hit->cache_hit = true;
+        return true;
+      }
+    }
+    if (TryClaimFlight(key)) return false;
+  }
+}
+
+void Profiler::PublishResult(const std::string& key,
+                             const ProfileResult& result) {
+  {
+    std::unique_lock<std::shared_mutex> write(cache_mu_);
+    cache_[key] = result;
+  }
+  AbandonFlight(key);
+}
+
+void Profiler::PublishResultB2b(const std::string& key,
+                                const B2bProfileResult& result) {
+  {
+    std::unique_lock<std::shared_mutex> write(cache_mu_);
+    b2b_cache_[key] = result;
+  }
+  AbandonFlight(key);
+}
+
+void Profiler::AbandonFlight(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    inflight_.erase(key);
+  }
+  flight_cv_.notify_all();
 }
 
 Result<ProfileResult> Profiler::ProfileGemm(const GemmCoord& problem,
@@ -92,32 +272,49 @@ Result<ProfileResult> Profiler::ProfileGemm(const GemmCoord& problem,
   const std::string key =
       StrCat("gemm/", problem.ToString(), "/", epilogue.ToString(), "/",
              spec_.arch);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ProfileResult hit = it->second;
-    hit.cache_hit = true;
-    return hit;
-  }
+  ProfileResult cached;
+  if (LookupOrBeginFlight(key, &cached)) return cached;
   EnsureArchPrepared();  // sample-program generation: only when measuring
 
+  const std::vector<KernelConfig> candidates =
+      EnumerateGemmCandidates(spec_, problem);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  std::vector<double> us(n, 0.0);
+  std::vector<char> feasible(n, 0);
+  auto eval = [&](int64_t i) {
+    GemmKernel kernel(problem, candidates[i], epilogue);
+    if (!kernel.CanImplement(spec_).ok()) return;
+    feasible[i] = 1;
+    us[i] = kernel.EstimateUs(spec_);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(n, eval);
+  } else {
+    for (int64_t i = 0; i < n; ++i) eval(i);
+  }
+
+  // Deterministic reduction in enumeration order (strict less keeps the
+  // earliest of tied candidates, exactly like the serial loop).
   ProfileResult best;
   best.us = std::numeric_limits<double>::infinity();
-  for (const KernelConfig& c : EnumerateGemmCandidates(spec_, problem)) {
-    GemmKernel kernel(problem, c, epilogue);
-    if (!kernel.CanImplement(spec_).ok()) continue;
-    const double us = kernel.EstimateUs(spec_);
-    ChargeMeasurement(us);
+  std::vector<double> measured;
+  measured.reserve(candidates.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (!feasible[i]) continue;
+    measured.push_back(us[i]);
     ++best.candidates_tried;
-    if (us < best.us) {
-      best.us = us;
-      best.config = c;
+    if (us[i] < best.us) {
+      best.us = us[i];
+      best.config = candidates[i];
     }
   }
+  ChargeMeasurements(measured);
   if (best.candidates_tried == 0) {
+    AbandonFlight(key);
     return Status::NotFound(
         StrCat("no feasible kernel for GEMM ", problem.ToString()));
   }
-  cache_[key] = best;
+  PublishResult(key, best);
   return best;
 }
 
@@ -126,40 +323,65 @@ Result<ProfileResult> Profiler::ProfileConv(
   const std::string key =
       StrCat("conv/", problem.ToString(), "/", epilogue.ToString(), "/",
              spec_.arch);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ProfileResult hit = it->second;
-    hit.cache_hit = true;
-    return hit;
-  }
+  ProfileResult cached;
+  if (LookupOrBeginFlight(key, &cached)) return cached;
   EnsureArchPrepared();
+
+  const std::vector<KernelConfig> candidates =
+      EnumerateConvCandidates(spec_, problem);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  std::vector<double> us(n, 0.0);
+  std::vector<char> feasible(n, 0);
+  auto eval = [&](int64_t i) {
+    Conv2dKernel kernel(problem, candidates[i], epilogue);
+    if (!kernel.CanImplement(spec_).ok()) return;
+    feasible[i] = 1;
+    us[i] = kernel.EstimateUs(spec_);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(n, eval);
+  } else {
+    for (int64_t i = 0; i < n; ++i) eval(i);
+  }
 
   ProfileResult best;
   best.us = std::numeric_limits<double>::infinity();
-  for (const KernelConfig& c : EnumerateConvCandidates(spec_, problem)) {
-    Conv2dKernel kernel(problem, c, epilogue);
-    if (!kernel.CanImplement(spec_).ok()) continue;
-    const double us = kernel.EstimateUs(spec_);
-    ChargeMeasurement(us);
+  std::vector<double> measured;
+  measured.reserve(candidates.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (!feasible[i]) continue;
+    measured.push_back(us[i]);
     ++best.candidates_tried;
-    if (us < best.us) {
-      best.us = us;
-      best.config = c;
+    if (us[i] < best.us) {
+      best.us = us[i];
+      best.config = candidates[i];
     }
   }
+  ChargeMeasurements(measured);
   if (best.candidates_tried == 0) {
+    AbandonFlight(key);
     return Status::NotFound(
         StrCat("no feasible kernel for Conv ", problem.ToString()));
   }
-  cache_[key] = best;
+  PublishResult(key, best);
   return best;
 }
 
 B2bProfileResult Profiler::ProfileB2bGemm(
     const std::vector<GemmCoord>& problems,
     const std::vector<EpilogueSpec>& epilogues) {
-  EnsureArchPrepared();
   BOLT_CHECK(problems.size() == epilogues.size() && problems.size() >= 2);
+  std::vector<std::string> stage_keys;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    stage_keys.push_back(
+        StrCat(problems[i].ToString(), "+", epilogues[i].ToString()));
+  }
+  const std::string key =
+      StrCat("b2bgemm/", StrJoin(stage_keys, ","), "/", spec_.arch);
+  B2bProfileResult cached;
+  if (LookupOrBeginFlightB2b(key, &cached)) return cached;
+  EnsureArchPrepared();
+
   B2bProfileResult result;
   result.fused_us = std::numeric_limits<double>::infinity();
 
@@ -167,126 +389,160 @@ B2bProfileResult Profiler::ProfileB2bGemm(
   result.unfused_us = 0.0;
   for (size_t i = 0; i < problems.size(); ++i) {
     auto r = ProfileGemm(problems[i], epilogues[i]);
-    if (!r.ok()) return result;  // infeasible -> not beneficial
+    if (!r.ok()) {
+      // Infeasible -> not beneficial; publish so repeat queries are free.
+      PublishResultB2b(key, result);
+      return result;
+    }
     result.unfused_us += r.value().us;
   }
 
-  for (ResidenceKind residence :
-       {ResidenceKind::kRegisterFile, ResidenceKind::kSharedMemory}) {
-    for (int tb_m : {64, 128, 256}) {
-      // Stage configs: independently pick the best per-stage candidate
-      // under the shared ThreadBlock_M / warp-count constraints by trying
-      // matching warp counts.
-      for (int warps : {2, 4, 8}) {
-        std::vector<B2bStage> stages;
-        bool viable = true;
-        for (size_t i = 0; i < problems.size(); ++i) {
-          auto cands = EnumerateB2bStageCandidates(spec_, problems[i], tb_m,
-                                                   residence);
-          const KernelConfig* pick = nullptr;
-          double pick_us = std::numeric_limits<double>::infinity();
-          for (const KernelConfig& c : cands) {
-            if (c.warps_per_cta() != warps) continue;
-            GemmKernel k(problems[i], c, epilogues[i]);
-            if (!k.CanImplement(spec_).ok()) continue;
-            const double us = k.EstimateUs(spec_);
-            if (us < pick_us) {
-              pick_us = us;
-              pick = &c;
-            }
-          }
-          if (pick == nullptr) {
-            viable = false;
-            break;
-          }
-          stages.push_back(B2bStage{problems[i], *pick, epilogues[i]});
-        }
-        if (!viable) continue;
-        auto kernel = B2bGemmKernel::Create(stages, residence, spec_);
-        if (!kernel.ok()) continue;
-        const double us = kernel.value().EstimateUs(spec_);
-        ChargeMeasurement(us);
-        result.feasible = true;
-        if (us < result.fused_us) {
-          result.fused_us = us;
-          result.residence = residence;
-          result.configs.clear();
-          for (const B2bStage& s : stages) result.configs.push_back(s.config);
+  // Stage configs: independently pick the best per-stage candidate under
+  // the shared ThreadBlock_M / warp-count constraints by trying matching
+  // warp counts.  Combos are independent, so they fan out across the pool;
+  // clock charges happen afterwards in enumeration order.
+  const std::vector<B2bCombo> combos = EnumerateB2bCombos();
+  std::vector<B2bComboOutcome> outcomes(combos.size());
+  auto eval = [&](int64_t ci) {
+    const B2bCombo& combo = combos[ci];
+    std::vector<B2bStage> stages;
+    for (size_t i = 0; i < problems.size(); ++i) {
+      auto cands = EnumerateB2bStageCandidates(spec_, problems[i],
+                                               combo.tb_m, combo.residence);
+      const KernelConfig* pick = nullptr;
+      double pick_us = std::numeric_limits<double>::infinity();
+      for (const KernelConfig& c : cands) {
+        if (c.warps_per_cta() != combo.warps) continue;
+        GemmKernel k(problems[i], c, epilogues[i]);
+        if (!k.CanImplement(spec_).ok()) continue;
+        const double us = k.EstimateUs(spec_);
+        if (us < pick_us) {
+          pick_us = us;
+          pick = &c;
         }
       }
+      if (pick == nullptr) return;
+      stages.push_back(B2bStage{problems[i], *pick, epilogues[i]});
+    }
+    auto kernel = B2bGemmKernel::Create(stages, combo.residence, spec_);
+    if (!kernel.ok()) return;
+    B2bComboOutcome& o = outcomes[ci];
+    o.feasible = true;
+    o.us = kernel.value().EstimateUs(spec_);
+    for (const B2bStage& s : stages) o.configs.push_back(s.config);
+  };
+  const int64_t n = static_cast<int64_t>(combos.size());
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, eval);
+  } else {
+    for (int64_t ci = 0; ci < n; ++ci) eval(ci);
+  }
+
+  std::vector<double> measured;
+  for (int64_t ci = 0; ci < n; ++ci) {
+    if (!outcomes[ci].feasible) continue;
+    measured.push_back(outcomes[ci].us);
+    result.feasible = true;
+    if (outcomes[ci].us < result.fused_us) {
+      result.fused_us = outcomes[ci].us;
+      result.residence = combos[ci].residence;
+      result.configs = outcomes[ci].configs;
     }
   }
+  ChargeMeasurements(measured);
   result.beneficial = result.feasible && result.fused_us < result.unfused_us;
+  PublishResultB2b(key, result);
   return result;
 }
 
 B2bProfileResult Profiler::ProfileB2bConv(
     const std::vector<cutlite::ConvProblem>& problems,
     const std::vector<EpilogueSpec>& epilogues) {
-  EnsureArchPrepared();
   BOLT_CHECK(problems.size() == epilogues.size() && problems.size() >= 2);
+  std::vector<std::string> stage_keys;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    stage_keys.push_back(
+        StrCat(problems[i].ToString(), "+", epilogues[i].ToString()));
+  }
+  const std::string key =
+      StrCat("b2bconv/", StrJoin(stage_keys, ","), "/", spec_.arch);
+  B2bProfileResult cached;
+  if (LookupOrBeginFlightB2b(key, &cached)) return cached;
+  EnsureArchPrepared();
+
   B2bProfileResult result;
   result.fused_us = std::numeric_limits<double>::infinity();
 
   result.unfused_us = 0.0;
   for (size_t i = 0; i < problems.size(); ++i) {
     auto r = ProfileConv(problems[i], epilogues[i]);
-    if (!r.ok()) return result;
+    if (!r.ok()) {
+      PublishResultB2b(key, result);
+      return result;
+    }
     result.unfused_us += r.value().us;
   }
 
-  for (ResidenceKind residence :
-       {ResidenceKind::kRegisterFile, ResidenceKind::kSharedMemory}) {
-    for (int tb_m : {64, 128, 256}) {
-      for (int warps : {2, 4, 8}) {
-        std::vector<B2bConvStage> stages;
-        bool viable = true;
-        for (size_t i = 0; i < problems.size(); ++i) {
-          auto cands = EnumerateB2bStageCandidates(
-              spec_, problems[i].AsGemm(), tb_m, residence);
-          const KernelConfig* pick = nullptr;
-          double pick_us = std::numeric_limits<double>::infinity();
-          for (const KernelConfig& c : cands) {
-            if (c.warps_per_cta() != warps) continue;
-            // Conv alignments come from channel counts.
-            KernelConfig cc = c;
-            cc.align_a = MaxAlignment(problems[i].c);
-            cc.align_b = MaxAlignment(problems[i].c);
-            cc.align_c = MaxAlignment(problems[i].k);
-            Conv2dKernel k(problems[i], cc, epilogues[i]);
-            if (!k.CanImplement(spec_).ok()) continue;
-            const double us = k.EstimateUs(spec_);
-            if (us < pick_us) {
-              pick_us = us;
-              pick = &c;
-            }
-          }
-          if (pick == nullptr) {
-            viable = false;
-            break;
-          }
-          KernelConfig cc = *pick;
-          cc.align_a = MaxAlignment(problems[i].c);
-          cc.align_b = MaxAlignment(problems[i].c);
-          cc.align_c = MaxAlignment(problems[i].k);
-          stages.push_back(B2bConvStage{problems[i], cc, epilogues[i]});
-        }
-        if (!viable) continue;
-        auto kernel = B2bConvKernel::Create(stages, residence, spec_);
-        if (!kernel.ok()) continue;
-        const double us = kernel.value().EstimateUs(spec_);
-        ChargeMeasurement(us);
-        result.feasible = true;
-        if (us < result.fused_us) {
-          result.fused_us = us;
-          result.residence = residence;
-          result.configs.clear();
-          for (const auto& s : stages) result.configs.push_back(s.config);
+  const std::vector<B2bCombo> combos = EnumerateB2bCombos();
+  std::vector<B2bComboOutcome> outcomes(combos.size());
+  auto eval = [&](int64_t ci) {
+    const B2bCombo& combo = combos[ci];
+    std::vector<B2bConvStage> stages;
+    for (size_t i = 0; i < problems.size(); ++i) {
+      auto cands = EnumerateB2bStageCandidates(
+          spec_, problems[i].AsGemm(), combo.tb_m, combo.residence);
+      const KernelConfig* pick = nullptr;
+      double pick_us = std::numeric_limits<double>::infinity();
+      for (const KernelConfig& c : cands) {
+        if (c.warps_per_cta() != combo.warps) continue;
+        // Conv alignments come from channel counts.
+        KernelConfig cc = c;
+        cc.align_a = MaxAlignment(problems[i].c);
+        cc.align_b = MaxAlignment(problems[i].c);
+        cc.align_c = MaxAlignment(problems[i].k);
+        Conv2dKernel k(problems[i], cc, epilogues[i]);
+        if (!k.CanImplement(spec_).ok()) continue;
+        const double us = k.EstimateUs(spec_);
+        if (us < pick_us) {
+          pick_us = us;
+          pick = &c;
         }
       }
+      if (pick == nullptr) return;
+      KernelConfig cc = *pick;
+      cc.align_a = MaxAlignment(problems[i].c);
+      cc.align_b = MaxAlignment(problems[i].c);
+      cc.align_c = MaxAlignment(problems[i].k);
+      stages.push_back(B2bConvStage{problems[i], cc, epilogues[i]});
+    }
+    auto kernel = B2bConvKernel::Create(stages, combo.residence, spec_);
+    if (!kernel.ok()) return;
+    B2bComboOutcome& o = outcomes[ci];
+    o.feasible = true;
+    o.us = kernel.value().EstimateUs(spec_);
+    for (const auto& s : stages) o.configs.push_back(s.config);
+  };
+  const int64_t n = static_cast<int64_t>(combos.size());
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, eval);
+  } else {
+    for (int64_t ci = 0; ci < n; ++ci) eval(ci);
+  }
+
+  std::vector<double> measured;
+  for (int64_t ci = 0; ci < n; ++ci) {
+    if (!outcomes[ci].feasible) continue;
+    measured.push_back(outcomes[ci].us);
+    result.feasible = true;
+    if (outcomes[ci].us < result.fused_us) {
+      result.fused_us = outcomes[ci].us;
+      result.residence = combos[ci].residence;
+      result.configs = outcomes[ci].configs;
     }
   }
+  ChargeMeasurements(measured);
   result.beneficial = result.feasible && result.fused_us < result.unfused_us;
+  PublishResultB2b(key, result);
   return result;
 }
 

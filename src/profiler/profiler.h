@@ -10,16 +10,35 @@
 // generated once per architecture and reused across models and workloads,
 // so per-workload cost is measurement only — this is what gets Bolt's
 // end-to-end tuning from hours (Ansor) to minutes (Fig. 10b).
+//
+// Concurrency.  The profiler is safe to call from many threads at once —
+// the engine fans independent partitioned workloads out over a worker pool
+// and several model compilations may share one profiler.  The best-config
+// cache is guarded by a reader/writer lock, and profiling is single-flight
+// per cache key: if two threads request the same workload, one measures
+// while the other waits for the published result, so no workload is ever
+// profiled twice.  With `ProfilerCostModel::num_threads > 1`, candidate
+// measurement itself fans out across a worker pool with a deterministic
+// reduction (ties broken by enumeration order), so a parallel run selects
+// the *identical* config as a serial run; the TuningClock is then charged
+// with the critical path across workers (wall) and the summed per-candidate
+// cost (device seconds).
 
 #pragma once
 
+#include <condition_variable>
 #include <istream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
+#include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "cutlite/b2b.h"
 #include "cutlite/conv.h"
 #include "cutlite/gemm.h"
@@ -45,20 +64,33 @@ struct B2bProfileResult {
   double unfused_us = 0.0;
   bool beneficial = false;
   bool feasible = false;
+  bool cache_hit = false;
 };
 
-/// Tuning-cost model constants (simulated seconds).
+/// Tuning-cost model constants (simulated seconds) and parallelism knobs.
 struct ProfilerCostModel {
   double arch_pregen_s = 90.0;    // one-time sample-program generation
   double per_candidate_overhead_s = 0.004;  // dispatch + result collection
   int warmup_runs = 5;
   int measure_runs = 20;
+  /// Number of measurement workers (the paper's RPC runner fleet).  Values
+  /// <= 1 keep the profiler fully serial — identical behavior *and*
+  /// identical clock accounting to the historical implementation.  Larger
+  /// values fan candidate measurement out over a worker pool and account
+  /// wall time as the critical path across workers.
+  int num_threads = 1;
+  /// The one-time pre-generation compiles this many independent sample
+  /// programs; its wall cost shrinks accordingly when workers compile them
+  /// in parallel.
+  int pregen_programs = 64;
 };
 
 class Profiler {
  public:
-  explicit Profiler(DeviceSpec spec, ProfilerCostModel cost = {})
-      : spec_(std::move(spec)), cost_(cost) {}
+  explicit Profiler(DeviceSpec spec, ProfilerCostModel cost = {});
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
 
   /// Best template parameters for a GEMM workload.
   Result<ProfileResult> ProfileGemm(const cutlite::GemmCoord& problem,
@@ -83,11 +115,17 @@ class Profiler {
   const TuningClock& clock() const { return clock_; }
   TuningClock& clock() { return clock_; }
   const DeviceSpec& spec() const { return spec_; }
-  int cache_size() const { return static_cast<int>(cache_.size()); }
+  const ProfilerCostModel& cost() const { return cost_; }
+  int cache_size() const;
+
+  /// Worker pool used for candidate- and workload-level fan-out; nullptr
+  /// when the profiler is configured serial (num_threads <= 1).
+  ThreadPool* pool() { return pool_.get(); }
 
   /// Serialize the best-config cache (the analogue of TVM's tophub tuning
   /// logs). Text format, one record per line; stable across sessions so a
-  /// deployment can skip re-profiling known workloads entirely.
+  /// deployment can skip re-profiling known workloads entirely.  See
+  /// docs/TUNING_CACHE.md for the v1 grammar.
   Status SaveCache(std::ostream& out) const;
   /// Merge records from a saved cache; malformed lines are rejected.
   Status LoadCache(std::istream& in);
@@ -95,14 +133,47 @@ class Profiler {
  private:
   /// Charges the one-time architecture pre-generation cost on first use.
   void EnsureArchPrepared();
-  /// Charges measurement cost for one candidate with latency `us`.
-  void ChargeMeasurement(double us);
+  /// Charges measurement cost for candidates with the given latencies, in
+  /// enumeration order.  Serial mode charges each individually (bit-exact
+  /// with the historical accounting); parallel mode charges the critical
+  /// path across `num_threads` round-robin workers as wall time and the
+  /// sum as device time.
+  void ChargeMeasurements(const std::vector<double>& candidate_us);
+
+  /// Single-flight admission for `key`.  Returns true with `*hit` filled
+  /// when another thread already published (or is publishing) the result;
+  /// returns false when the caller owns the flight and must profile, then
+  /// publish via PublishResult or abandon via AbandonFlight.
+  bool LookupOrBeginFlight(const std::string& key, ProfileResult* hit);
+  bool LookupOrBeginFlightB2b(const std::string& key, B2bProfileResult* hit);
+  void PublishResult(const std::string& key, const ProfileResult& result);
+  void PublishResultB2b(const std::string& key,
+                        const B2bProfileResult& result);
+  void AbandonFlight(const std::string& key);
+
+  /// Claims `key` in the in-flight set, blocking while another thread holds
+  /// it.  Returns true after claiming the flight; returns false when a
+  /// concurrent flight finished — the caller must then re-check the cache.
+  bool TryClaimFlight(const std::string& key);
 
   DeviceSpec spec_;
   ProfilerCostModel cost_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Guards the tuning clock and the one-time arch preparation flag.
+  std::mutex clock_mu_;
   TuningClock clock_;
   bool arch_prepared_ = false;
+
+  /// Reader/writer lock over both result caches.
+  mutable std::shared_mutex cache_mu_;
   std::map<std::string, ProfileResult> cache_;
+  std::map<std::string, B2bProfileResult> b2b_cache_;
+
+  /// Single-flight bookkeeping: keys currently being profiled.
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::set<std::string> inflight_;
 };
 
 }  // namespace bolt

@@ -1,16 +1,19 @@
 // Tests for src/common: half-precision emulation, status handling,
-// activations, strings, RNG determinism.
+// activations, strings, RNG determinism, thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/activations.h"
 #include "common/half.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace bolt {
 namespace {
@@ -172,6 +175,68 @@ TEST(ActivationTest, KnownValues) {
               std::log(2.0f), 1e-6f);
   EXPECT_NEAR(ApplyActivation(ActivationKind::kSigmoid, 0.0f), 0.5f,
               1e-6f);
+}
+
+TEST(StringsTest, ParseDoubleIsStrict) {
+  double d = -1.0;
+  EXPECT_TRUE(ParseDouble("12.5", &d));
+  EXPECT_DOUBLE_EQ(d, 12.5);
+  EXPECT_TRUE(ParseDouble("-0.25", &d));
+  EXPECT_DOUBLE_EQ(d, -0.25);
+  EXPECT_TRUE(ParseDouble("3e-2", &d));
+  EXPECT_DOUBLE_EQ(d, 0.03);
+  d = 42.0;
+  EXPECT_FALSE(ParseDouble("12.5abc", &d));
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("1.5 ", &d));
+  EXPECT_DOUBLE_EQ(d, 42.0);  // untouched on failure
+}
+
+TEST(StringsTest, ParseIntIsStrict) {
+  int i = -1;
+  EXPECT_TRUE(ParseInt("17", &i));
+  EXPECT_EQ(i, 17);
+  EXPECT_TRUE(ParseInt("-3", &i));
+  EXPECT_EQ(i, -3);
+  i = 42;
+  EXPECT_FALSE(ParseInt("17abc", &i));
+  EXPECT_FALSE(ParseInt("0x11", &i));
+  EXPECT_FALSE(ParseInt("", &i));
+  EXPECT_FALSE(ParseInt("1.5", &i));
+  EXPECT_FALSE(ParseInt("99999999999999999999", &i));  // overflow
+  EXPECT_EQ(i, 42);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(1000, [&](int64_t i) { visits[i].fetch_add(1); });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Outer jobs each run an inner loop on the same pool; the caller
+  // participates, so a saturated pool degrades to serial execution
+  // instead of deadlocking.
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    pool.ParallelFor(16, [&](int64_t j) { sum.fetch_add(j); });
+  });
+  EXPECT_EQ(sum.load(), 8 * (15 * 16 / 2));
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 24; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 24);
 }
 
 TEST(ActivationTest, CostOrderingMatchesComplexity) {
