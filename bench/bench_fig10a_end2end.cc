@@ -14,7 +14,8 @@
 
 using namespace bolt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitTrace(argc, argv);
   const DeviceSpec t4 = DeviceSpec::TeslaT4();
   bench::Title("Figure 10a",
                "End-to-end inference, 6 CNNs, batch 32 FP16, T4");
@@ -61,5 +62,6 @@ int main() {
   bench::Rule();
   std::printf("  mean speedup: %.2fx   (paper mean: 2.8x)\n",
               sum / zoo->size());
+  bench::FlushTrace();
   return 0;
 }

@@ -14,7 +14,8 @@
 
 using namespace bolt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitTrace(argc, argv);
   const DeviceSpec t4 = DeviceSpec::TeslaT4();
   bench::Title("Figure 10b", "Auto-tuning time, 6 CNNs, T4 (simulated "
                              "tuning clock)");
@@ -59,5 +60,6 @@ int main() {
               "for <10%% better kernels)\n",
               exhaustive.size(),
               static_cast<double>(exhaustive.size()) / heuristic.size());
+  bench::FlushTrace();
   return 0;
 }

@@ -14,7 +14,8 @@
 
 using namespace bolt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitTrace(argc, argv);
   bench::Title("Parallel tuning", "RepVGG tuning wall-clock vs measurement "
                                   "workers (simulated tuning clock)");
 
@@ -67,5 +68,14 @@ int main() {
   }
   bench::Note("wall s: critical path across measurement workers; device s: "
               "summed per-candidate work (invariant).");
+  // Zero-overhead contract: with tracing disabled the whole sweep above
+  // must not have buffered a single event (the profiler hot loop and the
+  // engine are trace-free behind one relaxed atomic check).
+  if (!trace::TraceSink::Global().enabled()) {
+    BOLT_CHECK(trace::TraceSink::Global().event_count() == 0);
+    bench::Note("tracing disabled: 0 events buffered (zero-overhead check "
+                "passed); rerun with --trace[=PATH] for a timeline.");
+  }
+  bench::FlushTrace();
   return 0;
 }

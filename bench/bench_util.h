@@ -8,10 +8,40 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+
+#include "common/trace.h"
 
 namespace bolt {
 namespace bench {
+
+/// Parses a `--trace[=PATH]` flag (default PATH: bolt_trace.json) and
+/// starts the global trace sink; also honors BOLT_TRACE.  Call at the top
+/// of main; pair with FlushTrace() before returning.
+inline void InitTrace(int argc, char** argv) {
+  trace::TraceSink::InitFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace::TraceSink::Global().Start("bolt_trace.json");
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace::TraceSink::Global().Start(argv[i] + 8);
+    }
+  }
+}
+
+/// Writes the collected trace (if tracing is on) and reports the path.
+inline void FlushTrace() {
+  trace::TraceSink& sink = trace::TraceSink::Global();
+  if (!sink.enabled()) return;
+  Status st = sink.Flush();
+  if (st.ok()) {
+    std::printf("  trace written to %s (load in ui.perfetto.dev)\n",
+                sink.path().c_str());
+  } else {
+    std::printf("  trace flush failed: %s\n", st.ToString().c_str());
+  }
+}
 
 inline void Title(const std::string& id, const std::string& what) {
   std::printf("\n==========================================================="

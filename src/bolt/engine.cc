@@ -5,6 +5,7 @@
 
 #include "bolt/hostcost.h"
 #include "codegen/emit.h"
+#include "common/trace.h"
 #include "cutlite/padding.h"
 #include "ir/interpreter.h"
 
@@ -43,10 +44,38 @@ bool TransformFoldable(const Graph& g, const Node& n) {
   return is_bolt(producer.kind);
 }
 
+/// JSON fields for the PassStats counters one pass contributed (empty when
+/// the pass changed nothing the stats track).  Rendered with a leading
+/// comma so the caller can append after the node counts.
+std::string PassStatsDeltaJson(const PassStats& before,
+                               const PassStats& after) {
+  std::string out;
+  auto field = [&out](const char* key, int delta) {
+    if (delta != 0) out += StrCat(",\"", key, "\":", delta);
+  };
+  field("epilogues_fused", after.epilogues_fused - before.epilogues_fused);
+  field("persistent_fused",
+        after.persistent_fused - before.persistent_fused);
+  field("persistent_stages",
+        after.persistent_stages - before.persistent_stages);
+  field("tensors_padded", after.tensors_padded - before.tensors_padded);
+  field("layout_transforms_inserted",
+        after.layout_transforms_inserted - before.layout_transforms_inserted);
+  field("batchnorms_folded",
+        after.batchnorms_folded - before.batchnorms_folded);
+  return out;
+}
+
 }  // namespace
 
 Result<Engine> Engine::Compile(const Graph& input,
                                const CompileOptions& options) {
+  trace::TraceSink::InitFromEnv();
+  trace::TraceSink& sink = trace::TraceSink::Global();
+  if (!options.trace_path.empty() && !sink.enabled()) {
+    sink.Start(options.trace_path);
+  }
+
   Profiler local_profiler(options.device, options.profiler_cost);
   Profiler& profiler = options.shared_profiler != nullptr
                            ? *options.shared_profiler
@@ -57,22 +86,52 @@ Result<Engine> Engine::Compile(const Graph& input,
   const double device_before = profiler.clock().device_seconds();
   PassStats stats;
 
-  Graph g = options.enable_layout_transform
-                ? LayoutTransformPass(input, &stats)
-                : LayoutTransformPass(input, nullptr);  // still need NHWC
-  g = FoldBatchNormPass(g, &stats);
-  g = EpilogueFusionPass(g, options.enable_epilogue_fusion, &stats);
+  // Traced pass runner: one real-wall-clock span per pass on the compile
+  // lane, annotated with node counts and the PassStats the pass added.
+  auto run_pass = [&](const char* name, int nodes_before, auto&& fn) {
+    if (!sink.enabled()) return fn();
+    const PassStats stats_before = stats;
+    const double t0 = sink.NowUs();
+    Graph out = fn();
+    sink.EmitSpan(trace::kPidCompile, sink.CurrentThreadLane(), name,
+                  "pass", t0, sink.NowUs(),
+                  StrCat("{\"nodes_before\":", nodes_before,
+                         ",\"nodes_after\":", out.num_nodes(),
+                         PassStatsDeltaJson(stats_before, stats), "}"));
+    return out;
+  };
+
+  Graph g = run_pass("LayoutTransformPass", input.num_nodes(), [&] {
+    return options.enable_layout_transform
+               ? LayoutTransformPass(input, &stats)
+               : LayoutTransformPass(input, nullptr);  // still need NHWC
+  });
+  g = run_pass("FoldBatchNormPass", g.num_nodes(),
+               [&] { return FoldBatchNormPass(g, &stats); });
+  g = run_pass("EpilogueFusionPass", g.num_nodes(), [&] {
+    return EpilogueFusionPass(g, options.enable_epilogue_fusion, &stats);
+  });
   // Padding first: persistent fusion then sees the aligned problems.
   if (options.enable_padding) {
-    g = PaddingPass(g, profiler, &stats);
+    g = run_pass("PaddingPass", g.num_nodes(),
+                 [&] { return PaddingPass(g, profiler, &stats); });
   }
   if (options.enable_persistent_fusion) {
-    g = PersistentKernelFusionPass(g, profiler, &stats);
+    g = run_pass("PersistentKernelFusionPass", g.num_nodes(), [&] {
+      return PersistentKernelFusionPass(g, profiler, &stats);
+    });
   }
 
   Engine engine(std::move(g), options);
-  engine.PreProfile(profiler);
-  Status st = engine.BuildModule(profiler);
+  {
+    trace::Span span(trace::kPidCompile, "PreProfile", "engine");
+    engine.PreProfile(profiler);
+  }
+  Status st;
+  {
+    trace::Span span(trace::kPidCompile, "BuildModule", "engine");
+    st = engine.BuildModule(profiler);
+  }
   if (!st.ok()) return st;
 
   engine.report_.seconds = profiler.clock().seconds() - clock_before;
@@ -84,6 +143,13 @@ Result<Engine> Engine::Compile(const Graph& input,
       profiler.clock().device_seconds() - device_before;
   engine.report_.workloads_profiled = profiler.cache_size();
   engine.report_.pass_stats = stats;
+
+  // Simulated kernel-launch timeline, then persist everything collected so
+  // far (tracing stays on; later compiles re-flush with more events).
+  engine.module_.EmitLaunchTimeline();
+  if (sink.enabled()) {
+    (void)sink.Flush();  // best-effort: a failed flush must not fail compile
+  }
   return engine;
 }
 

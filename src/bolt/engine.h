@@ -41,6 +41,11 @@ struct CompileOptions {
   /// compilations — the paper's cross-model workload reuse. The tuning
   /// report then charges only the *additional* time this compile caused.
   Profiler* shared_profiler = nullptr;
+  /// When non-empty, enables pipeline tracing and flushes a Chrome
+  /// trace_event JSON file here after a successful compile (see
+  /// docs/OBSERVABILITY.md).  The BOLT_TRACE environment variable does the
+  /// same without touching code.  No-op if tracing is already enabled.
+  std::string trace_path;
 };
 
 struct TuningReport {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "ir/graph.h"
 
 namespace bolt {
@@ -76,6 +77,28 @@ class RuntimeModule {
       if (l.kind != LaunchKind::kHostOp) ++k;
     }
     return k;
+  }
+
+  /// Emits the simulated kernel-launch timeline to the process trace sink:
+  /// one span per launch on pid trace::kPidRuntime, back to back from t=0
+  /// at each launch's estimated latency, so the lane's total width equals
+  /// estimated_total_us().  Each traced module gets its own tid lane so
+  /// repeated compiles do not overlap.  No-op when tracing is disabled.
+  void EmitLaunchTimeline() const {
+    trace::TraceSink& sink = trace::TraceSink::Global();
+    if (!sink.enabled()) return;
+    const int lane = sink.NextRuntimeLane();
+    double t = 0.0;
+    for (const LaunchRecord& l : launches_) {
+      const std::string& name =
+          l.kernel_name.empty() ? std::string(LaunchKindName(l.kind))
+                                : l.kernel_name;
+      sink.EmitSpan(trace::kPidRuntime, lane, name, "runtime", t,
+                    t + l.estimated_us,
+                    StrCat("{\"node\":", l.node, ",\"kind\":\"",
+                           LaunchKindName(l.kind), "\"}"));
+      t += l.estimated_us;
+    }
   }
 
   /// Concatenated generated source (what would be handed to nvcc).

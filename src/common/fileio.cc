@@ -1,0 +1,68 @@
+#include "common/fileio.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "common/strings.h"
+
+namespace bolt {
+
+namespace {
+
+/// Unique-enough temp name next to `path`: same directory (so the final
+/// rename cannot cross filesystems) + pid + process-local counter (so
+/// concurrent writers in one process never collide).
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  int64_t pid = 0;
+#ifdef __unix__
+  pid = static_cast<int64_t>(::getpid());
+#endif
+  return StrCat(path, ".tmp.", pid, ".", counter.fetch_add(1));
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal(StrCat("cannot create temp file ", tmp));
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Internal(StrCat("short write to temp file ", tmp));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrCat("atomic rename to ", path, " failed"));
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *contents = buf.str();
+  return Status::Ok();
+}
+
+}  // namespace bolt

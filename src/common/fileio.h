@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Small file-system helpers shared by the tuning-cache and trace writers.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace bolt {
+
+/// Atomically replaces `path` with `contents`: writes a uniquely-named
+/// temporary file in the same directory, then renames it over `path`.
+/// A crash mid-write or a concurrent reader can therefore never observe a
+/// torn file — the destination either keeps its previous content or shows
+/// the complete new content.  On failure the destination is untouched and
+/// the temporary is removed.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Reads a whole file into `*contents`; NotFound if it cannot be opened.
+Status ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace bolt

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "device/occupancy.h"
@@ -49,50 +50,87 @@ double GemmDramBytes(const GemmTraffic& t);
 /// sum the work performed regardless of parallelism — what the tuning run
 /// costs in device occupancy.  Serial charges add the same amount to both,
 /// so `device_seconds == seconds` until a *Parallel charge is made.
+///
+/// Thread safety.  A shared profiler may be charged from one model
+/// compilation while another thread reads the clock to attribute its own
+/// TuningReport deltas, so every accumulator is an atomic double: charges
+/// and reads are individually race-free.  Callers that need a consistent
+/// multi-field snapshot (e.g. the profiler's deterministic parallel
+/// accounting) serialize charges with their own lock, as the profiler's
+/// `clock_mu_` does.
 class TuningClock {
  public:
+  TuningClock() = default;
+  TuningClock(const TuningClock& other) { CopyFrom(other); }
+  TuningClock& operator=(const TuningClock& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
   void Charge(double seconds) {
-    seconds_ += seconds;
-    device_seconds_ += seconds;
+    Add(seconds_, seconds);
+    Add(device_seconds_, seconds);
   }
   void ChargeCompile(double seconds) {
-    seconds_ += seconds;
-    compile_seconds_ += seconds;
-    device_seconds_ += seconds;
+    Add(seconds_, seconds);
+    Add(compile_seconds_, seconds);
+    Add(device_seconds_, seconds);
   }
   void ChargeMeasure(double seconds) {
-    seconds_ += seconds;
-    measure_seconds_ += seconds;
-    device_seconds_ += seconds;
+    Add(seconds_, seconds);
+    Add(measure_seconds_, seconds);
+    Add(device_seconds_, seconds);
   }
   /// Parallel accounting: `wall_seconds` is the critical path across the
   /// measuring workers (charged to the wall clocks); `device_seconds` is
   /// the summed per-candidate cost (charged to device time only).
   void ChargeCompileParallel(double device_seconds, double wall_seconds) {
-    seconds_ += wall_seconds;
-    compile_seconds_ += wall_seconds;
-    device_seconds_ += device_seconds;
+    Add(seconds_, wall_seconds);
+    Add(compile_seconds_, wall_seconds);
+    Add(device_seconds_, device_seconds);
   }
   void ChargeMeasureParallel(double device_seconds, double wall_seconds) {
-    seconds_ += wall_seconds;
-    measure_seconds_ += wall_seconds;
-    device_seconds_ += device_seconds;
+    Add(seconds_, wall_seconds);
+    Add(measure_seconds_, wall_seconds);
+    Add(device_seconds_, device_seconds);
   }
-  double seconds() const { return seconds_; }
-  double minutes() const { return seconds_ / 60.0; }
-  double hours() const { return seconds_ / 3600.0; }
-  double compile_seconds() const { return compile_seconds_; }
-  double measure_seconds() const { return measure_seconds_; }
-  double device_seconds() const { return device_seconds_; }
+  double seconds() const { return Load(seconds_); }
+  double minutes() const { return seconds() / 60.0; }
+  double hours() const { return seconds() / 3600.0; }
+  double compile_seconds() const { return Load(compile_seconds_); }
+  double measure_seconds() const { return Load(measure_seconds_); }
+  double device_seconds() const { return Load(device_seconds_); }
   void Reset() {
-    seconds_ = compile_seconds_ = measure_seconds_ = device_seconds_ = 0.0;
+    Store(seconds_, 0.0);
+    Store(compile_seconds_, 0.0);
+    Store(measure_seconds_, 0.0);
+    Store(device_seconds_, 0.0);
   }
 
  private:
-  double seconds_ = 0.0;
-  double compile_seconds_ = 0.0;
-  double measure_seconds_ = 0.0;
-  double device_seconds_ = 0.0;
+  static void Add(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+  static double Load(const std::atomic<double>& a) {
+    return a.load(std::memory_order_relaxed);
+  }
+  static void Store(std::atomic<double>& a, double v) {
+    a.store(v, std::memory_order_relaxed);
+  }
+  void CopyFrom(const TuningClock& other) {
+    Store(seconds_, other.seconds());
+    Store(compile_seconds_, other.compile_seconds());
+    Store(measure_seconds_, other.measure_seconds());
+    Store(device_seconds_, other.device_seconds());
+  }
+
+  std::atomic<double> seconds_{0.0};
+  std::atomic<double> compile_seconds_{0.0};
+  std::atomic<double> measure_seconds_{0.0};
+  std::atomic<double> device_seconds_{0.0};
 };
 
 }  // namespace bolt

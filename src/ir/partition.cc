@@ -1,6 +1,7 @@
 #include "ir/partition.h"
 
 #include <algorithm>
+#include <set>
 
 namespace bolt {
 
@@ -30,16 +31,48 @@ PartitionResult PartitionGraph(const Graph& graph,
   PartitionResult result;
   result.region_of.assign(graph.num_nodes(), -1);
 
+  // Cycle guard.  Joining node n into producer region r is only legal when
+  // no path from r to n leaves the region: in a diamond
+  // `supported -> unsupported -> supported`, merging the two supported
+  // endpoints would sandwich the unsupported node between two pieces of
+  // one region, so no valid region execution order exists.
+  //
+  // Two per-node sets, both over region ids and both computable in one
+  // topological sweep (region_of[x] is immutable once assigned, so these
+  // never go stale as regions grow):
+  //
+  //   anc[n]    — regions containing at least one transitive producer of n.
+  //   escape[n] — regions r for which some transitive producer a of n lies
+  //               *outside* r while r contains a producer of a; i.e. a path
+  //               from r to n has already left r.  Joining n into any such
+  //               r would create an inter-region cycle.
+  std::vector<std::set<int>> anc(graph.num_nodes());
+  std::vector<std::set<int>> escape(graph.num_nodes());
+
   for (const Node& n : graph.nodes()) {
+    for (NodeId in : n.inputs) {
+      const int r = result.region_of[in];
+      anc[n.id].insert(anc[in].begin(), anc[in].end());
+      escape[n.id].insert(escape[in].begin(), escape[in].end());
+      if (r >= 0) {
+        anc[n.id].insert(r);
+        for (int a : anc[in]) {
+          if (a != r) escape[n.id].insert(a);
+        }
+      }
+    }
     if (n.kind == OpKind::kInput || n.kind == OpKind::kConstant) continue;
     const bool sup = supported(graph, n);
 
     // Try to join the region of a direct producer with the same support
-    // class. Producers have smaller ids, so regions stay topological.
+    // class, unless a path from that region back to this node escapes the
+    // region (reachability guard above). Producers have smaller ids, so
+    // regions stay topological.
     int join = -1;
     for (NodeId in : n.inputs) {
       const int r = result.region_of[in];
-      if (r >= 0 && result.regions[r].offloaded == sup) {
+      if (r >= 0 && result.regions[r].offloaded == sup &&
+          escape[n.id].count(r) == 0) {
         join = r;
         break;
       }

@@ -42,10 +42,13 @@ struct PartitionResult {
 };
 
 /// Greedy maximal-region partitioner: walks nodes in topological order and
-/// merges each supported node into the region of a supported producer when
-/// that does not create a cycle (regions stay contiguous in topo order, so
-/// merging with any direct producer region is safe for single-output DAGs
-/// built in topological order).
+/// merges each node into the region of a same-support-class direct
+/// producer when that does not create an inter-region cycle.  The cycle
+/// guard matters for diamonds: in `supported -> unsupported -> supported`,
+/// merging the two supported endpoints would make the merged region both a
+/// producer and a consumer of the unsupported node's region, so no valid
+/// region execution order would exist; such joins are rejected and a fresh
+/// region is opened instead.  The resulting region graph is always acyclic.
 PartitionResult PartitionGraph(const Graph& graph,
                                const SupportPredicate& supported);
 

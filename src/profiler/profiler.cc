@@ -1,8 +1,13 @@
 #include "profiler/profiler.h"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
 #include <sstream>
+
+#include "common/fileio.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace bolt {
 
@@ -47,6 +52,36 @@ struct B2bComboOutcome {
   bool feasible = false;
   double us = 0.0;
   std::vector<KernelConfig> configs;
+};
+
+/// Profiler-wide instruments, resolved once (Registry handles stay valid
+/// for the process lifetime; updates after that are lock-free).  All are
+/// per-workload granularity — the per-candidate hot loop stays untouched.
+struct ProfilerInstruments {
+  metrics::Counter& workloads_profiled;
+  metrics::Counter& candidates_enumerated;
+  metrics::Counter& candidates_measured;
+  metrics::Counter& cache_hits;
+  metrics::Counter& cache_misses;
+  metrics::Counter& single_flight_waits;
+  metrics::Histogram& workload_best_us;
+
+  static ProfilerInstruments& Get() {
+    static ProfilerInstruments* instruments = new ProfilerInstruments{
+        metrics::Registry::Global().GetCounter("profiler.workloads_profiled"),
+        metrics::Registry::Global().GetCounter(
+            "profiler.candidates_enumerated"),
+        metrics::Registry::Global().GetCounter(
+            "profiler.candidates_measured"),
+        metrics::Registry::Global().GetCounter("profiler.cache_hits"),
+        metrics::Registry::Global().GetCounter("profiler.cache_misses"),
+        metrics::Registry::Global().GetCounter(
+            "profiler.single_flight_waits"),
+        metrics::Registry::Global().GetHistogram(
+            "profiler.workload_best_us"),
+    };
+    return *instruments;
+  }
 };
 
 }  // namespace
@@ -150,6 +185,21 @@ Status Profiler::LoadCache(std::istream& in) {
   return Status::Ok();
 }
 
+Status Profiler::SaveCacheFile(const std::string& path) const {
+  std::ostringstream out;
+  Status st = SaveCache(out);
+  if (!st.ok()) return st;
+  return WriteFileAtomic(path, out.str());
+}
+
+Status Profiler::LoadCacheFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open cache file ", path));
+  }
+  return LoadCache(in);
+}
+
 void Profiler::EnsureArchPrepared() {
   std::lock_guard<std::mutex> lock(clock_mu_);
   if (arch_prepared_) return;
@@ -157,8 +207,17 @@ void Profiler::EnsureArchPrepared() {
   // Sample programs are generated and compiled once per architecture and
   // reused across every model and workload thereafter.
   const int workers = std::max(1, cost_.num_threads);
+  trace::TraceSink& sink = trace::TraceSink::Global();
+  const double base_s = sink.enabled() ? clock_.seconds() : 0.0;
   if (workers == 1) {
     clock_.ChargeCompile(cost_.arch_pregen_s);
+    if (sink.enabled()) {
+      sink.EmitSpan(trace::kPidTuning, 0, StrCat("pregen/", spec_.arch),
+                    "tuning", base_s * 1e6,
+                    (base_s + cost_.arch_pregen_s) * 1e6,
+                    StrCat("{\"programs\":",
+                           std::max(1, cost_.pregen_programs), "}"));
+    }
     return;
   }
   // The pre-generation compiles `pregen_programs` independent sample
@@ -170,18 +229,38 @@ void Profiler::EnsureArchPrepared() {
   const double wall = cost_.arch_pregen_s * static_cast<double>(rounds) /
                       static_cast<double>(programs);
   clock_.ChargeCompileParallel(cost_.arch_pregen_s, wall);
+  if (sink.enabled()) {
+    // One lane span per worker: lane i compiles programs i, i+workers, ...
+    // (round-robin), mirroring the wall accounting above exactly.
+    const double per_program_s = cost_.arch_pregen_s / programs;
+    for (int w = 0; w < workers && w < programs; ++w) {
+      const int lane_programs = (programs - w + workers - 1) / workers;
+      sink.EmitSpan(trace::kPidTuning, w, StrCat("pregen/", spec_.arch),
+                    "tuning", base_s * 1e6,
+                    (base_s + lane_programs * per_program_s) * 1e6,
+                    StrCat("{\"programs\":", lane_programs, "}"));
+    }
+  }
 }
 
-void Profiler::ChargeMeasurements(const std::vector<double>& candidate_us) {
+void Profiler::ChargeMeasurements(const std::string& label,
+                                  const std::vector<double>& candidate_us) {
   if (candidate_us.empty()) return;
   std::lock_guard<std::mutex> lock(clock_mu_);
   const double runs = cost_.warmup_runs + cost_.measure_runs;
   const int workers = std::max(1, cost_.num_threads);
+  trace::TraceSink& sink = trace::TraceSink::Global();
+  const double base_s = sink.enabled() ? clock_.seconds() : 0.0;
   if (workers == 1) {
     // Charge per candidate in enumeration order — bit-exact with the
     // historical serial accounting.
     for (double us : candidate_us) {
       clock_.ChargeMeasure(runs * us * 1e-6 + cost_.per_candidate_overhead_s);
+    }
+    if (sink.enabled()) {
+      sink.EmitSpan(trace::kPidTuning, 0, label, "tuning", base_s * 1e6,
+                    clock_.seconds() * 1e6,
+                    StrCat("{\"candidates\":", candidate_us.size(), "}"));
     }
     return;
   }
@@ -198,11 +277,24 @@ void Profiler::ChargeMeasurements(const std::vector<double>& candidate_us) {
   }
   const double wall = *std::max_element(lane.begin(), lane.end());
   clock_.ChargeMeasureParallel(total, wall);
+  if (sink.enabled()) {
+    // One span per busy worker lane, all starting when the fan-out begins;
+    // the busiest lane's span ends exactly at the new wall-clock reading.
+    for (int w = 0; w < workers; ++w) {
+      if (lane[w] <= 0.0) continue;
+      const size_t lane_candidates =
+          (candidate_us.size() - w + workers - 1) / workers;
+      sink.EmitSpan(trace::kPidTuning, w, label, "tuning", base_s * 1e6,
+                    (base_s + lane[w]) * 1e6,
+                    StrCat("{\"candidates\":", lane_candidates, "}"));
+    }
+  }
 }
 
 bool Profiler::TryClaimFlight(const std::string& key) {
   std::unique_lock<std::mutex> lock(flight_mu_);
   if (inflight_.insert(key).second) return true;
+  ProfilerInstruments::Get().single_flight_waits.Increment();
   flight_cv_.wait(lock, [&] { return inflight_.count(key) == 0; });
   return false;
 }
@@ -216,10 +308,14 @@ bool Profiler::LookupOrBeginFlight(const std::string& key,
       if (it != cache_.end()) {
         *hit = it->second;
         hit->cache_hit = true;
+        ProfilerInstruments::Get().cache_hits.Increment();
         return true;
       }
     }
-    if (TryClaimFlight(key)) return false;
+    if (TryClaimFlight(key)) {
+      ProfilerInstruments::Get().cache_misses.Increment();
+      return false;
+    }
     // A concurrent flight for this key finished (or was abandoned):
     // re-check the cache and, on a miss, claim the flight ourselves.
   }
@@ -234,10 +330,14 @@ bool Profiler::LookupOrBeginFlightB2b(const std::string& key,
       if (it != b2b_cache_.end()) {
         *hit = it->second;
         hit->cache_hit = true;
+        ProfilerInstruments::Get().cache_hits.Increment();
         return true;
       }
     }
-    if (TryClaimFlight(key)) return false;
+    if (TryClaimFlight(key)) {
+      ProfilerInstruments::Get().cache_misses.Increment();
+      return false;
+    }
   }
 }
 
@@ -308,12 +408,17 @@ Result<ProfileResult> Profiler::ProfileGemm(const GemmCoord& problem,
       best.config = candidates[i];
     }
   }
-  ChargeMeasurements(measured);
+  ChargeMeasurements(key, measured);
+  ProfilerInstruments& im = ProfilerInstruments::Get();
+  im.candidates_enumerated.Increment(n);
+  im.candidates_measured.Increment(static_cast<int64_t>(measured.size()));
   if (best.candidates_tried == 0) {
     AbandonFlight(key);
     return Status::NotFound(
         StrCat("no feasible kernel for GEMM ", problem.ToString()));
   }
+  im.workloads_profiled.Increment();
+  im.workload_best_us.Observe(best.us);
   PublishResult(key, best);
   return best;
 }
@@ -357,12 +462,17 @@ Result<ProfileResult> Profiler::ProfileConv(
       best.config = candidates[i];
     }
   }
-  ChargeMeasurements(measured);
+  ChargeMeasurements(key, measured);
+  ProfilerInstruments& im = ProfilerInstruments::Get();
+  im.candidates_enumerated.Increment(n);
+  im.candidates_measured.Increment(static_cast<int64_t>(measured.size()));
   if (best.candidates_tried == 0) {
     AbandonFlight(key);
     return Status::NotFound(
         StrCat("no feasible kernel for Conv ", problem.ToString()));
   }
+  im.workloads_profiled.Increment();
+  im.workload_best_us.Observe(best.us);
   PublishResult(key, best);
   return best;
 }
@@ -449,7 +559,16 @@ B2bProfileResult Profiler::ProfileB2bGemm(
       result.configs = outcomes[ci].configs;
     }
   }
-  ChargeMeasurements(measured);
+  ChargeMeasurements(key, measured);
+  {
+    ProfilerInstruments& im = ProfilerInstruments::Get();
+    im.candidates_enumerated.Increment(n);
+    im.candidates_measured.Increment(static_cast<int64_t>(measured.size()));
+    if (result.feasible) {
+      im.workloads_profiled.Increment();
+      im.workload_best_us.Observe(result.fused_us);
+    }
+  }
   result.beneficial = result.feasible && result.fused_us < result.unfused_us;
   PublishResultB2b(key, result);
   return result;
@@ -540,7 +659,16 @@ B2bProfileResult Profiler::ProfileB2bConv(
       result.configs = outcomes[ci].configs;
     }
   }
-  ChargeMeasurements(measured);
+  ChargeMeasurements(key, measured);
+  {
+    ProfilerInstruments& im = ProfilerInstruments::Get();
+    im.candidates_enumerated.Increment(n);
+    im.candidates_measured.Increment(static_cast<int64_t>(measured.size()));
+    if (result.feasible) {
+      im.workloads_profiled.Increment();
+      im.workload_best_us.Observe(result.fused_us);
+    }
+  }
   result.beneficial = result.feasible && result.fused_us < result.unfused_us;
   PublishResultB2b(key, result);
   return result;

@@ -130,6 +130,15 @@ class Profiler {
   /// Merge records from a saved cache; malformed lines are rejected.
   Status LoadCache(std::istream& in);
 
+  /// Save the cache to `path` atomically: the serialized cache is written
+  /// to a uniquely-named temp file in the same directory and renamed over
+  /// `path`, so a crash mid-save or a concurrent LoadCacheFile can never
+  /// observe a torn file (which the strict LoadCache grammar would reject,
+  /// silently dropping the whole cache).
+  Status SaveCacheFile(const std::string& path) const;
+  /// Load and merge a cache file previously written by SaveCacheFile.
+  Status LoadCacheFile(const std::string& path);
+
  private:
   /// Charges the one-time architecture pre-generation cost on first use.
   void EnsureArchPrepared();
@@ -137,8 +146,11 @@ class Profiler {
   /// enumeration order.  Serial mode charges each individually (bit-exact
   /// with the historical accounting); parallel mode charges the critical
   /// path across `num_threads` round-robin workers as wall time and the
-  /// sum as device time.
-  void ChargeMeasurements(const std::vector<double>& candidate_us);
+  /// sum as device time.  When tracing is enabled, one span per busy
+  /// worker lane named `label` is emitted on the simulated tuning
+  /// timeline (trace::kPidTuning, tid == worker id).
+  void ChargeMeasurements(const std::string& label,
+                          const std::vector<double>& candidate_us);
 
   /// Single-flight admission for `key`.  Returns true with `*hit` filled
   /// when another thread already published (or is publishing) the result;

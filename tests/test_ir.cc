@@ -244,6 +244,54 @@ TEST(PartitionTest, GroupsMaximalSupportedRegions) {
   EXPECT_NE(pr.region_of[p], pr.region_of[c2]);
 }
 
+TEST(PartitionTest, DiamondAcrossUnsupportedNodeDoesNotMergeRegions) {
+  // Regression: diamond `supported -> unsupported -> supported` where the
+  // final node also consumes the first directly.  Greedily merging y into
+  // c1's region would make that region both a producer and a consumer of
+  // the pool's host region — an inter-region cycle with no valid region
+  // execution order.  The reachability guard must open a fresh region.
+  //
+  //      c1 (conv, supported)
+  //     /  \
+  //    |    p (maxpool k=1 s=1, unsupported, shape-preserving)
+  //     \  /
+  //      y = add (supported)
+  GraphBuilder b;
+  NodeId x = b.Input("x", {1, 8, 8, 16});
+  NodeId w = b.Constant(
+      "w", Tensor(TensorDesc(DType::kFloat16, {16, 3, 3, 16})));
+  Conv2dAttrs a;
+  a.pad_h = a.pad_w = 1;
+  NodeId c1 = b.Conv2d(x, w, a);
+  NodeId p = b.MaxPool2d(c1, 1, 1);
+  NodeId y = b.Add(c1, p);
+  b.MarkOutput(y);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+
+  PartitionResult pr = PartitionGraph(*g, DefaultBoltSupport);
+  ASSERT_GE(pr.region_of[c1], 0);
+  ASSERT_GE(pr.region_of[p], 0);
+  ASSERT_GE(pr.region_of[y], 0);
+  EXPECT_NE(pr.region_of[p], pr.region_of[c1]);
+  // The buggy partitioner put y back into c1's region; it must not.
+  EXPECT_NE(pr.region_of[y], pr.region_of[c1]);
+  EXPECT_NE(pr.region_of[y], pr.region_of[p]);
+
+  // The region graph must be acyclic: with regions emitted in topological
+  // order of their first node, every inter-region edge must point from a
+  // lower region id to a higher one.
+  for (const Node& n : g->nodes()) {
+    const int rn = pr.region_of[n.id];
+    if (rn < 0) continue;
+    for (NodeId in : n.inputs) {
+      const int ri = pr.region_of[in];
+      if (ri < 0 || ri == rn) continue;
+      EXPECT_LT(ri, rn) << "region back-edge " << ri << " -> " << rn;
+    }
+  }
+}
+
 TEST(PartitionTest, InputsAndConstantsUnassigned) {
   GraphBuilder b;
   NodeId x = b.Input("x", {1, 4});

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bolt/engine.h"
 #include "common/rng.h"
@@ -185,6 +189,165 @@ TEST(TuningCacheTest, SupersetArchTokenDoesNotSkipPregen) {
             cost.arch_pregen_s);
   EXPECT_GE(CompileSecondsAfterOneProfile("# arch=sm80"),
             cost.arch_pregen_s);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic cache persistence (SaveCacheFile): a crash mid-save or a
+// concurrent reader must never observe a torn cache file — the strict
+// LoadCache grammar would reject it and silently drop the whole cache.
+
+TEST(AtomicCacheFileTest, SaveLoadFileRoundTrip) {
+  const std::string path = testing::TempDir() + "bolt_cache_roundtrip.log";
+  Profiler session1(kT4);
+  PopulateCache(session1, 5, 8);
+  ASSERT_TRUE(session1.SaveCacheFile(path).ok());
+
+  Profiler session2(kT4);
+  ASSERT_TRUE(session2.LoadCacheFile(path).ok());
+  EXPECT_EQ(session2.cache_size(), session1.cache_size());
+  std::ostringstream a, b;
+  ASSERT_TRUE(session1.SaveCache(a).ok());
+  ASSERT_TRUE(session2.SaveCache(b).ok());
+  EXPECT_EQ(a.str(), b.str());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicCacheFileTest, TornTempFileNeverReplacesValidCache) {
+  // Simulated crash: a partially-written temp file sits next to the real
+  // cache, as if the process died mid-SaveCacheFile before the rename.
+  // The destination itself must still load fully valid, and the torn temp
+  // must be rejected rather than silently merged.
+  const std::string path = testing::TempDir() + "bolt_cache_torn.log";
+  const std::string torn_path = path + ".tmp.crashed";
+  Profiler session1(kT4);
+  PopulateCache(session1, 11, 6);
+  ASSERT_TRUE(session1.SaveCacheFile(path).ok());
+  {
+    std::ofstream torn(torn_path);  // half a record, no trailing newline
+    torn << "# bolt tuning cache v1 arch=sm75\ngemm/64x64x64/lin";
+  }
+
+  Profiler session2(kT4);
+  ASSERT_TRUE(session2.LoadCacheFile(path).ok());
+  EXPECT_EQ(session2.cache_size(), session1.cache_size());
+  Profiler session3(kT4);
+  EXPECT_FALSE(session3.LoadCacheFile(torn_path).ok());
+  std::remove(path.c_str());
+  std::remove(torn_path.c_str());
+}
+
+TEST(AtomicCacheFileTest, FailedSaveLeavesDestinationUntouched) {
+  // Destination is a directory: the final rename must fail, the status
+  // must report it, the destination must be untouched, and no temp file
+  // may be left behind.
+  const std::string path = testing::TempDir() + "bolt_cache_destdir";
+  std::filesystem::create_directory(path);
+  Profiler session(kT4);
+  PopulateCache(session, 3, 2);
+  EXPECT_FALSE(session.SaveCacheFile(path).ok());
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+  int leftovers = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(testing::TempDir())) {
+    if (e.path().filename().string().rfind("bolt_cache_destdir.tmp", 0) ==
+        0) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicCacheFileTest, ConcurrentReadersNeverSeeATornFile) {
+  // A reader loading while a writer alternates between two cache
+  // generations must always see one complete generation — never a parse
+  // error, never a record count that matches neither.
+  const std::string path = testing::TempDir() + "bolt_cache_concurrent.log";
+  Profiler small(kT4);
+  PopulateCache(small, 17, 2);
+  Profiler big(kT4);
+  PopulateCache(big, 23, 10);
+  const int small_n = small.cache_size();
+  const int big_n = big.cache_size();
+  ASSERT_TRUE(small.SaveCacheFile(path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      Profiler r(kT4);
+      if (!r.LoadCacheFile(path).ok()) {
+        torn.fetch_add(1);
+        continue;
+      }
+      const int n = r.cache_size();
+      if (n != small_n && n != big_n) torn.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(((i % 2 == 0) ? big : small).SaveCacheFile(path).ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Device-seconds attribution: cache hits are free, failed workloads are
+// not double-charged, and a shared profiler charges each compile only for
+// the work it added.
+
+TEST(DeviceSecondsTest, CacheHitChargesZeroDeviceSeconds) {
+  Profiler prof(kT4);
+  const GemmCoord p(1280, 3072, 768);
+  ASSERT_TRUE(prof.ProfileGemm(p, EpilogueSpec::Linear()).ok());
+  const double device_before = prof.clock().device_seconds();
+  const double wall_before = prof.clock().seconds();
+  auto hit = prof.ProfileGemm(p, EpilogueSpec::Linear());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_DOUBLE_EQ(prof.clock().device_seconds(), device_before);
+  EXPECT_DOUBLE_EQ(prof.clock().seconds(), wall_before);
+}
+
+TEST(DeviceSecondsTest, InfeasibleWorkloadIsNotDoubleCharged) {
+  // No candidate fits a device with zero shared memory.  The first attempt
+  // pays the one-time pregen; the deferred-error path (BuildModule
+  // re-encountering a workload PreProfile already failed) must charge
+  // nothing further.
+  DeviceSpec tiny = kT4;
+  tiny.max_smem_per_cta = 0;
+  Profiler prof(tiny);
+  const GemmCoord p(64, 64, 64);
+  EXPECT_FALSE(prof.ProfileGemm(p, EpilogueSpec::Linear()).ok());
+  const double after_first = prof.clock().device_seconds();
+  EXPECT_FALSE(prof.ProfileGemm(p, EpilogueSpec::Linear()).ok());
+  EXPECT_DOUBLE_EQ(prof.clock().device_seconds(), after_first);
+}
+
+TEST(DeviceSecondsTest, SharedProfilerSecondCompileChargesNothing) {
+  models::RepVggOptions mopts;
+  mopts.batch = 8;
+  mopts.image_size = 32;
+  mopts.num_classes = 10;
+  auto a0 = models::BuildRepVgg(models::RepVggVariant::kA0, mopts);
+  ASSERT_TRUE(a0.ok());
+
+  ProfilerCostModel pc;
+  pc.num_threads = 4;
+  Profiler shared(kT4, pc);
+  CompileOptions opts;
+  opts.profiler_cost.num_threads = 4;
+  opts.shared_profiler = &shared;
+  auto first = Engine::Compile(*a0, opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->tuning_report().device_seconds, 0.0);
+
+  auto second = Engine::Compile(*a0, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->tuning_report().device_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(second->tuning_report().seconds, 0.0);
 }
 
 // ---------------------------------------------------------------------------
