@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/fileio.h"
+#include "common/strings.h"
 #include "common/trace.h"
 
 namespace bolt {
@@ -63,6 +65,24 @@ inline void Rule() {
 /// images/second for a batch and latency.
 inline double Throughput(double batch, double latency_us) {
   return batch * 1e6 / latency_us;
+}
+
+/// Quotes + escapes a string for embedding in a JSON document.
+inline std::string JsonStr(const std::string& s) {
+  return StrCat("\"", trace::JsonEscape(s), "\"");
+}
+
+/// Writes a machine-readable BENCH_*.json artifact (atomic temp + rename)
+/// and reports the path.  `json` is a pre-rendered document.
+inline void WriteBenchJson(const std::string& path,
+                           const std::string& json) {
+  Status st = WriteFileAtomic(path, json);
+  if (st.ok()) {
+    std::printf("  results written to %s\n", path.c_str());
+  } else {
+    std::printf("  writing %s failed: %s\n", path.c_str(),
+                st.ToString().c_str());
+  }
 }
 
 }  // namespace bench

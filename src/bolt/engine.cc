@@ -6,6 +6,9 @@
 #include "bolt/hostcost.h"
 #include "codegen/emit.h"
 #include "common/trace.h"
+#include "cpukernels/backend.h"
+#include "cpukernels/conv.h"
+#include "cpukernels/gemm.h"
 #include "cutlite/padding.h"
 #include "ir/interpreter.h"
 
@@ -143,6 +146,9 @@ Result<Engine> Engine::Compile(const Graph& input,
       profiler.clock().device_seconds() - device_before;
   engine.report_.workloads_profiled = profiler.cache_size();
   engine.report_.pass_stats = stats;
+
+  engine.module_.set_execution_backend(
+      cpukernels::BackendName(cpukernels::DefaultBackend()));
 
   // Simulated kernel-launch timeline, then persist everything collected so
   // far (tracing stays on; later compiles re-flush with more events).
@@ -380,6 +386,21 @@ Result<std::vector<Tensor>> Engine::Run(
     const std::map<std::string, Tensor>& inputs) const {
   std::vector<Tensor> env(graph_.num_nodes());
   const DeviceSpec& spec = options_.device;
+  const bool fast_host =
+      cpukernels::DefaultBackend() == cpukernels::Backend::kFastCpu;
+
+  // Consumer-edge counts let elementwise host ops steal their input's
+  // buffer instead of copying the whole tensor when no one else reads it.
+  std::vector<int> uses(graph_.num_nodes(), 0);
+  std::vector<char> is_out(graph_.num_nodes(), 0);
+  for (const Node& n : graph_.nodes()) {
+    for (NodeId in : n.inputs) ++uses[in];
+  }
+  for (NodeId id : graph_.output_ids()) is_out[id] = 1;
+  auto take_or_copy = [&](NodeId src) -> Tensor {
+    if (uses[src] == 1 && !is_out[src]) return std::move(env[src]);
+    return env[src];
+  };
 
   for (const Node& n : graph_.nodes()) {
     switch (n.kind) {
@@ -488,20 +509,73 @@ Result<std::vector<Tensor>> Engine::Run(
         env[n.id] = refop::Concat(parts);
         break;
       }
-      case OpKind::kBiasAdd:
-        env[n.id] = refop::BiasAdd(env[n.inputs[0]], env[n.inputs[1]]);
+      case OpKind::kConv2d: {
+        // Unfused primitive conv (e.g. dilated, which the epilogue-fusion
+        // pass leaves alone): execute on the host kernels directly.
+        const Conv2dAttrs a = Conv2dAttrs::FromNode(n);
+        if (fast_host) {
+          cpukernels::ConvParams p;
+          p.stride_h = a.stride_h;
+          p.stride_w = a.stride_w;
+          p.pad_h = a.pad_h;
+          p.pad_w = a.pad_w;
+          p.dilation_h = a.dilation_h;
+          p.dilation_w = a.dilation_w;
+          cpukernels::Epilogue epi;
+          epi.output_dtype = n.out_desc.dtype;
+          epi.boundary_quantize = true;
+          env[n.id] =
+              cpukernels::Conv2d(env[n.inputs[0]], env[n.inputs[1]], p, epi,
+                                 {}, &cpukernels::ProcessPool());
+        } else {
+          env[n.id] = refop::Conv2d(env[n.inputs[0]], env[n.inputs[1]], a);
+        }
         break;
+      }
+      case OpKind::kDense: {
+        if (fast_host) {
+          cpukernels::Epilogue epi;
+          epi.output_dtype = n.out_desc.dtype;
+          epi.boundary_quantize = true;
+          env[n.id] =
+              cpukernels::Gemm(env[n.inputs[0]], env[n.inputs[1]], epi, {},
+                               &cpukernels::ProcessPool());
+        } else {
+          env[n.id] = refop::Dense(env[n.inputs[0]], env[n.inputs[1]]);
+        }
+        break;
+      }
+      case OpKind::kBiasAdd: {
+        Tensor t = take_or_copy(n.inputs[0]);
+        refop::BiasAddInPlace(t, env[n.inputs[1]]);
+        env[n.id] = std::move(t);
+        break;
+      }
       case OpKind::kActivation: {
         auto k = ActivationFromName(n.attrs.GetStr("kind"));
         if (!k.ok()) return k.status();
-        env[n.id] = refop::Activation(env[n.inputs[0]], k.value());
+        Tensor t = take_or_copy(n.inputs[0]);
+        refop::ActivationInPlace(t, k.value());
+        env[n.id] = std::move(t);
         break;
       }
       case OpKind::kAdd:
-        env[n.id] = refop::Add(env[n.inputs[0]], env[n.inputs[1]]);
+        if (n.inputs[0] != n.inputs[1]) {
+          Tensor t = take_or_copy(n.inputs[0]);
+          refop::AddInPlace(t, env[n.inputs[1]]);
+          env[n.id] = std::move(t);
+        } else {
+          env[n.id] = refop::Add(env[n.inputs[0]], env[n.inputs[1]]);
+        }
         break;
       case OpKind::kMul:
-        env[n.id] = refop::Mul(env[n.inputs[0]], env[n.inputs[1]]);
+        if (n.inputs[0] != n.inputs[1]) {
+          Tensor t = take_or_copy(n.inputs[0]);
+          refop::MulInPlace(t, env[n.inputs[1]]);
+          env[n.id] = std::move(t);
+        } else {
+          env[n.id] = refop::Mul(env[n.inputs[0]], env[n.inputs[1]]);
+        }
         break;
       case OpKind::kCast:
         env[n.id] = env[n.inputs[0]].Cast(n.out_desc.dtype);

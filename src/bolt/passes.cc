@@ -398,6 +398,12 @@ Graph EpilogueFusionPass(const Graph& graph, bool fuse_chains,
   std::vector<bool> claimed(graph.num_nodes(), false);
   for (const Node& n : graph.nodes()) {
     if (n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) continue;
+    if (n.kind == OpKind::kConv2d) {
+      // Dilated convs stay primitive: the cutlite conv problem vocabulary
+      // has no dilation, so they execute on the host CPU kernels instead.
+      const Conv2dAttrs a = Conv2dAttrs::FromNode(n);
+      if (a.dilation_h != 1 || a.dilation_w != 1) continue;
+    }
     ChainInfo info = CollectEpilogueChain(graph, n, fuse_chains, claimed);
     for (NodeId f : info.folded) claimed[f] = true;
     const int ci = static_cast<int>(chains.size());

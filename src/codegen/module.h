@@ -71,6 +71,14 @@ class RuntimeModule {
   const std::vector<LaunchRecord>& launches() const { return launches_; }
   double estimated_total_us() const { return total_us_; }
 
+  /// Name of the host execution backend that functionally runs this
+  /// module's kernels ("cpukernels" or "reference"); recorded at compile
+  /// time so traces and reports identify how results were produced.
+  void set_execution_backend(std::string backend) {
+    execution_backend_ = std::move(backend);
+  }
+  const std::string& execution_backend() const { return execution_backend_; }
+
   int num_device_launches() const {
     int k = 0;
     for (const auto& l : launches_) {
@@ -96,7 +104,12 @@ class RuntimeModule {
       sink.EmitSpan(trace::kPidRuntime, lane, name, "runtime", t,
                     t + l.estimated_us,
                     StrCat("{\"node\":", l.node, ",\"kind\":\"",
-                           LaunchKindName(l.kind), "\"}"));
+                           LaunchKindName(l.kind), "\"",
+                           execution_backend_.empty()
+                               ? std::string()
+                               : StrCat(",\"backend\":\"",
+                                        execution_backend_, "\""),
+                           "}"));
       t += l.estimated_us;
     }
   }
@@ -113,6 +126,7 @@ class RuntimeModule {
  private:
   std::map<std::string, std::string> sources_;
   std::vector<LaunchRecord> launches_;
+  std::string execution_backend_;
   double total_us_ = 0.0;
 };
 

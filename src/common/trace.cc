@@ -179,6 +179,7 @@ Status TraceSink::WriteTo(std::ostream& out) const {
       Metadata(kPidTuning, 0, "process_name", "bolt.tuning (simulated)"));
   meta.push_back(
       Metadata(kPidRuntime, 0, "process_name", "bolt.runtime (simulated)"));
+  meta.push_back(Metadata(kPidCpu, 0, "process_name", "bolt.cpu"));
   std::set<int> tuning_lanes, runtime_lanes;
   for (const Event& e : events) {
     if (e.pid == kPidTuning) tuning_lanes.insert(e.tid);

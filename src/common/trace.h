@@ -12,7 +12,7 @@
 // spans into a global TraceSink, which flushes a Chrome trace_event JSON
 // file loadable in chrome://tracing or https://ui.perfetto.dev.
 //
-// Three process lanes coexist in one trace (see docs/OBSERVABILITY.md):
+// Four process lanes coexist in one trace (see docs/OBSERVABILITY.md):
 //
 //   pid kPidCompile  "bolt.compile"   — real wall-clock time of the
 //                                       compile passes (one span each).
@@ -25,6 +25,10 @@
 //                                       span per kernel at its estimated
 //                                       latency, summing to
 //                                       Engine::EstimatedLatencyUs().
+//   pid kPidCpu      "bolt.cpu"       — real wall-clock time of the CPU
+//                                       execution backend; one span per
+//                                       GEMM/conv kernel launch
+//                                       (docs/CPU_BACKEND.md).
 //
 // Overhead discipline: when tracing is disabled every entry point is a
 // single relaxed atomic load.  Instrumentation sites emit at workload /
@@ -51,6 +55,7 @@ namespace trace {
 inline constexpr int kPidCompile = 1;
 inline constexpr int kPidTuning = 2;
 inline constexpr int kPidRuntime = 3;
+inline constexpr int kPidCpu = 4;
 
 /// One Chrome trace_event record.  `args` is a pre-rendered JSON object
 /// ("{...}") or empty.

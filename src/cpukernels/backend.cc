@@ -1,0 +1,43 @@
+#include "cpukernels/backend.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace bolt {
+namespace cpukernels {
+
+Backend DefaultBackend() {
+  static const Backend backend = [] {
+    const char* env = std::getenv("BOLT_CPU_BACKEND");
+    if (env != nullptr) {
+      const std::string v(env);
+      if (v == "ref" || v == "reference" || v == "naive") {
+        return Backend::kReference;
+      }
+    }
+    return Backend::kFastCpu;
+  }();
+  return backend;
+}
+
+int DefaultNumThreads() {
+  static const int threads = [] {
+    const char* env = std::getenv("BOLT_CPU_THREADS");
+    if (env != nullptr) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }();
+  return threads;
+}
+
+ThreadPool& ProcessPool() {
+  static ThreadPool pool(DefaultNumThreads());
+  return pool;
+}
+
+}  // namespace cpukernels
+}  // namespace bolt

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Execution-backend selection and the shared worker pool for the CPU
+// kernel library.
+//
+// Two backends execute graphs numerically:
+//
+//   kFastCpu    cache-blocked packed GEMM / implicit-GEMM conv kernels
+//               with fused epilogues (this library) — the default.
+//   kReference  the naive textbook loops in ir/interpreter.h's refop
+//               namespace — kept as the differential-testing oracle.
+//
+// BOLT_CPU_BACKEND=ref|reference|naive forces the reference backend
+// process-wide; BOLT_CPU_THREADS=N sizes the shared pool (default:
+// hardware concurrency).  The pool's ParallelFor is caller-participating,
+// so kernels launched from inside other pool jobs degrade to inline
+// execution instead of deadlocking.
+
+#pragma once
+
+#include "common/thread_pool.h"
+
+namespace bolt {
+namespace cpukernels {
+
+enum class Backend {
+  kFastCpu,
+  kReference,
+};
+
+inline const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kFastCpu:
+      return "cpukernels";
+    case Backend::kReference:
+      return "reference";
+  }
+  return "?";
+}
+
+/// Process-wide default backend: kFastCpu unless BOLT_CPU_BACKEND selects
+/// the reference loops.  Read once and cached.
+Backend DefaultBackend();
+
+/// Worker count of the shared pool (BOLT_CPU_THREADS or hardware
+/// concurrency, >= 1).
+int DefaultNumThreads();
+
+/// Lazily constructed process-wide pool shared by every kernel launch
+/// that does not bring its own pool.
+ThreadPool& ProcessPool();
+
+}  // namespace cpukernels
+}  // namespace bolt

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// CPU kernel blocking configuration.
+//
+// The CPU backend mirrors cutlite's threadblock/warp tile decomposition
+// (cutlite/config.h) with the classic BLIS/GotoBLAS cache hierarchy:
+//
+//   cutlite KernelConfig          CPU BlockConfig        resident in
+//   --------------------         ----------------       ------------
+//   threadblock.m                mc  (A panel rows)      L2
+//   threadblock.n                nc  (B panel cols)      L3 / DRAM stream
+//   threadblock.k                kc  (packed K slice)    L1/L2
+//   warp.m x warp.n              kMR x kNR micro-tile    registers
+//
+// One (mc x kc) packed A panel and one (kc x nc) packed B panel feed a
+// register-resident kMR x kNR micro-kernel, exactly the way a threadblock
+// tile feeds warp tiles on the GPU.  docs/CPU_BACKEND.md spells out the
+// mapping and the packing layouts.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bolt {
+namespace cpukernels {
+
+/// Register micro-tile (the "warp tile" analogue).  Compile-time constants
+/// so the micro-kernel accumulators live in vector registers; 4x8 FP32
+/// fits the baseline x86-64 SSE register file without spilling.
+inline constexpr int kMR = 4;
+inline constexpr int kNR = 8;
+
+/// Cache-blocking parameters (the "threadblock tile" analogue).
+struct BlockConfig {
+  int mc = 64;    // rows of A packed per panel (threadblock.m analogue)
+  int kc = 256;   // K depth of one packed slice (threadblock.k analogue)
+  int nc = 4096;  // cols of B packed per panel (threadblock.n analogue)
+
+  /// Derives CPU block sizes from a cutlite-style tile shape, clamping to
+  /// micro-tile multiples.  Used to share one config vocabulary between
+  /// the simulated GPU kernels and the real CPU kernels.
+  static BlockConfig FromTileShape(int tb_m, int tb_n, int tb_k) {
+    BlockConfig c;
+    c.mc = std::max(kMR, (tb_m / kMR) * kMR);
+    c.nc = std::max(kNR, (tb_n / kNR) * kNR);
+    c.kc = std::max(8, tb_k);
+    return c;
+  }
+};
+
+}  // namespace cpukernels
+}  // namespace bolt

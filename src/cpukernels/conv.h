@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Implicit-GEMM 2-D convolution with fused epilogue — the CPU fast path
+// for conv layers.
+//
+// The convolution is mapped onto the blocked GEMM exactly the way cutlite
+// maps it onto the tensor-core hierarchy (cutlite/conv.h):
+//   M = N * OH * OW    (output pixels)
+//   N = OC             (output channels)
+//   K = KH * KW * IC   (filter taps x input channels)
+// A panels are gathered from the input tensor on the fly (panel-wise
+// im2col with zero padding) — the full im2col matrix is never
+// materialized.  NHWC activations stream contiguously per tap (the fast
+// path); NCHW is handled by the same packer with a strided gather and a
+// layout-aware output index, so no layout-transform round trip is needed.
+// K terms accumulate in ascending (kh, kw, ic) order, matching the
+// reference loop bit-for-bit.
+
+#pragma once
+
+#include "common/thread_pool.h"
+#include "cpukernels/config.h"
+#include "cpukernels/epilogue.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+namespace cpukernels {
+
+/// Convolution geometry (shapes come from the tensors).
+struct ConvParams {
+  int64_t stride_h = 1, stride_w = 1;
+  int64_t pad_h = 0, pad_w = 0;
+  int64_t dilation_h = 1, dilation_w = 1;
+};
+
+/// Convolution: `x` is NHWC or NCHW rank-4; `w` is [OC, KH, KW, IC].
+/// Returns a tensor in x's layout with dtype epi.output_dtype.
+/// `epi.residual` (when set) must use the output's layout; `epi.bias` is
+/// indexed by output channel.  A null `pool` runs serially.
+Tensor Conv2d(const Tensor& x, const Tensor& w, const ConvParams& p,
+              const Epilogue& epi, const BlockConfig& cfg = {},
+              ThreadPool* pool = nullptr);
+
+}  // namespace cpukernels
+}  // namespace bolt

@@ -1,0 +1,173 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Blocked packed-GEMM driver shared by the dense and implicit-GEMM conv
+// kernels.  Not part of the public cpukernels API.
+//
+// Structure (GotoBLAS/BLIS, one level per cache):
+//
+//   for jc in N step nc:                 serial
+//     for pc in K step kc:               serial (C accumulates across pc)
+//       pack B panel [kc x nc]           kNR-wide column strips
+//       ParallelFor ic in M step mc:     output-tile parallelism
+//         pack A panel [mc x kc]         kMR-wide row strips (im2col here)
+//         for jr, ir micro tiles:        register micro-kernel
+//           acc += Ap x Bp over the kc slice
+//           last pc slice: fused epilogue on write-back
+//
+// Numeric contract: every output element accumulates its K terms in
+// strictly ascending k order (within a slice in the micro-kernel, across
+// slices through the FP32 C buffer), which is the same addition sequence
+// as the naive triple loop.  Results are therefore bit-identical to the
+// reference kernels and to themselves for any thread count — the
+// differential tests and the cutlite functional delegation rely on this.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "cpukernels/config.h"
+#include "cpukernels/epilogue.h"
+
+namespace bolt {
+namespace cpukernels {
+namespace internal {
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Packs the B panel: W is [n, k] row-major (weights); the panel covers
+/// columns [j0, j0+ncb) and depth [p0, p0+kcb), laid out as kNR-wide
+/// column strips, each strip kcb x kNR with columns contiguous per k.
+/// Columns beyond n are zero-padded.
+inline void PackB(const float* w, int64_t k, int64_t n, int64_t j0,
+                  int64_t ncb, int64_t p0, int64_t kcb, float* dst) {
+  const int64_t strips = CeilDiv(ncb, kNR);
+  for (int64_t js = 0; js < strips; ++js) {
+    float* s = dst + js * kcb * kNR;
+    const int64_t jbase = j0 + js * kNR;
+    const int64_t jn = std::min<int64_t>(kNR, n - jbase);
+    for (int64_t kk = 0; kk < kcb; ++kk) {
+      for (int64_t j = 0; j < kNR; ++j) {
+        s[kk * kNR + j] =
+            j < jn ? w[(jbase + j) * k + p0 + kk] : 0.0f;
+      }
+    }
+  }
+}
+
+/// Register micro-kernel: acc[kMR][kNR] += Ap-strip x Bp-strip over the
+/// kc slice.  `ap` is kMR-interleaved (kMR values per k step), `bp` is
+/// kNR-interleaved.  The j loop has a compile-time trip count so the
+/// compiler vectorizes it; per-element accumulation stays in ascending k
+/// order.
+inline void MicroKernel(int64_t kcb, const float* ap, const float* bp,
+                        float* acc) {
+  for (int64_t kk = 0; kk < kcb; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      float* row = acc + r * kNR;
+      for (int j = 0; j < kNR; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+/// Blocked GEMM core: D[m, n] (+)= A[m, k] x W[n, k]^T with the epilogue
+/// fused into the final write-back.
+///
+///  * `pack_a(dst, i0, mcb, p0, kcb)` packs A rows [i0, i0+mcb) and depth
+///    [p0, p0+kcb) into kMR-wide row strips (strip layout: strip is,
+///    then k, then kMR row values; rows beyond the panel zero-padded).
+///    The conv kernels implement panel-wise im2col here, so no full
+///    im2col matrix is ever materialized.
+///  * `dindex(i, j)` maps an output (row, col) to an index into `d` (and
+///    into `epi.residual`), which lets the NCHW conv write its scattered
+///    output layout directly.
+///
+/// When `pool` is non-null, row panels are computed in parallel; the
+/// caller participates, so nesting under other ParallelFor loops is safe.
+template <typename PackAFn, typename DIndexFn>
+void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
+              const Epilogue& epi, const BlockConfig& cfg, ThreadPool* pool,
+              PackAFn&& pack_a, DIndexFn&& dindex) {
+  if (m <= 0 || n <= 0) return;
+  const int64_t mc = std::max<int64_t>(kMR, cfg.mc);
+  const int64_t kc = std::max<int64_t>(8, cfg.kc);
+  const int64_t nc =
+      std::max<int64_t>(kNR, (static_cast<int64_t>(cfg.nc) / kNR) * kNR);
+
+  std::vector<float> bpanel;
+  for (int64_t jc = 0; jc < n; jc += nc) {
+    const int64_t ncb = std::min(nc, n - jc);
+    const int64_t jstrips = CeilDiv(ncb, kNR);
+    // K == 0 degenerates to an epilogue-only pass over zero accumulators.
+    const int64_t kblocks = std::max<int64_t>(1, CeilDiv(k, kc));
+    for (int64_t pb = 0; pb < kblocks; ++pb) {
+      const int64_t pc = pb * kc;
+      const int64_t kcb = std::min(kc, k - pc);
+      const bool first = pb == 0;
+      const bool last = pb == kblocks - 1;
+      bpanel.resize(static_cast<size_t>(jstrips * kNR * std::max<int64_t>(
+                        kcb, 1)));
+      if (kcb > 0) PackB(w, k, n, jc, ncb, pc, kcb, bpanel.data());
+
+      const int64_t iblocks = CeilDiv(m, mc);
+      auto row_panel = [&](int64_t ib) {
+        const int64_t i0 = ib * mc;
+        const int64_t mcb = std::min(mc, m - i0);
+        const int64_t istrips = CeilDiv(mcb, kMR);
+        std::vector<float> apanel(
+            static_cast<size_t>(istrips * kMR * std::max<int64_t>(kcb, 1)));
+        if (kcb > 0) pack_a(apanel.data(), i0, mcb, pc, kcb);
+
+        float acc[kMR * kNR];
+        for (int64_t js = 0; js < jstrips; ++js) {
+          const float* bp = bpanel.data() + js * kcb * kNR;
+          const int64_t j0 = jc + js * kNR;
+          const int64_t jn = std::min<int64_t>(kNR, n - j0);
+          for (int64_t is = 0; is < istrips; ++is) {
+            const float* ap = apanel.data() + is * kcb * kMR;
+            const int64_t gi0 = i0 + is * kMR;
+            const int64_t rm = std::min<int64_t>(kMR, m - gi0);
+            if (first) {
+              for (float& v : acc) v = 0.0f;
+            } else {
+              for (int64_t r = 0; r < rm; ++r)
+                for (int64_t j = 0; j < jn; ++j)
+                  acc[r * kNR + j] = d[dindex(gi0 + r, j0 + j)];
+            }
+            if (kcb > 0) MicroKernel(kcb, ap, bp, acc);
+            if (last) {
+              for (int64_t r = 0; r < rm; ++r) {
+                for (int64_t j = 0; j < jn; ++j) {
+                  const int64_t di = dindex(gi0 + r, j0 + j);
+                  const float src =
+                      epi.residual != nullptr ? epi.residual[di] : 0.0f;
+                  const float b =
+                      epi.bias != nullptr ? epi.bias[j0 + j] : 0.0f;
+                  d[di] = ApplyEpilogue(epi, acc[r * kNR + j], src, b);
+                }
+              }
+            } else {
+              for (int64_t r = 0; r < rm; ++r)
+                for (int64_t j = 0; j < jn; ++j)
+                  d[dindex(gi0 + r, j0 + j)] = acc[r * kNR + j];
+            }
+          }
+        }
+      };
+      if (pool != nullptr && iblocks > 1) {
+        pool->ParallelFor(iblocks, row_panel);
+      } else {
+        for (int64_t ib = 0; ib < iblocks; ++ib) row_panel(ib);
+      }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace cpukernels
+}  // namespace bolt

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cpukernels/backend.h"
+#include "cpukernels/conv.h"
+
 namespace bolt {
 namespace cutlite {
 
@@ -41,6 +44,33 @@ Result<Tensor> Conv2dKernel::Run(const Tensor& x, const Tensor& weight,
   if (epilogue_.has_bias) BOLT_CHECK(bias != nullptr);
 
   const int64_t oh = p.out_h(), ow = p.out_w();
+  if (config_.split_k == 1 && !epilogue_.column_reduction &&
+      cpukernels::DefaultBackend() == cpukernels::Backend::kFastCpu) {
+    // Delegate to the blocked implicit-GEMM CPU kernel (same ascending
+    // (r, s, c) accumulation order and epilogue arithmetic — results are
+    // bit-identical to the direct loop below up to the sign of zero).
+    cpukernels::ConvParams cp;
+    cp.stride_h = p.stride_h;
+    cp.stride_w = p.stride_w;
+    cp.pad_h = p.pad_h;
+    cp.pad_w = p.pad_w;
+    cpukernels::Epilogue epi;
+    epi.alpha = epilogue_.alpha;
+    epi.beta = epilogue_.beta;
+    if (epilogue_.has_bias) epi.bias = bias->data().data();
+    if (epilogue_.has_residual || epilogue_.beta != 0.0f) {
+      BOLT_CHECK(residual != nullptr);
+      epi.residual = residual->data().data();
+    }
+    epi.acts = epilogue_.activations;
+    epi.output_dtype = epilogue_.output_dtype;
+    return cpukernels::Conv2d(x, weight, cp, epi,
+                              cpukernels::BlockConfig::FromTileShape(
+                                  config_.threadblock.m,
+                                  config_.threadblock.n,
+                                  config_.threadblock.k),
+                              &cpukernels::ProcessPool());
+  }
   std::vector<int64_t> oshape = {p.n, oh, ow, p.k};
   Tensor out(TensorDesc(epilogue_.output_dtype, oshape, Layout::kNHWC));
   const auto& xs = x.shape();

@@ -146,6 +146,8 @@ Conv2dAttrs Conv2dAttrs::FromNode(const Node& n) {
   a.stride_w = n.attrs.GetInt("stride_w", 1);
   a.pad_h = n.attrs.GetInt("pad_h", 0);
   a.pad_w = n.attrs.GetInt("pad_w", 0);
+  a.dilation_h = n.attrs.GetInt("dilation_h", 1);
+  a.dilation_w = n.attrs.GetInt("dilation_w", 1);
   return a;
 }
 
@@ -154,6 +156,9 @@ void Conv2dAttrs::ToAttrs(AttrMap& attrs) const {
   attrs.SetInt("stride_w", stride_w);
   attrs.SetInt("pad_h", pad_h);
   attrs.SetInt("pad_w", pad_w);
+  // Dilation defaults keep printed graphs stable for the common case.
+  if (dilation_h != 1) attrs.SetInt("dilation_h", dilation_h);
+  if (dilation_w != 1) attrs.SetInt("dilation_w", dilation_w);
 }
 
 NodeId GraphBuilder::AddOp(OpKind kind, std::vector<NodeId> inputs,
@@ -211,8 +216,10 @@ NodeId GraphBuilder::Conv2d(NodeId x, NodeId weight, const Conv2dAttrs& a,
   const int64_t oc = wd.shape[0], kh = wd.shape[1], kw = wd.shape[2];
   BOLT_CHECK_MSG(wd.shape[3] == c, "conv2d channel mismatch: weight IC "
                                        << wd.shape[3] << " vs input C " << c);
-  const int64_t oh = (h + 2 * a.pad_h - kh) / a.stride_h + 1;
-  const int64_t ow = (w + 2 * a.pad_w - kw) / a.stride_w + 1;
+  const int64_t ekh = (kh - 1) * a.dilation_h + 1;
+  const int64_t ekw = (kw - 1) * a.dilation_w + 1;
+  const int64_t oh = (h + 2 * a.pad_h - ekh) / a.stride_h + 1;
+  const int64_t ow = (w + 2 * a.pad_w - ekw) / a.stride_w + 1;
   std::vector<int64_t> oshape =
       nhwc ? std::vector<int64_t>{n, oh, ow, oc}
            : std::vector<int64_t>{n, oc, oh, ow};

@@ -145,6 +145,7 @@ class Graph {
 struct Conv2dAttrs {
   int64_t stride_h = 1, stride_w = 1;
   int64_t pad_h = 0, pad_w = 0;
+  int64_t dilation_h = 1, dilation_w = 1;
   // Weight shape is [O, kh, kw, I] regardless of activation layout.
   static Conv2dAttrs FromNode(const Node& n);
   void ToAttrs(AttrMap& attrs) const;

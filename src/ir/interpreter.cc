@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cpukernels/conv.h"
+#include "cpukernels/gemm.h"
+
 namespace bolt {
 namespace refop {
 
@@ -29,8 +32,10 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& a) {
   const int64_t wd = nhwc ? s[2] : s[3];
   const int64_t oc = w.shape()[0], kh = w.shape()[1], kw = w.shape()[2];
   BOLT_CHECK_MSG(w.shape()[3] == c, "conv2d ref channel mismatch");
-  const int64_t oh = (h + 2 * a.pad_h - kh) / a.stride_h + 1;
-  const int64_t ow = (wd + 2 * a.pad_w - kw) / a.stride_w + 1;
+  const int64_t ekh = (kh - 1) * a.dilation_h + 1;
+  const int64_t ekw = (kw - 1) * a.dilation_w + 1;
+  const int64_t oh = (h + 2 * a.pad_h - ekh) / a.stride_h + 1;
+  const int64_t ow = (wd + 2 * a.pad_w - ekw) / a.stride_w + 1;
 
   std::vector<int64_t> oshape = nhwc ? std::vector<int64_t>{n, oh, ow, oc}
                                      : std::vector<int64_t>{n, oc, oh, ow};
@@ -42,8 +47,8 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& a) {
           float acc = 0.0f;  // FP32 accumulate, as on tensor cores.
           for (int64_t r = 0; r < kh; ++r) {
             for (int64_t t = 0; t < kw; ++t) {
-              const int64_t sh = ih * a.stride_h + r - a.pad_h;
-              const int64_t sw = iw * a.stride_w + t - a.pad_w;
+              const int64_t sh = ih * a.stride_h + r * a.dilation_h - a.pad_h;
+              const int64_t sw = iw * a.stride_w + t * a.dilation_w - a.pad_w;
               for (int64_t ic = 0; ic < c; ++ic) {
                 const float xv = ActAt(x, in, ic, sh, sw);
                 const float wv =
@@ -80,8 +85,7 @@ Tensor Dense(const Tensor& x, const Tensor& w) {
   return out;
 }
 
-Tensor BiasAdd(const Tensor& x, const Tensor& bias) {
-  Tensor out = x;
+void BiasAddInPlace(Tensor& x, const Tensor& bias) {
   const int64_t c = bias.num_elements();
   if (x.desc().rank() == 4 && x.layout() == Layout::kNCHW) {
     const auto& s = x.shape();
@@ -90,38 +94,55 @@ Tensor BiasAdd(const Tensor& x, const Tensor& bias) {
       for (int64_t ci = 0; ci < s[1]; ++ci)
         for (int64_t h = 0; h < s[2]; ++h)
           for (int64_t w = 0; w < s[3]; ++w)
-            out.at(IndexNCHW(s, n, ci, h, w)) += bias.at(ci);
+            x.at(IndexNCHW(s, n, ci, h, w)) += bias.at(ci);
   } else {
     // NHWC and row-major 2-D both have channels innermost.
     BOLT_CHECK(x.shape().back() == c);
     for (int64_t i = 0; i < x.num_elements(); ++i) {
-      out.at(i) += bias.at(i % c);
+      x.at(i) += bias.at(i % c);
     }
   }
-  out.Quantize();
+  x.Quantize();
+}
+
+Tensor BiasAdd(const Tensor& x, const Tensor& bias) {
+  Tensor out = x;
+  BiasAddInPlace(out, bias);
   return out;
+}
+
+void ActivationInPlace(Tensor& x, ActivationKind kind) {
+  for (float& v : x.data()) v = ApplyActivation(kind, v);
+  x.Quantize();
 }
 
 Tensor Activation(const Tensor& x, ActivationKind kind) {
   Tensor out = x;
-  for (float& v : out.data()) v = ApplyActivation(kind, v);
-  out.Quantize();
+  ActivationInPlace(out, kind);
   return out;
+}
+
+void AddInPlace(Tensor& x, const Tensor& other) {
+  BOLT_CHECK(x.num_elements() == other.num_elements());
+  for (int64_t i = 0; i < x.num_elements(); ++i) x.at(i) += other.at(i);
+  x.Quantize();
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  BOLT_CHECK(a.num_elements() == b.num_elements());
   Tensor out = a;
-  for (int64_t i = 0; i < a.num_elements(); ++i) out.at(i) += b.at(i);
-  out.Quantize();
+  AddInPlace(out, b);
   return out;
 }
 
+void MulInPlace(Tensor& x, const Tensor& other) {
+  BOLT_CHECK(x.num_elements() == other.num_elements());
+  for (int64_t i = 0; i < x.num_elements(); ++i) x.at(i) *= other.at(i);
+  x.Quantize();
+}
+
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  BOLT_CHECK(a.num_elements() == b.num_elements());
   Tensor out = a;
-  for (int64_t i = 0; i < a.num_elements(); ++i) out.at(i) *= b.at(i);
-  out.Quantize();
+  MulInPlace(out, b);
   return out;
 }
 
@@ -303,10 +324,137 @@ Tensor Concat(const std::vector<const Tensor*>& parts) {
 
 }  // namespace refop
 
+Interpreter::Interpreter(const Graph& graph, InterpreterOptions options)
+    : graph_(graph), options_(options) {
+  fast_ = options_.backend == cpukernels::Backend::kFastCpu;
+  uses_.assign(graph_.num_nodes(), 0);
+  is_output_.assign(graph_.num_nodes(), 0);
+  fused_member_.assign(graph_.num_nodes(), 0);
+  for (const Node& n : graph_.nodes()) {
+    for (NodeId in : n.inputs) ++uses_[in];
+  }
+  for (NodeId id : graph_.output_ids()) is_output_[id] = 1;
+  if (fast_) BuildPlan();
+}
+
+void Interpreter::BuildPlan() {
+  // Single-consumer successor of each node (or -1).
+  std::vector<NodeId> succ(graph_.num_nodes(), -1);
+  for (const Node& n : graph_.nodes()) {
+    for (NodeId in : n.inputs) succ[in] = n.id;
+  }
+  // Nodes already owned by a committed chain.  Two chains can meet at one
+  // residual Add (a diamond); the first chain folds the Add, the second
+  // must stop before it or its tail would never be materialized.
+  std::vector<char> claimed(graph_.num_nodes(), 0);
+
+  for (const Node& n : graph_.nodes()) {
+    if (n.kind != OpKind::kConv2d && n.kind != OpKind::kDense) continue;
+    FusedChain ch;
+    ch.anchor = n.id;
+    // Output channels of the anchor (bias length must match for the
+    // per-column epilogue broadcast to equal the reference BiasAdd).
+    const int64_t oc = graph_.node(n.inputs[1]).out_desc.shape[0];
+    const DType dt = n.out_desc.dtype;
+
+    NodeId cur = n.id;
+    enum class Stage { kBias, kAct } stage = Stage::kBias;
+    while (options_.fuse_epilogues) {
+      // Intermediates must feed exactly one op and not be graph outputs.
+      if (uses_[cur] != 1 || is_output_[cur]) break;
+      const Node& c = graph_.node(succ[cur]);
+      if (claimed[c.id]) break;
+      if (c.out_desc.dtype != dt) break;
+      if (c.kind == OpKind::kBiasAdd && stage == Stage::kBias &&
+          c.inputs[0] == cur &&
+          graph_.node(c.inputs[1]).out_desc.num_elements() == oc) {
+        ch.bias = c.inputs[1];
+        cur = c.id;
+        stage = Stage::kAct;
+        continue;
+      }
+      if (c.kind == OpKind::kActivation) {
+        auto kind = ActivationFromName(c.attrs.GetStr("kind"));
+        if (!kind.ok()) break;
+        ch.acts.push_back(kind.value());
+        cur = c.id;
+        stage = Stage::kAct;
+        continue;
+      }
+      if (c.kind == OpKind::kAdd) {
+        const NodeId other = c.inputs[0] == cur ? c.inputs[1] : c.inputs[0];
+        // Add(x, x) and mismatched operand descs stay unfused.
+        if (other == cur ||
+            !(graph_.node(c.inputs[0]).out_desc ==
+              graph_.node(c.inputs[1]).out_desc)) {
+          break;
+        }
+        ch.residual = other;
+        cur = c.id;
+      }
+      break;  // residual Add (or anything else) terminates the chain
+    }
+    ch.result = cur;
+    for (NodeId id = ch.anchor; id != ch.result; id = succ[id]) {
+      fused_member_[id] = 1;
+      claimed[id] = 1;
+    }
+    claimed[ch.result] = 1;
+    chains_[ch.result] = ch;
+  }
+}
+
+ThreadPool* Interpreter::ResolvePool() const {
+  if (options_.pool != nullptr) return options_.pool;
+  if (options_.parallel) return &cpukernels::ProcessPool();
+  return nullptr;
+}
+
+Tensor Interpreter::RunChain(const FusedChain& ch,
+                             const std::vector<Tensor>& env) const {
+  const Node& a = graph_.node(ch.anchor);
+  cpukernels::Epilogue epi;
+  epi.output_dtype = graph_.node(ch.result).out_desc.dtype;
+  epi.boundary_quantize = true;
+  if (ch.bias >= 0) epi.bias = env[ch.bias].data().data();
+  if (ch.residual >= 0) epi.residual = env[ch.residual].data().data();
+  epi.acts = ch.acts;
+  ThreadPool* pool = ResolvePool();
+  if (a.kind == OpKind::kConv2d) {
+    const Conv2dAttrs attrs = Conv2dAttrs::FromNode(a);
+    cpukernels::ConvParams p;
+    p.stride_h = attrs.stride_h;
+    p.stride_w = attrs.stride_w;
+    p.pad_h = attrs.pad_h;
+    p.pad_w = attrs.pad_w;
+    p.dilation_h = attrs.dilation_h;
+    p.dilation_w = attrs.dilation_w;
+    return cpukernels::Conv2d(env[a.inputs[0]], env[a.inputs[1]], p, epi,
+                              options_.block, pool);
+  }
+  return cpukernels::Gemm(env[a.inputs[0]], env[a.inputs[1]], epi,
+                          options_.block, pool);
+}
+
+Tensor Interpreter::TakeOrCopy(std::vector<Tensor>& env, NodeId src) const {
+  if (uses_[src] == 1 && !is_output_[src]) {
+    return std::move(env[src]);
+  }
+  return env[src];
+}
+
 Result<std::vector<Tensor>> Interpreter::Run(
     const std::map<std::string, Tensor>& inputs) const {
   std::vector<Tensor> env(graph_.num_nodes());
   for (const Node& n : graph_.nodes()) {
+    if (fast_) {
+      if (fused_member_[n.id]) continue;  // computed at its chain's result
+      auto it = chains_.find(n.id);
+      if (it != chains_.end()) {
+        env[n.id] = RunChain(it->second, env);
+        continue;
+      }
+    }
     switch (n.kind) {
       case OpKind::kInput: {
         auto it = inputs.find(n.name);
@@ -332,21 +480,51 @@ Result<std::vector<Tensor>> Interpreter::Run(
       case OpKind::kDense:
         env[n.id] = refop::Dense(env[n.inputs[0]], env[n.inputs[1]]);
         break;
-      case OpKind::kBiasAdd:
-        env[n.id] = refop::BiasAdd(env[n.inputs[0]], env[n.inputs[1]]);
+      case OpKind::kBiasAdd: {
+        if (fast_) {
+          Tensor t = TakeOrCopy(env, n.inputs[0]);
+          refop::BiasAddInPlace(t, env[n.inputs[1]]);
+          env[n.id] = std::move(t);
+        } else {
+          env[n.id] = refop::BiasAdd(env[n.inputs[0]], env[n.inputs[1]]);
+        }
         break;
+      }
       case OpKind::kActivation: {
         auto kind = ActivationFromName(n.attrs.GetStr("kind"));
         if (!kind.ok()) return kind.status();
-        env[n.id] = refop::Activation(env[n.inputs[0]], kind.value());
+        if (fast_) {
+          Tensor t = TakeOrCopy(env, n.inputs[0]);
+          refop::ActivationInPlace(t, kind.value());
+          env[n.id] = std::move(t);
+        } else {
+          env[n.id] = refop::Activation(env[n.inputs[0]], kind.value());
+        }
         break;
       }
       case OpKind::kAdd:
-        env[n.id] = refop::Add(env[n.inputs[0]], env[n.inputs[1]]);
+      case OpKind::kMul: {
+        const NodeId lhs = n.inputs[0], rhs = n.inputs[1];
+        const bool mul = n.kind == OpKind::kMul;
+        if (fast_ && uses_[lhs] == 1 && !is_output_[lhs] && lhs != rhs) {
+          Tensor t = std::move(env[lhs]);
+          mul ? refop::MulInPlace(t, env[rhs])
+              : refop::AddInPlace(t, env[rhs]);
+          env[n.id] = std::move(t);
+        } else if (fast_ && uses_[rhs] == 1 && !is_output_[rhs] &&
+                   lhs != rhs &&
+                   graph_.node(lhs).out_desc == graph_.node(rhs).out_desc) {
+          // Commutative: accumulate into the right operand's buffer.
+          Tensor t = std::move(env[rhs]);
+          mul ? refop::MulInPlace(t, env[lhs])
+              : refop::AddInPlace(t, env[lhs]);
+          env[n.id] = std::move(t);
+        } else {
+          env[n.id] = mul ? refop::Mul(env[lhs], env[rhs])
+                          : refop::Add(env[lhs], env[rhs]);
+        }
         break;
-      case OpKind::kMul:
-        env[n.id] = refop::Mul(env[n.inputs[0]], env[n.inputs[1]]);
-        break;
+      }
       case OpKind::kCast:
         env[n.id] = env[n.inputs[0]].Cast(n.out_desc.dtype);
         break;

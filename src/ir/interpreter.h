@@ -1,11 +1,23 @@
 // Copyright (c) 2026 The Bolt Reproduction Authors.
 // SPDX-License-Identifier: Apache-2.0
 //
-// Reference interpreter for the graph IR.  Executes every primitive op with
-// straightforward loops; FP16 tensors are quantized at op boundaries.  The
-// Bolt engine's fused kernels are validated against this interpreter, and
-// the engine reuses the per-op kernels here for non-offloaded (TVM-fallback)
-// nodes.
+// Graph interpreter with two execution backends:
+//
+//  * kFastCpu (default): Conv2d/Dense run on the blocked, packed, epilogue-
+//    fused CPU kernels in src/cpukernels (docs/CPU_BACKEND.md).  Chains of
+//    anchor -> BiasAdd -> Activation* -> Add(residual) are folded into the
+//    kernel's output write-back, and elementwise ops reuse their input
+//    buffer when it has no other readers.  Because the fast kernels
+//    accumulate in the same ascending-k order as the naive loops and
+//    quantize at the same op boundaries, results are bit-identical to the
+//    reference backend for every blocking and thread count.
+//
+//  * kReference: the original naive per-op loops, kept as the oracle (see
+//    RefExecutor below).  BOLT_CPU_BACKEND=ref selects it process-wide.
+//
+// The Bolt engine's fused kernels are validated against this interpreter,
+// and the engine reuses the per-op refop kernels for non-offloaded
+// (TVM-fallback) nodes.
 
 #pragma once
 
@@ -14,6 +26,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "cpukernels/backend.h"
+#include "cpukernels/config.h"
 #include "ir/graph.h"
 #include "ir/tensor.h"
 
@@ -42,20 +57,96 @@ Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 /// Channel-axis concatenation of rank-4 tensors (same layout).
 Tensor Concat(const std::vector<const Tensor*>& parts);
 
+/// In-place variants: mutate `x` directly instead of allocating a full
+/// output copy.  Numerics are identical to the copying forms above.
+void BiasAddInPlace(Tensor& x, const Tensor& bias);
+void ActivationInPlace(Tensor& x, ActivationKind kind);
+void AddInPlace(Tensor& x, const Tensor& other);
+void MulInPlace(Tensor& x, const Tensor& other);
+
 }  // namespace refop
+
+/// Execution knobs for the interpreter.
+struct InterpreterOptions {
+  /// Kernel backend for Conv2d/Dense.  Defaults to the fast CPU kernels
+  /// unless BOLT_CPU_BACKEND=ref overrides process-wide.
+  cpukernels::Backend backend = cpukernels::DefaultBackend();
+  /// Fold BiasAdd / Activation / residual-Add chains into the producing
+  /// kernel's write-back (fast backend only).
+  bool fuse_epilogues = true;
+  /// Parallelize kernels over output row panels using the shared process
+  /// pool (fast backend only).  Ignored when `pool` is set.
+  bool parallel = true;
+  /// Explicit thread pool override; null means "per `parallel`".
+  ThreadPool* pool = nullptr;
+  /// Cache blocking for the fast kernels.
+  cpukernels::BlockConfig block;
+};
 
 /// Executes a graph of primitive ops. Composite bolt.* nodes are rejected —
 /// run those through the Bolt engine instead.
 class Interpreter {
  public:
-  explicit Interpreter(const Graph& graph) : graph_(graph) {}
+  explicit Interpreter(const Graph& graph, InterpreterOptions options = {});
 
   /// Runs the graph. `inputs` maps input-node names to tensors.
   Result<std::vector<Tensor>> Run(
       const std::map<std::string, Tensor>& inputs) const;
 
+  const InterpreterOptions& options() const { return options_; }
+
  private:
+  /// One Conv2d/Dense anchor plus the epilogue ops folded into its
+  /// write-back.  Executed when the walk reaches `result` (the last node
+  /// of the chain), at which point every non-chain input is available.
+  struct FusedChain {
+    NodeId anchor = -1;
+    NodeId result = -1;
+    NodeId bias = -1;      // BiasAdd operand node, -1 if absent
+    NodeId residual = -1;  // residual Add operand node, -1 if absent
+    std::vector<ActivationKind> acts;
+  };
+
+  void BuildPlan();
+  ThreadPool* ResolvePool() const;
+  Tensor RunChain(const FusedChain& chain,
+                  const std::vector<Tensor>& env) const;
+  /// Moves env[src] out if this node is its only reader and it is not a
+  /// graph output; copies otherwise.
+  Tensor TakeOrCopy(std::vector<Tensor>& env, NodeId src) const;
+
   const Graph& graph_;
+  InterpreterOptions options_;
+  bool fast_ = false;
+  std::map<NodeId, FusedChain> chains_;   // keyed by FusedChain::result
+  std::vector<char> fused_member_;        // chain nodes other than result
+  std::vector<int> uses_;                 // consumer-edge counts
+  std::vector<char> is_output_;
+};
+
+/// The naive reference oracle: per-op loops, no fusion, no threads, full
+/// op-boundary copies.  Differential tests run this against the fast
+/// backend; results must match bit-for-bit.
+class RefExecutor {
+ public:
+  explicit RefExecutor(const Graph& graph)
+      : interp_(graph, ReferenceOptions()) {}
+
+  Result<std::vector<Tensor>> Run(
+      const std::map<std::string, Tensor>& inputs) const {
+    return interp_.Run(inputs);
+  }
+
+  static InterpreterOptions ReferenceOptions() {
+    InterpreterOptions o;
+    o.backend = cpukernels::Backend::kReference;
+    o.fuse_epilogues = false;
+    o.parallel = false;
+    return o;
+  }
+
+ private:
+  Interpreter interp_;
 };
 
 }  // namespace bolt
