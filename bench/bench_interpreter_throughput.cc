@@ -15,7 +15,16 @@
 // All four modes produce bit-identical outputs (the blocked kernels keep
 // the reference accumulation order); only the time changes.
 //
-// Usage: bench_interpreter_throughput [--smoke] [--out=PATH] [--trace[=P]]
+// With --tuned, each workload's GEMM / conv problems are additionally
+// autotuned through Profiler::ProfileCpuGemm / ProfileCpuConv (real
+// wall-clock candidate sweeps), and a heuristic-vs-tuned pair is measured
+// and emitted per workload.  The run asserts that (a) a second profile
+// pass is 100% cache hits with zero re-measurement, (b) tuned outputs
+// stay bit-identical to the naive oracle, and (c) the tuned geomean
+// speedup does not regress the fixed heuristic beyond measurement noise.
+//
+// Usage: bench_interpreter_throughput [--smoke] [--tuned] [--out=PATH]
+//                                     [--trace[=P]]
 
 #include <algorithm>
 #include <chrono>
@@ -28,8 +37,10 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "cpukernels/backend.h"
+#include "device/spec.h"
 #include "ir/interpreter.h"
 #include "models/zoo.h"
+#include "profiler/profiler.h"
 
 namespace bolt {
 namespace {
@@ -189,6 +200,60 @@ std::vector<Mode> Modes() {
   return m;
 }
 
+/// Autotunes every Dense / Conv2d problem of a primitive graph through the
+/// profiler's CPU measurement path.  Returns the number of workloads
+/// profiled; `measured` accumulates candidates actually measured (cache
+/// hits add zero) and `all_hits` reports whether every workload was one.
+int TuneGraphCpu(Profiler& prof, const Graph& g, int* measured,
+                 bool* all_hits) {
+  int tuned = 0;
+  *all_hits = true;
+  auto record = [&](const Result<CpuProfileResult>& r) {
+    BOLT_CHECK_MSG(r.ok(), r.status().ToString());
+    ++tuned;
+    if (!r.value().cache_hit) *measured += r.value().candidates_tried;
+    *all_hits &= r.value().cache_hit;
+  };
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kDense) {
+      const auto& a = g.node(n.inputs[0]).out_desc.shape;
+      const auto& w = g.node(n.inputs[1]).out_desc.shape;
+      CpuGemmWorkload wl;
+      wl.m = a[0];
+      wl.n = w[0];
+      wl.k = a[1];
+      record(prof.ProfileCpuGemm(wl));
+    } else if (n.kind == OpKind::kConv2d) {
+      const Conv2dAttrs attrs = Conv2dAttrs::FromNode(n);
+      const TensorDesc& x = g.node(n.inputs[0]).out_desc;
+      const auto& w = g.node(n.inputs[1]).out_desc.shape;
+      CpuConvWorkload wl;
+      wl.layout = x.layout;
+      wl.batch = x.shape[0];
+      if (x.layout == Layout::kNCHW) {
+        wl.c = x.shape[1];
+        wl.h = x.shape[2];
+        wl.w = x.shape[3];
+      } else {
+        wl.h = x.shape[1];
+        wl.w = x.shape[2];
+        wl.c = x.shape[3];
+      }
+      wl.oc = w[0];
+      wl.kh = w[1];
+      wl.kw = w[2];
+      wl.params.stride_h = attrs.stride_h;
+      wl.params.stride_w = attrs.stride_w;
+      wl.params.pad_h = attrs.pad_h;
+      wl.params.pad_w = attrs.pad_w;
+      wl.params.dilation_h = attrs.dilation_h;
+      wl.params.dilation_w = attrs.dilation_w;
+      record(prof.ProfileCpuConv(wl));
+    }
+  }
+  return tuned;
+}
+
 double RunUs(const Interpreter& interp,
              const std::map<std::string, Tensor>& inputs, int iters) {
   auto r = interp.Run(inputs);  // warm-up + correctness
@@ -212,9 +277,11 @@ int main(int argc, char** argv) {
   using namespace bolt;
   bench::InitTrace(argc, argv);
   bool smoke = false;
+  bool tuned_mode = false;
   std::string out_path = "BENCH_interpreter.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--tuned") == 0) tuned_mode = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
   }
 
@@ -231,9 +298,12 @@ int main(int argc, char** argv) {
   workloads.push_back(MakeResNet(smoke));
 
   const std::vector<Mode> modes = Modes();
+  Profiler profiler(DeviceSpec::TeslaT4());
+  double log_speedup_sum = 0.0;
+  int tuned_workloads = 0;
   std::string json = StrCat(
       "{\"bench\":\"interpreter_throughput\",\"smoke\":",
-      smoke ? "true" : "false",
+      smoke ? "true" : "false", ",\"tuned\":", tuned_mode ? "true" : "false",
       ",\"threads\":", cpukernels::DefaultNumThreads(), ",\"workloads\":[");
 
   bool first_wl = true;
@@ -274,11 +344,68 @@ int main(int argc, char** argv) {
       first_mode = false;
     }
     json += StrCat("},\"speedup_blocked\":", naive_us / blocked_us,
-                   ",\"speedup_fused\":", naive_us / fused_us, "}");
+                   ",\"speedup_fused\":", naive_us / fused_us);
     bench::Note(StrCat("speedup (blocked+mt+ep vs naive): ",
                        StrCat(naive_us / fused_us), "x"));
+
+    if (tuned_mode) {
+      // Heuristic-vs-tuned pair: identical interpreter settings, the only
+      // difference is whether the tuned-block registry is consulted.
+      int measured = 0;
+      bool hits = false;
+      const int problems =
+          TuneGraphCpu(profiler, wl.graph, &measured, &hits);
+      // Re-profiling the same graph must be pure cache hits: zero
+      // re-measurement (the tuning-cache acceptance bar).
+      int remeasured = 0;
+      TuneGraphCpu(profiler, wl.graph, &remeasured, &hits);
+      BOLT_CHECK_MSG(hits && remeasured == 0,
+                     "second profile pass re-measured candidates");
+
+      InterpreterOptions heuristic;
+      heuristic.backend = cpukernels::Backend::kFastCpu;
+      heuristic.use_tuned_blocks = false;
+      InterpreterOptions tuned_opts = heuristic;
+      tuned_opts.use_tuned_blocks = true;
+      const double heuristic_us =
+          RunUs(Interpreter(wl.graph, heuristic), wl.inputs, iters);
+      Interpreter tuned_interp(wl.graph, tuned_opts);
+      const double tuned_us = RunUs(tuned_interp, wl.inputs, iters);
+      // Tuned execution must agree with the oracle bit-for-bit in the
+      // same run that measures it.
+      Tensor tuned_out = tuned_interp.Run(wl.inputs).value()[0];
+      BOLT_CHECK_MSG(tuned_out.MaxAbsDiff(naive_out) == 0.0f,
+                     wl.name << " tuned diverged from the reference");
+      const double speedup = heuristic_us / tuned_us;
+      log_speedup_sum += std::log(speedup);
+      ++tuned_workloads;
+      std::printf("  %-14s %12.0f us  vs heuristic %.0f us  %6.2fx  "
+                  "(%d problems, %d candidates measured)\n",
+                  "tuned", tuned_us, heuristic_us, speedup, problems,
+                  measured);
+      json += StrCat(",\"heuristic_us\":", heuristic_us,
+                     ",\"tuned_us\":", tuned_us,
+                     ",\"tuned_speedup\":", speedup,
+                     ",\"cpu_problems\":", problems,
+                     ",\"cpu_candidates_measured\":", measured);
+    }
+    json += "}";
   }
-  json += "]}\n";
+  json += "]";
+  if (tuned_mode && tuned_workloads > 0) {
+    const double geomean =
+        std::exp(log_speedup_sum / tuned_workloads);
+    bench::Rule();
+    bench::Note(StrCat("tuned-vs-heuristic geomean: ", StrCat(geomean),
+                       "x over ", tuned_workloads, " workloads"));
+    // >= 1.0x is the target; 0.9 is the hard floor so measurement noise
+    // on loaded CI machines cannot flake the run.
+    BOLT_CHECK_MSG(geomean >= 0.9,
+                   "tuned blocking regressed the heuristic: geomean "
+                       << geomean);
+    json += StrCat(",\"tuned_geomean\":", geomean);
+  }
+  json += "}\n";
   bench::Rule();
   bench::WriteBenchJson(out_path, json);
   bench::FlushTrace();

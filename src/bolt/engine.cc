@@ -9,6 +9,7 @@
 #include "cpukernels/backend.h"
 #include "cpukernels/conv.h"
 #include "cpukernels/gemm.h"
+#include "cpukernels/tuned.h"
 #include "cutlite/padding.h"
 #include "ir/interpreter.h"
 
@@ -137,6 +138,16 @@ Result<Engine> Engine::Compile(const Graph& input,
   }
   if (!st.ok()) return st;
 
+  // CPU blocking autotune rides after module construction so the problem
+  // set (post-padding, post-fusion) is final.  Skipped under the reference
+  // backend: the oracle never reads the tuned-block registry.
+  if (options.tune_cpu_kernels &&
+      cpukernels::DefaultBackend() == cpukernels::Backend::kFastCpu) {
+    trace::Span span(trace::kPidCompile, "TuneCpuKernels", "engine");
+    st = engine.TuneCpuKernels(profiler);
+    if (!st.ok()) return st;
+  }
+
   engine.report_.seconds = profiler.clock().seconds() - clock_before;
   engine.report_.compile_seconds =
       profiler.clock().compile_seconds() - compile_before;
@@ -216,6 +227,143 @@ void Engine::PreProfile(Profiler& profiler) {
   }
   pool->ParallelFor(static_cast<int64_t>(jobs.size()),
                     [&](int64_t i) { jobs[i](); });
+}
+
+Status Engine::TuneCpuKernels(Profiler& profiler) {
+  // The profiler's single-flight cpu/ cache deduplicates repeated problems
+  // across nodes (and across compiles, via Save/LoadCache), so this walk
+  // can be naive.  Measurement runs serially: each candidate launch may
+  // itself fan out over the shared process pool.
+  auto record = [this](const CpuProfileResult& r) {
+    ++report_.cpu_workloads_tuned;
+    if (r.cache_hit) {
+      ++report_.cpu_cache_hits;
+    } else {
+      report_.cpu_candidates_tried += r.candidates_tried;
+    }
+  };
+  for (const Node& n : graph_.nodes()) {
+    switch (n.kind) {
+      case OpKind::kBoltGemm: {
+        const GemmCoord p = GemmProblemOf(graph_, n);
+        CpuGemmWorkload w;
+        w.m = p.m;
+        w.n = p.n;
+        w.k = p.k;
+        auto r = profiler.ProfileCpuGemm(w);
+        if (!r.ok()) return r.status();
+        record(r.value());
+        break;
+      }
+      case OpKind::kDense: {
+        // Unfused host dense: act [m, k] x weight [n, k]^T.
+        const TensorDesc& a = graph_.node(n.inputs[0]).out_desc;
+        const TensorDesc& wt = graph_.node(n.inputs[1]).out_desc;
+        if (a.shape.size() != 2 || wt.shape.size() != 2) break;
+        CpuGemmWorkload w;
+        w.m = a.shape[0];
+        w.n = wt.shape[0];
+        w.k = a.shape[1];
+        auto r = profiler.ProfileCpuGemm(w);
+        if (!r.ok()) return r.status();
+        record(r.value());
+        break;
+      }
+      case OpKind::kBoltB2BGemm: {
+        // Persistent fusions execute stage-by-stage on the host kernels,
+        // so each stage problem is its own tunable workload.
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        for (int s = 0; s < stages; ++s) {
+          const GemmCoord p = GemmProblemOf(graph_, n, s);
+          CpuGemmWorkload w;
+          w.m = p.m;
+          w.n = p.n;
+          w.k = p.k;
+          auto r = profiler.ProfileCpuGemm(w);
+          if (!r.ok()) return r.status();
+          record(r.value());
+        }
+        break;
+      }
+      case OpKind::kBoltB2BConv: {
+        const int stages = static_cast<int>(n.attrs.GetInt("stages", 2));
+        for (int s = 0; s < stages; ++s) {
+          const ConvProblem p = ConvProblemOf(graph_, n, s);
+          CpuConvWorkload w;
+          w.batch = p.n;
+          w.h = p.h;
+          w.w = p.w;
+          w.c = p.c;
+          w.oc = p.k;
+          w.kh = p.r;
+          w.kw = p.s;
+          w.params.stride_h = p.stride_h;
+          w.params.stride_w = p.stride_w;
+          w.params.pad_h = p.pad_h;
+          w.params.pad_w = p.pad_w;
+          auto r = profiler.ProfileCpuConv(w);
+          if (!r.ok()) return r.status();
+          record(r.value());
+        }
+        break;
+      }
+      case OpKind::kBoltConv2d: {
+        const ConvProblem p = ConvProblemOf(graph_, n);
+        CpuConvWorkload w;
+        w.batch = p.n;
+        w.h = p.h;
+        w.w = p.w;
+        w.c = p.c;
+        w.oc = p.k;
+        w.kh = p.r;
+        w.kw = p.s;
+        w.params.stride_h = p.stride_h;
+        w.params.stride_w = p.stride_w;
+        w.params.pad_h = p.pad_h;
+        w.params.pad_w = p.pad_w;
+        auto r = profiler.ProfileCpuConv(w);
+        if (!r.ok()) return r.status();
+        record(r.value());
+        break;
+      }
+      case OpKind::kConv2d: {
+        // Unfused primitive conv (e.g. dilated) executed by the host
+        // kernels in Run().
+        const Conv2dAttrs a = Conv2dAttrs::FromNode(n);
+        const TensorDesc& x = graph_.node(n.inputs[0]).out_desc;
+        const TensorDesc& wt = graph_.node(n.inputs[1]).out_desc;
+        if (x.shape.size() != 4 || wt.shape.size() != 4) break;
+        CpuConvWorkload w;
+        w.layout = x.layout;
+        w.batch = x.shape[0];
+        if (x.layout == Layout::kNCHW) {
+          w.c = x.shape[1];
+          w.h = x.shape[2];
+          w.w = x.shape[3];
+        } else {
+          w.h = x.shape[1];
+          w.w = x.shape[2];
+          w.c = x.shape[3];
+        }
+        w.oc = wt.shape[0];
+        w.kh = wt.shape[1];
+        w.kw = wt.shape[2];
+        w.params.stride_h = a.stride_h;
+        w.params.stride_w = a.stride_w;
+        w.params.pad_h = a.pad_h;
+        w.params.pad_w = a.pad_w;
+        w.params.dilation_h = a.dilation_h;
+        w.params.dilation_w = a.dilation_w;
+        auto r = profiler.ProfileCpuConv(w);
+        if (!r.ok()) return r.status();
+        record(r.value());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::Ok();
 }
 
 Status Engine::BuildModule(Profiler& profiler) {
@@ -524,9 +672,17 @@ Result<std::vector<Tensor>> Engine::Run(
           cpukernels::Epilogue epi;
           epi.output_dtype = n.out_desc.dtype;
           epi.boundary_quantize = true;
+          // Profiler-tuned block for this implicit-GEMM shape, if any.
+          const cpukernels::ConvGemmShape shape =
+              cpukernels::ResolveConvGemmShape(env[n.inputs[0]],
+                                               env[n.inputs[1]], p);
+          const cpukernels::BlockConfig block =
+              cpukernels::FindTunedBlock(cpukernels::TunedKind::kConv,
+                                         shape.m, shape.n, shape.k)
+                  .value_or(cpukernels::BlockConfig{});
           env[n.id] =
               cpukernels::Conv2d(env[n.inputs[0]], env[n.inputs[1]], p, epi,
-                                 {}, &cpukernels::ProcessPool());
+                                 block, &cpukernels::ProcessPool());
         } else {
           env[n.id] = refop::Conv2d(env[n.inputs[0]], env[n.inputs[1]], a);
         }
@@ -537,9 +693,15 @@ Result<std::vector<Tensor>> Engine::Run(
           cpukernels::Epilogue epi;
           epi.output_dtype = n.out_desc.dtype;
           epi.boundary_quantize = true;
-          env[n.id] =
-              cpukernels::Gemm(env[n.inputs[0]], env[n.inputs[1]], epi, {},
-                               &cpukernels::ProcessPool());
+          const Tensor& act = env[n.inputs[0]];
+          const Tensor& wt = env[n.inputs[1]];
+          const cpukernels::BlockConfig block =
+              cpukernels::FindTunedBlock(cpukernels::TunedKind::kGemm,
+                                         act.shape()[0], wt.shape()[0],
+                                         act.shape()[1])
+                  .value_or(cpukernels::BlockConfig{});
+          env[n.id] = cpukernels::Gemm(act, wt, epi, block,
+                                       &cpukernels::ProcessPool());
         } else {
           env[n.id] = refop::Dense(env[n.inputs[0]], env[n.inputs[1]]);
         }

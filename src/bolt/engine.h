@@ -46,6 +46,16 @@ struct CompileOptions {
   /// docs/OBSERVABILITY.md).  The BOLT_TRACE environment variable does the
   /// same without touching code.  No-op if tracing is already enabled.
   std::string trace_path;
+  /// Autotune the CPU kernel blockings for this graph's GEMM / conv
+  /// problems (Profiler::ProfileCpuGemm / ProfileCpuConv): measure the
+  /// architecture-plausible candidates on the real packed kernels and
+  /// publish the winners to the process-wide tuned-block registry that
+  /// Run() and the interpreter consult.  Real wall-clock measurement —
+  /// off by default; results persist via the profiler's tuning cache so
+  /// a second compile is measurement-free.  No-op under
+  /// BOLT_CPU_BACKEND=ref (the reference oracle must not depend on
+  /// tuning state).
+  bool tune_cpu_kernels = false;
 };
 
 struct TuningReport {
@@ -61,6 +71,12 @@ struct TuningReport {
   double device_seconds = 0.0;
   int workloads_profiled = 0;
   int candidates_tried = 0;
+  /// CPU autotuning (CompileOptions::tune_cpu_kernels) — distinct GEMM /
+  /// conv problems tuned and real-kernel measurements taken; hits against
+  /// the profiler's cpu/ tuning cache cost zero measurements.
+  int cpu_workloads_tuned = 0;
+  int cpu_candidates_tried = 0;
+  int cpu_cache_hits = 0;
   PassStats pass_stats;
 };
 
@@ -106,6 +122,12 @@ class Engine {
   void PreProfile(Profiler& profiler);
 
   Status BuildModule(Profiler& profiler);
+
+  /// Measures CPU kernel blockings for every GEMM / conv problem in the
+  /// graph (Bolt composites and unfused host primitives alike) and
+  /// registers the winners for execution-time lookup.  Accumulates the
+  /// cpu_* fields of report_.
+  Status TuneCpuKernels(Profiler& profiler);
 
   Graph graph_;
   CompileOptions options_;

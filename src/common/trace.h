@@ -12,7 +12,7 @@
 // spans into a global TraceSink, which flushes a Chrome trace_event JSON
 // file loadable in chrome://tracing or https://ui.perfetto.dev.
 //
-// Four process lanes coexist in one trace (see docs/OBSERVABILITY.md):
+// Five process lanes coexist in one trace (see docs/OBSERVABILITY.md):
 //
 //   pid kPidCompile  "bolt.compile"   — real wall-clock time of the
 //                                       compile passes (one span each).
@@ -29,6 +29,10 @@
 //                                       execution backend; one span per
 //                                       GEMM/conv kernel launch
 //                                       (docs/CPU_BACKEND.md).
+//   pid kPidCpuTune  "bolt.cpu.tune"  — real wall-clock time of CPU
+//                                       blocking autotuning; one span per
+//                                       tuned workload covering its
+//                                       candidate sweep.
 //
 // Overhead discipline: when tracing is disabled every entry point is a
 // single relaxed atomic load.  Instrumentation sites emit at workload /
@@ -56,6 +60,7 @@ inline constexpr int kPidCompile = 1;
 inline constexpr int kPidTuning = 2;
 inline constexpr int kPidRuntime = 3;
 inline constexpr int kPidCpu = 4;
+inline constexpr int kPidCpuTune = 5;
 
 /// One Chrome trace_event record.  `args` is a pre-rendered JSON object
 /// ("{...}") or empty.

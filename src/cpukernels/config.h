@@ -17,11 +17,23 @@
 // register-resident kMR x kNR micro-kernel, exactly the way a threadblock
 // tile feeds warp tiles on the GPU.  docs/CPU_BACKEND.md spells out the
 // mapping and the packing layouts.
+//
+// The parallelization scheme is a tunable axis (the CPU analogue of the
+// GPU swizzle/rasterization choice): loop-level parallelism fans row
+// panels out inside every (jc, pc) cache block (one barrier per block,
+// shared packed-B panel), batch-level parallelism gives each worker a
+// whole row range through the entire loop nest (one barrier total, packed
+// B duplicated per worker).  Both produce bit-identical results; which is
+// faster depends on the workload shape, which is exactly why the profiler
+// measures it instead of guessing.
 
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+
+#include "common/status.h"
+#include "common/strings.h"
 
 namespace bolt {
 namespace cpukernels {
@@ -32,21 +44,92 @@ namespace cpukernels {
 inline constexpr int kMR = 4;
 inline constexpr int kNR = 8;
 
+/// How a kernel launch distributes work across the thread pool.
+enum class ParallelScheme : int {
+  /// ParallelFor over mc row panels inside each (jc, pc) cache block —
+  /// the historical behavior.  Workers share one packed B panel; there is
+  /// one barrier per cache block.
+  kLoopLevel = 0,
+  /// One outer ParallelFor over mc-row chunks; each worker runs the full
+  /// serial jc/pc loop nest on its own rows.  One barrier total, at the
+  /// cost of packing B once per worker — wins on small per-op shapes
+  /// where loop-level barriers dominate (the ResNet e2e gap).
+  kBatchLevel = 1,
+};
+
+inline const char* ParallelSchemeName(ParallelScheme s) {
+  return s == ParallelScheme::kBatchLevel ? "batch" : "loop";
+}
+
 /// Cache-blocking parameters (the "threadblock tile" analogue).
 struct BlockConfig {
   int mc = 64;    // rows of A packed per panel (threadblock.m analogue)
   int kc = 256;   // K depth of one packed slice (threadblock.k analogue)
   int nc = 4096;  // cols of B packed per panel (threadblock.n analogue)
+  ParallelScheme scheme = ParallelScheme::kLoopLevel;
+
+  /// Structural validity: the packing layouts want mc a positive multiple
+  /// of kMR, nc a positive multiple of kNR, and kc at least the minimum
+  /// slice depth the kernels block on.  The execution kernels clamp
+  /// out-of-range values defensively (GemmCore), but the tuning path must
+  /// never emit or accept a config that needs clamping.
+  Status Validate() const {
+    if (mc < kMR || mc % kMR != 0) {
+      return Status::InvalidArgument(
+          StrCat("BlockConfig.mc=", mc, " must be a positive multiple of ",
+                 kMR));
+    }
+    if (nc < kNR || nc % kNR != 0) {
+      return Status::InvalidArgument(
+          StrCat("BlockConfig.nc=", nc, " must be a positive multiple of ",
+                 kNR));
+    }
+    if (kc < 8) {
+      return Status::InvalidArgument(
+          StrCat("BlockConfig.kc=", kc, " must be >= 8"));
+    }
+    if (scheme != ParallelScheme::kLoopLevel &&
+        scheme != ParallelScheme::kBatchLevel) {
+      return Status::InvalidArgument("BlockConfig.scheme is invalid");
+    }
+    return Status::Ok();
+  }
+
+  /// Validating factory for the tuning path: returns InvalidArgument for
+  /// any block the packing layouts cannot honor exactly (instead of the
+  /// silent clamping FromTileShape applies).
+  static Result<BlockConfig> Make(
+      int mc, int kc, int nc,
+      ParallelScheme scheme = ParallelScheme::kLoopLevel) {
+    BlockConfig c;
+    c.mc = mc;
+    c.kc = kc;
+    c.nc = nc;
+    c.scheme = scheme;
+    BOLT_RETURN_IF_ERROR(c.Validate());
+    return c;
+  }
 
   /// Derives CPU block sizes from a cutlite-style tile shape, clamping to
   /// micro-tile multiples.  Used to share one config vocabulary between
-  /// the simulated GPU kernels and the real CPU kernels.
+  /// the simulated GPU kernels and the real CPU kernels.  Non-positive
+  /// tile dims are clamped to the minimum legal block (they can reach
+  /// here from hand-built KernelConfigs); the result always satisfies
+  /// Validate().
   static BlockConfig FromTileShape(int tb_m, int tb_n, int tb_k) {
     BlockConfig c;
-    c.mc = std::max(kMR, (tb_m / kMR) * kMR);
-    c.nc = std::max(kNR, (tb_n / kNR) * kNR);
+    c.mc = std::max(kMR, (std::max(tb_m, 0) / kMR) * kMR);
+    c.nc = std::max(kNR, (std::max(tb_n, 0) / kNR) * kNR);
     c.kc = std::max(8, tb_k);
     return c;
+  }
+
+  friend bool operator==(const BlockConfig& a, const BlockConfig& b) {
+    return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc &&
+           a.scheme == b.scheme;
+  }
+  friend bool operator!=(const BlockConfig& a, const BlockConfig& b) {
+    return !(a == b);
   }
 };
 

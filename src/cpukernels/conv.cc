@@ -106,6 +106,12 @@ struct Im2colPacker {
 
 }  // namespace
 
+ConvGemmShape ResolveConvGemmShape(const Tensor& x, const Tensor& w,
+                                   const ConvParams& p) {
+  const ConvDims d = ResolveDims(x, w, p);
+  return {d.n * d.oh * d.ow, d.oc, d.kh * d.kw * d.c};
+}
+
 Tensor Conv2d(const Tensor& x, const Tensor& w, const ConvParams& p,
               const Epilogue& epi, const BlockConfig& cfg,
               ThreadPool* pool) {

@@ -34,6 +34,18 @@ struct ConvParams {
   int64_t dilation_h = 1, dilation_w = 1;
 };
 
+/// The GEMM problem a convolution maps onto: M = N*OH*OW output pixels,
+/// N = OC output channels, K = KH*KW*IC filter taps.  This is the key the
+/// tuned-block registry indexes conv blocks by (cpukernels/tuned.h).
+struct ConvGemmShape {
+  int64_t m = 0, n = 0, k = 0;
+};
+
+/// Resolves the implicit-GEMM dims for a conv launch without running it.
+/// Checks the same shape invariants as Conv2d.
+ConvGemmShape ResolveConvGemmShape(const Tensor& x, const Tensor& w,
+                                   const ConvParams& p);
+
 /// Convolution: `x` is NHWC or NCHW rank-4; `w` is [OC, KH, KW, IC].
 /// Returns a tensor in x's layout with dtype epi.output_dtype.
 /// `epi.residual` (when set) must use the output's layout; `epi.bias` is

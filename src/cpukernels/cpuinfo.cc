@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "cpukernels/cpuinfo.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "cpukernels/config.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace bolt {
+namespace cpukernels {
+namespace {
+
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+int64_t SysconfCache(int name) {
+  const long v = sysconf(name);
+  return v > 0 ? static_cast<int64_t>(v) : 0;
+}
+#endif
+
+/// Parses a sysfs cache size string like "32K", "1024K", or "8M".
+int64_t ParseSysfsSize(const std::string& raw) {
+  std::string s = raw;
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  if (s.empty()) return 0;
+  int64_t mult = 1;
+  if (s.back() == 'K' || s.back() == 'k') {
+    mult = 1024;
+    s.pop_back();
+  } else if (s.back() == 'M' || s.back() == 'm') {
+    mult = 1024 * 1024;
+    s.pop_back();
+  }
+  int value = 0;
+  if (!ParseInt(s, &value) || value <= 0) return 0;
+  return static_cast<int64_t>(value) * mult;
+}
+
+std::string ReadSmallFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Scans /sys/devices/system/cpu/cpu0/cache/index*/ for data/unified
+/// caches; fills any level found.
+void ScanSysfs(CpuCacheInfo* info, bool* found_l1, bool* found_l2,
+               bool* found_l3) {
+  for (int idx = 0; idx < 16; ++idx) {
+    const std::string base =
+        StrCat("/sys/devices/system/cpu/cpu0/cache/index", idx, "/");
+    const std::string type = ReadSmallFile(base + "type");
+    if (type.empty()) break;
+    if (type.rfind("Data", 0) != 0 && type.rfind("Unified", 0) != 0) {
+      continue;
+    }
+    std::string level_s = ReadSmallFile(base + "level");
+    while (!level_s.empty() && level_s.back() == '\n') level_s.pop_back();
+    int level = 0;
+    if (!ParseInt(level_s, &level)) continue;
+    const int64_t bytes = ParseSysfsSize(ReadSmallFile(base + "size"));
+    if (bytes <= 0) continue;
+    if (level == 1) {
+      info->l1_bytes = bytes;
+      *found_l1 = true;
+    } else if (level == 2) {
+      info->l2_bytes = bytes;
+      *found_l2 = true;
+    } else if (level == 3) {
+      info->l3_bytes = bytes;
+      *found_l3 = true;
+    }
+  }
+}
+
+}  // namespace
+
+CpuCacheInfo DetectCacheInfo() {
+  CpuCacheInfo info;  // starts at the conservative defaults
+  bool l1 = false, l2 = false, l3 = false;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  if (int64_t v = SysconfCache(_SC_LEVEL1_DCACHE_SIZE); v > 0) {
+    info.l1_bytes = v;
+    l1 = true;
+  }
+  if (int64_t v = SysconfCache(_SC_LEVEL2_CACHE_SIZE); v > 0) {
+    info.l2_bytes = v;
+    l2 = true;
+  }
+  if (int64_t v = SysconfCache(_SC_LEVEL3_CACHE_SIZE); v > 0) {
+    info.l3_bytes = v;
+    l3 = true;
+  }
+#endif
+  if (!l1 || !l2 || !l3) ScanSysfs(&info, &l1, &l2, &l3);
+  // Containers sometimes report L2 but no L3; treat a missing outer level
+  // as at least the size of the inner one so nc enumeration stays sane.
+  if (info.l2_bytes < info.l1_bytes) info.l2_bytes = info.l1_bytes * 8;
+  if (info.l3_bytes < info.l2_bytes) info.l3_bytes = info.l2_bytes * 8;
+  return info;
+}
+
+const CpuCacheInfo& HostCacheInfo() {
+  static const CpuCacheInfo info = DetectCacheInfo();
+  return info;
+}
+
+std::string CpuArchTokenFor(const CpuCacheInfo& info) {
+  return StrCat("cpu", kMR, "x", kNR, "-l1_", info.l1_bytes, "-l2_",
+                info.l2_bytes, "-l3_", info.l3_bytes);
+}
+
+const std::string& CpuArchToken() {
+  static const std::string token = CpuArchTokenFor(HostCacheInfo());
+  return token;
+}
+
+}  // namespace cpukernels
+}  // namespace bolt

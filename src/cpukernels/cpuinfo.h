@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// CPU cache-hierarchy detection for the blocking autotuner.
+//
+// Bolt's thesis is that templated libraries already know which parameters
+// are architecture-plausible, so the profiler only has to measure a small
+// hardware-derived set (PAPER.md §4).  On the CPU that hardware knowledge
+// is the cache hierarchy: kc is sized so a packed B strip stays L1
+// resident, mc so the packed A panel stays L2 resident, and nc so the
+// packed B panel stays L3 resident.  This header exposes the detected
+// sizes plus a stable arch token that namespaces tuning-cache entries, so
+// a cache file tuned on one machine is never replayed on another.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bolt {
+namespace cpukernels {
+
+/// Detected data-cache sizes in bytes.  Every field is positive: levels
+/// the platform does not report fall back to conservative defaults
+/// (32 KiB / 1 MiB / 8 MiB).
+struct CpuCacheInfo {
+  int64_t l1_bytes = 32 * 1024;
+  int64_t l2_bytes = 1024 * 1024;
+  int64_t l3_bytes = 8 * 1024 * 1024;
+};
+
+/// Returns the host cache hierarchy, detected once per process via
+/// sysconf/sysfs and cached.  Thread-safe.
+const CpuCacheInfo& HostCacheInfo();
+
+/// Detection without the process-wide cache (exposed for tests).
+CpuCacheInfo DetectCacheInfo();
+
+/// Stable identity token for cpu tuning-cache keys, e.g.
+/// "cpu4x8-l1_32768-l2_1048576-l3_8388608".  Encodes the micro-tile and
+/// the detected cache sizes — the inputs candidate enumeration depends
+/// on — so foreign entries are rejected at load time.
+const std::string& CpuArchToken();
+
+/// Token for an explicit cache description (exposed for tests).
+std::string CpuArchTokenFor(const CpuCacheInfo& info);
+
+}  // namespace cpukernels
+}  // namespace bolt

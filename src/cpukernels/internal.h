@@ -75,30 +75,16 @@ inline void MicroKernel(int64_t kcb, const float* ap, const float* bp,
   }
 }
 
-/// Blocked GEMM core: D[m, n] (+)= A[m, k] x W[n, k]^T with the epilogue
-/// fused into the final write-back.
-///
-///  * `pack_a(dst, i0, mcb, p0, kcb)` packs A rows [i0, i0+mcb) and depth
-///    [p0, p0+kcb) into kMR-wide row strips (strip layout: strip is,
-///    then k, then kMR row values; rows beyond the panel zero-padded).
-///    The conv kernels implement panel-wise im2col here, so no full
-///    im2col matrix is ever materialized.
-///  * `dindex(i, j)` maps an output (row, col) to an index into `d` (and
-///    into `epi.residual`), which lets the NCHW conv write its scattered
-///    output layout directly.
-///
-/// When `pool` is non-null, row panels are computed in parallel; the
-/// caller participates, so nesting under other ParallelFor loops is safe.
+/// Runs the full jc/pc cache-loop nest over output rows [m_lo, m_hi).
+/// When `pool` is non-null, row panels inside each (jc, pc) block are
+/// computed in parallel (loop-level parallelism); with a null pool the
+/// nest is fully serial.  See GemmCore below for the pack_a / dindex
+/// contracts.
 template <typename PackAFn, typename DIndexFn>
-void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
-              const Epilogue& epi, const BlockConfig& cfg, ThreadPool* pool,
-              PackAFn&& pack_a, DIndexFn&& dindex) {
-  if (m <= 0 || n <= 0) return;
-  const int64_t mc = std::max<int64_t>(kMR, cfg.mc);
-  const int64_t kc = std::max<int64_t>(8, cfg.kc);
-  const int64_t nc =
-      std::max<int64_t>(kNR, (static_cast<int64_t>(cfg.nc) / kNR) * kNR);
-
+void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
+                  const float* w, float* d, const Epilogue& epi, int64_t mc,
+                  int64_t kc, int64_t nc, ThreadPool* pool,
+                  PackAFn&& pack_a, DIndexFn&& dindex) {
   std::vector<float> bpanel;
   for (int64_t jc = 0; jc < n; jc += nc) {
     const int64_t ncb = std::min(nc, n - jc);
@@ -114,10 +100,10 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
                         kcb, 1)));
       if (kcb > 0) PackB(w, k, n, jc, ncb, pc, kcb, bpanel.data());
 
-      const int64_t iblocks = CeilDiv(m, mc);
+      const int64_t iblocks = CeilDiv(m_hi - m_lo, mc);
       auto row_panel = [&](int64_t ib) {
-        const int64_t i0 = ib * mc;
-        const int64_t mcb = std::min(mc, m - i0);
+        const int64_t i0 = m_lo + ib * mc;
+        const int64_t mcb = std::min(mc, m_hi - i0);
         const int64_t istrips = CeilDiv(mcb, kMR);
         std::vector<float> apanel(
             static_cast<size_t>(istrips * kMR * std::max<int64_t>(kcb, 1)));
@@ -131,7 +117,7 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
           for (int64_t is = 0; is < istrips; ++is) {
             const float* ap = apanel.data() + is * kcb * kMR;
             const int64_t gi0 = i0 + is * kMR;
-            const int64_t rm = std::min<int64_t>(kMR, m - gi0);
+            const int64_t rm = std::min<int64_t>(kMR, i0 + mcb - gi0);
             if (first) {
               for (float& v : acc) v = 0.0f;
             } else {
@@ -166,6 +152,57 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
       }
     }
   }
+}
+
+/// Blocked GEMM core: D[m, n] (+)= A[m, k] x W[n, k]^T with the epilogue
+/// fused into the final write-back.
+///
+///  * `pack_a(dst, i0, mcb, p0, kcb)` packs A rows [i0, i0+mcb) and depth
+///    [p0, p0+kcb) into kMR-wide row strips (strip layout: strip is,
+///    then k, then kMR row values; rows beyond the panel zero-padded).
+///    The conv kernels implement panel-wise im2col here, so no full
+///    im2col matrix is ever materialized.
+///  * `dindex(i, j)` maps an output (row, col) to an index into `d` (and
+///    into `epi.residual`), which lets the NCHW conv write its scattered
+///    output layout directly.
+///
+/// When `pool` is non-null the launch parallelizes per `cfg.scheme`:
+/// loop-level fans row panels out inside every (jc, pc) block; batch-level
+/// splits the rows into one contiguous mc-aligned chunk per thread and
+/// runs the full serial nest per chunk (packed B duplicated per chunk, one
+/// barrier total).  Both schemes accumulate each output element's K terms
+/// in the same ascending order, so results stay bit-identical to the
+/// reference kernels regardless of scheme or thread count.  The caller
+/// participates in ParallelFor, so nesting under other loops is safe.
+template <typename PackAFn, typename DIndexFn>
+void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
+              const Epilogue& epi, const BlockConfig& cfg, ThreadPool* pool,
+              PackAFn&& pack_a, DIndexFn&& dindex) {
+  if (m <= 0 || n <= 0) return;
+  const int64_t mc = std::max<int64_t>(kMR, cfg.mc);
+  const int64_t kc = std::max<int64_t>(8, cfg.kc);
+  const int64_t nc =
+      std::max<int64_t>(kNR, (static_cast<int64_t>(cfg.nc) / kNR) * kNR);
+
+  const int64_t iblocks = CeilDiv(m, mc);
+  if (pool != nullptr && cfg.scheme == ParallelScheme::kBatchLevel &&
+      iblocks > 1) {
+    // One contiguous mc-aligned row chunk per participant (workers plus
+    // the calling thread); each chunk runs the whole nest serially.
+    const int64_t chunks =
+        std::min<int64_t>(iblocks, pool->num_threads() + 1);
+    const int64_t blocks_per_chunk = CeilDiv(iblocks, chunks);
+    pool->ParallelFor(chunks, [&](int64_t c) {
+      const int64_t lo = c * blocks_per_chunk * mc;
+      const int64_t hi =
+          std::min<int64_t>(m, (c + 1) * blocks_per_chunk * mc);
+      if (lo >= hi) return;
+      GemmCoreRows(lo, hi, n, k, w, d, epi, mc, kc, nc, nullptr, pack_a,
+                   dindex);
+    });
+    return;
+  }
+  GemmCoreRows(0, m, n, k, w, d, epi, mc, kc, nc, pool, pack_a, dindex);
 }
 
 }  // namespace internal

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "cpukernels/tuned.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace bolt {
+namespace cpukernels {
+namespace {
+
+using Key = std::tuple<int, int64_t, int64_t, int64_t>;
+
+struct Registry {
+  std::mutex mu;
+  std::map<Key, BlockConfig> blocks;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Key MakeKey(TunedKind kind, int64_t m, int64_t n, int64_t k) {
+  return {static_cast<int>(kind), m, n, k};
+}
+
+}  // namespace
+
+bool RegisterTunedBlock(TunedKind kind, int64_t m, int64_t n, int64_t k,
+                        const BlockConfig& block) {
+  if (!block.Validate().ok()) return false;
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.blocks[MakeKey(kind, m, n, k)] = block;
+  return true;
+}
+
+std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
+                                                    int64_t m, int64_t n,
+                                                    int64_t k,
+                                                    Backend backend) {
+  if (backend == Backend::kReference) return std::nullopt;
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.blocks.find(MakeKey(kind, m, n, k));
+  if (it == r.blocks.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
+                                          int64_t n, int64_t k) {
+  return FindTunedBlockForBackend(kind, m, n, k, DefaultBackend());
+}
+
+int64_t TunedBlockCount() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return static_cast<int64_t>(r.blocks.size());
+}
+
+void ClearTunedBlocks() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.blocks.clear();
+}
+
+}  // namespace cpukernels
+}  // namespace bolt

@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Process-wide registry of profiler-selected CPU block configurations.
+//
+// The profiler measures BlockConfig candidates per GEMM problem shape and
+// publishes the winner here; the interpreter, the engine's host ops, and
+// cutlite's functional delegation look the shape up at execution time and
+// fall back to the FromTileShape heuristic on a miss.  The registry lives
+// in cpukernels (the lowest layer) so cutlite can consult it without
+// depending on the profiler.
+//
+// Oracle independence: lookups return nothing while the reference backend
+// is forced (BOLT_CPU_BACKEND=ref), so the differential-testing oracle can
+// never observe tuning state.  Registration is still allowed — a cache
+// file loaded under the ref backend stays dormant rather than lost.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cpukernels/backend.h"
+#include "cpukernels/config.h"
+
+namespace bolt {
+namespace cpukernels {
+
+/// Which kernel family a tuned block applies to.  GEMM and implicit-GEMM
+/// conv share the (m, n, k) problem space but have different packing
+/// costs, so the same dims may tune differently.
+enum class TunedKind {
+  kGemm,
+  kConv,
+};
+
+inline const char* TunedKindName(TunedKind k) {
+  return k == TunedKind::kConv ? "conv" : "gemm";
+}
+
+/// Publishes the winning block for a problem shape.  `block` must satisfy
+/// BlockConfig::Validate(); invalid blocks are rejected (returns false).
+/// Re-registration overwrites.  Thread-safe.
+bool RegisterTunedBlock(TunedKind kind, int64_t m, int64_t n, int64_t k,
+                        const BlockConfig& block);
+
+/// Looks up a tuned block for a problem shape under the given backend:
+/// always nullopt for Backend::kReference (see header comment).
+/// Thread-safe.
+std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
+                                                    int64_t m, int64_t n,
+                                                    int64_t k,
+                                                    Backend backend);
+
+/// Lookup under the process-wide DefaultBackend().
+std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
+                                          int64_t n, int64_t k);
+
+/// Number of registered entries (tests / diagnostics).
+int64_t TunedBlockCount();
+
+/// Drops every registered entry (tests).
+void ClearTunedBlocks();
+
+}  // namespace cpukernels
+}  // namespace bolt

@@ -5,6 +5,7 @@
 
 #include "cpukernels/backend.h"
 #include "cpukernels/conv.h"
+#include "cpukernels/tuned.h"
 
 namespace bolt {
 namespace cutlite {
@@ -64,11 +65,17 @@ Result<Tensor> Conv2dKernel::Run(const Tensor& x, const Tensor& weight,
     }
     epi.acts = epilogue_.activations;
     epi.output_dtype = epilogue_.output_dtype;
-    return cpukernels::Conv2d(x, weight, cp, epi,
-                              cpukernels::BlockConfig::FromTileShape(
-                                  config_.threadblock.m,
-                                  config_.threadblock.n,
-                                  config_.threadblock.k),
+    // A profiler-tuned block for this implicit-GEMM shape wins over the
+    // threadblock-derived heuristic (cpukernels/tuned.h).
+    const cpukernels::ConvGemmShape shape =
+        cpukernels::ResolveConvGemmShape(x, weight, cp);
+    cpukernels::BlockConfig block =
+        cpukernels::FindTunedBlock(cpukernels::TunedKind::kConv, shape.m,
+                                   shape.n, shape.k)
+            .value_or(cpukernels::BlockConfig::FromTileShape(
+                config_.threadblock.m, config_.threadblock.n,
+                config_.threadblock.k));
+    return cpukernels::Conv2d(x, weight, cp, epi, block,
                               &cpukernels::ProcessPool());
   }
   std::vector<int64_t> oshape = {p.n, oh, ow, p.k};

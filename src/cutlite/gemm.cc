@@ -5,6 +5,7 @@
 
 #include "cpukernels/backend.h"
 #include "cpukernels/gemm.h"
+#include "cpukernels/tuned.h"
 
 namespace bolt {
 namespace cutlite {
@@ -74,12 +75,17 @@ Result<Tensor> GemmKernel::Run(const GemmArguments& args) const {
     }
     epi.acts = epilogue_.activations;
     epi.output_dtype = epilogue_.output_dtype;
+    // Blocking: a profiler-tuned block for this problem shape wins over
+    // the threadblock-derived heuristic (cpukernels/tuned.h; the registry
+    // is empty unless CPU autotuning ran).
+    cpukernels::BlockConfig block =
+        cpukernels::FindTunedBlock(cpukernels::TunedKind::kGemm, m, n, k)
+            .value_or(cpukernels::BlockConfig::FromTileShape(
+                config_.threadblock.m, config_.threadblock.n,
+                config_.threadblock.k));
     cpukernels::GemmRaw(m, n, k, args.a->data().data(),
                         args.w->data().data(), out.data().data(), epi,
-                        cpukernels::BlockConfig::FromTileShape(
-                            config_.threadblock.m, config_.threadblock.n,
-                            config_.threadblock.k),
-                        &cpukernels::ProcessPool());
+                        block, &cpukernels::ProcessPool());
     return out;
   }
   // Tiled traversal in the CUTLASS order: threadblock tiles over M, N

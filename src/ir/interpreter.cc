@@ -5,6 +5,7 @@
 
 #include "cpukernels/conv.h"
 #include "cpukernels/gemm.h"
+#include "cpukernels/tuned.h"
 
 namespace bolt {
 namespace refop {
@@ -429,11 +430,31 @@ Tensor Interpreter::RunChain(const FusedChain& ch,
     p.pad_w = attrs.pad_w;
     p.dilation_h = attrs.dilation_h;
     p.dilation_w = attrs.dilation_w;
+    cpukernels::BlockConfig block = options_.block;
+    if (options_.use_tuned_blocks) {
+      const cpukernels::ConvGemmShape shape = cpukernels::ResolveConvGemmShape(
+          env[a.inputs[0]], env[a.inputs[1]], p);
+      if (auto tuned = cpukernels::FindTunedBlockForBackend(
+              cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
+              options_.backend)) {
+        block = *tuned;
+      }
+    }
     return cpukernels::Conv2d(env[a.inputs[0]], env[a.inputs[1]], p, epi,
-                              options_.block, pool);
+                              block, pool);
   }
-  return cpukernels::Gemm(env[a.inputs[0]], env[a.inputs[1]], epi,
-                          options_.block, pool);
+  cpukernels::BlockConfig block = options_.block;
+  if (options_.use_tuned_blocks) {
+    const Tensor& act = env[a.inputs[0]];
+    const Tensor& wt = env[a.inputs[1]];
+    if (auto tuned = cpukernels::FindTunedBlockForBackend(
+            cpukernels::TunedKind::kGemm, act.shape()[0], wt.shape()[0],
+            act.shape()[1], options_.backend)) {
+      block = *tuned;
+    }
+  }
+  return cpukernels::Gemm(env[a.inputs[0]], env[a.inputs[1]], epi, block,
+                          pool);
 }
 
 Tensor Interpreter::TakeOrCopy(std::vector<Tensor>& env, NodeId src) const {

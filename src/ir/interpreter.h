@@ -81,6 +81,12 @@ struct InterpreterOptions {
   ThreadPool* pool = nullptr;
   /// Cache blocking for the fast kernels.
   cpukernels::BlockConfig block;
+  /// Consult the process-wide tuned-block registry (cpukernels/tuned.h)
+  /// per kernel launch, falling back to `block` on a miss.  The reference
+  /// oracle disables this so its numerics can never depend on tuning
+  /// state (the registry additionally ignores lookups under the ref
+  /// backend — belt and braces).
+  bool use_tuned_blocks = true;
 };
 
 /// Executes a graph of primitive ops. Composite bolt.* nodes are rejected —
@@ -142,6 +148,7 @@ class RefExecutor {
     o.backend = cpukernels::Backend::kReference;
     o.fuse_epilogues = false;
     o.parallel = false;
+    o.use_tuned_blocks = false;  // the oracle must ignore tuning state
     return o;
   }
 

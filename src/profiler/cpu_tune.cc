@@ -1,0 +1,181 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "profiler/cpu_tune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/rng.h"
+#include "cpukernels/gemm.h"
+
+namespace bolt {
+
+using cpukernels::BlockConfig;
+using cpukernels::kMR;
+using cpukernels::kNR;
+using cpukernels::ParallelScheme;
+
+namespace {
+
+constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
+
+int64_t RoundDown(int64_t v, int64_t q) { return (v / q) * q; }
+int64_t RoundUp(int64_t v, int64_t q) { return ((v + q - 1) / q) * q; }
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  std::vector<float> v(static_cast<size_t>(n));
+  Rng rng(seed);
+  rng.FillNormal(v);
+  return v;
+}
+
+double NowUsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+cpukernels::ConvGemmShape CpuConvWorkload::GemmShape() const {
+  const int64_t ekh = (kh - 1) * params.dilation_h + 1;
+  const int64_t ekw = (kw - 1) * params.dilation_w + 1;
+  const int64_t oh = (h + 2 * params.pad_h - ekh) / params.stride_h + 1;
+  const int64_t ow = (w + 2 * params.pad_w - ekw) / params.stride_w + 1;
+  return {batch * oh * ow, oc, kh * kw * c};
+}
+
+std::vector<BlockConfig> EnumerateCpuBlockCandidates(
+    const cpukernels::CpuCacheInfo& cache, int64_t m, int64_t n, int64_t k,
+    int num_threads) {
+  std::vector<BlockConfig> out;
+  auto add = [&](int64_t mc, int64_t kc, int64_t nc, ParallelScheme s) {
+    auto made = BlockConfig::Make(static_cast<int>(mc),
+                                  static_cast<int>(kc),
+                                  static_cast<int>(nc), s);
+    if (!made.ok()) return;
+    for (const BlockConfig& existing : out) {
+      if (existing == made.value()) return;
+    }
+    out.push_back(made.value());
+  };
+  auto add_schemes = [&](int64_t mc, int64_t kc, int64_t nc) {
+    add(mc, kc, nc, ParallelScheme::kLoopLevel);
+    if (num_threads > 1) add(mc, kc, nc, ParallelScheme::kBatchLevel);
+  };
+
+  // Candidate #0 is the fixed heuristic, so measured selection can never
+  // lose to it by more than timing noise.
+  const BlockConfig heuristic;
+  add_schemes(heuristic.mc, heuristic.kc, heuristic.nc);
+
+  // kc: one packed A strip (kMR wide) plus one packed B strip (kNR wide)
+  // of depth kc must stay L1-resident.
+  const int64_t kc_cap = std::max<int64_t>(
+      8, cache.l1_bytes / (kFloatBytes * (kMR + kNR)));
+  // There is no point blocking K deeper than the problem; round the
+  // problem depth up to the minimum slice so tiny-K problems still get a
+  // legal candidate.
+  const int64_t k_full = std::max<int64_t>(8, k);
+  std::vector<int64_t> kcs;
+  for (int64_t kc : {int64_t{128}, int64_t{256}, int64_t{512}}) {
+    if (kc > kc_cap) continue;
+    kcs.push_back(std::min(kc, k_full));
+  }
+  if (kcs.empty()) kcs.push_back(std::min(kc_cap, k_full));
+
+  for (int64_t kc : kcs) {
+    // mc: the packed A panel (mc x kc floats) should occupy at most half
+    // the L2, leaving room for the B strips streaming through.
+    const int64_t mc_cap = std::max<int64_t>(
+        kMR, RoundDown(cache.l2_bytes / (2 * kFloatBytes * kc), kMR));
+    const int64_t m_full = std::min(RoundUp(std::max<int64_t>(m, 1), kMR),
+                                    mc_cap);
+    std::vector<int64_t> mcs;
+    for (int64_t mc : {int64_t{32}, int64_t{64}, int64_t{128}}) {
+      if (mc > mc_cap) continue;
+      mcs.push_back(std::min(mc, m_full));
+    }
+    mcs.push_back(m_full);  // whole-M panel when it fits the cap
+
+    // nc: the packed B panel (kc x nc floats) should occupy at most half
+    // the L3; full-N (no jc loop at all) is the best case for the
+    // mid-sized layers that dominate the models here.
+    const int64_t nc_cap = std::max<int64_t>(
+        kNR, RoundDown(cache.l3_bytes / (2 * kFloatBytes * kc), kNR));
+    const int64_t n_full = std::min(RoundUp(std::max<int64_t>(n, 1), kNR),
+                                    nc_cap);
+    std::vector<int64_t> ncs = {n_full};
+    if (int64_t{1024} <= nc_cap) ncs.push_back(std::min<int64_t>(1024, n_full));
+
+    for (int64_t mc : mcs) {
+      for (int64_t nc : ncs) {
+        add_schemes(mc, kc, nc);
+      }
+    }
+  }
+  return out;
+}
+
+CpuGemmMeasurer::CpuGemmMeasurer(const CpuGemmWorkload& workload)
+    : workload_(workload),
+      a_(RandomVec(workload.m * workload.k, 0xC0FFEE01ULL)),
+      w_(RandomVec(workload.n * workload.k, 0xC0FFEE02ULL)),
+      d_(static_cast<size_t>(workload.m * workload.n), 0.0f) {}
+
+double CpuGemmMeasurer::MeasureUs(const BlockConfig& block,
+                                  ThreadPool* pool, int warmup_runs,
+                                  int measure_runs) {
+  const cpukernels::Epilogue epi;  // plain FP32 store
+  for (int i = 0; i < warmup_runs; ++i) {
+    cpukernels::GemmRaw(workload_.m, workload_.n, workload_.k, a_.data(),
+                        w_.data(), d_.data(), epi, block, pool);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, measure_runs); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cpukernels::GemmRaw(workload_.m, workload_.n, workload_.k, a_.data(),
+                        w_.data(), d_.data(), epi, block, pool);
+    best = std::min(best, NowUsSince(t0));
+  }
+  return best;
+}
+
+CpuConvMeasurer::CpuConvMeasurer(const CpuConvWorkload& workload)
+    : workload_(workload) {
+  std::vector<int64_t> xshape =
+      workload.layout == Layout::kNHWC
+          ? std::vector<int64_t>{workload.batch, workload.h, workload.w,
+                                 workload.c}
+          : std::vector<int64_t>{workload.batch, workload.c, workload.h,
+                                 workload.w};
+  x_ = Tensor(TensorDesc(DType::kFloat32, std::move(xshape),
+                         workload.layout));
+  Rng xr(0xC0FFEE03ULL);
+  xr.FillNormal(x_.data());
+  w_ = Tensor(TensorDesc(
+      DType::kFloat32,
+      {workload.oc, workload.kh, workload.kw, workload.c}, Layout::kAny));
+  Rng wr(0xC0FFEE04ULL);
+  wr.FillNormal(w_.data());
+}
+
+double CpuConvMeasurer::MeasureUs(const BlockConfig& block,
+                                  ThreadPool* pool, int warmup_runs,
+                                  int measure_runs) {
+  const cpukernels::Epilogue epi;
+  for (int i = 0; i < warmup_runs; ++i) {
+    cpukernels::Conv2d(x_, w_, workload_.params, epi, block, pool);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, measure_runs); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cpukernels::Conv2d(x_, w_, workload_.params, epi, block, pool);
+    best = std::min(best, NowUsSince(t0));
+  }
+  return best;
+}
+
+}  // namespace bolt

@@ -5,9 +5,13 @@
 #include <limits>
 #include <sstream>
 
+#include <chrono>
+
 #include "common/fileio.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "cpukernels/backend.h"
+#include "cpukernels/cpuinfo.h"
 
 namespace bolt {
 
@@ -84,6 +88,42 @@ struct ProfilerInstruments {
   }
 };
 
+/// Instruments for the CPU blocking autotuner (workload granularity; the
+/// per-candidate measurement loop stays untouched).
+struct CpuTuneInstruments {
+  metrics::Counter& workloads;
+  metrics::Counter& candidates;
+  metrics::Counter& cache_hits;
+  metrics::Counter& cache_misses;
+  metrics::Counter& cache_lines_rejected;
+  metrics::Histogram& best_us;
+
+  static CpuTuneInstruments& Get() {
+    static CpuTuneInstruments* instruments = new CpuTuneInstruments{
+        metrics::Registry::Global().GetCounter("cpu.tune.workloads"),
+        metrics::Registry::Global().GetCounter("cpu.tune.candidates"),
+        metrics::Registry::Global().GetCounter("cpu.tune.cache_hits"),
+        metrics::Registry::Global().GetCounter("cpu.tune.cache_misses"),
+        metrics::Registry::Global().GetCounter(
+            "cpu.tune.cache_lines_rejected"),
+        metrics::Registry::Global().GetHistogram("cpu.tune.best_us"),
+    };
+    return *instruments;
+  }
+};
+
+/// The versioned key prefix of the CPU tuning-cache namespace.  Grammar
+/// (docs/TUNING_CACHE.md):
+///   cpu/v1/<op>/<workload>/t<threads>/<cpu-arch-token>|mc kc nc scheme|us|n
+constexpr char kCpuKeyPrefix[] = "cpu/";
+constexpr char kCpuKeyVersion[] = "v1";
+
+std::string CpuCacheKey(const char* op, const std::string& workload,
+                        int threads) {
+  return StrCat(kCpuKeyPrefix, kCpuKeyVersion, "/", op, "/", workload,
+                "/t", threads, "/", cpukernels::CpuArchToken());
+}
+
 }  // namespace
 
 Profiler::Profiler(DeviceSpec spec, ProfilerCostModel cost)
@@ -98,6 +138,11 @@ int Profiler::cache_size() const {
   return static_cast<int>(cache_.size());
 }
 
+int Profiler::cpu_cache_size() const {
+  std::shared_lock<std::shared_mutex> read(cache_mu_);
+  return static_cast<int>(cpu_cache_.size());
+}
+
 Status Profiler::SaveCache(std::ostream& out) const {
   std::shared_lock<std::shared_mutex> read(cache_mu_);
   out << "# bolt tuning cache v1 arch=" << spec_.arch << "\n";
@@ -110,6 +155,15 @@ Status Profiler::SaveCache(std::ostream& out) const {
         << " " << c.instruction.k << " " << c.stages << " "
         << cutlite::SwizzleWidth(c.swizzle) << " " << c.align_a << " " << c.align_b
         << " " << c.align_c << " " << c.split_k << "|" << result.us << "|"
+        << result.candidates_tried << "\n";
+  }
+  // CPU records ride in the same file under the `cpu/` key namespace.
+  // Their keys embed their own version and arch token, so the v1 header
+  // above governs only the GPU records.
+  for (const auto& [key, result] : cpu_cache_) {
+    const cpukernels::BlockConfig& b = result.block;
+    out << key << "|" << b.mc << " " << b.kc << " " << b.nc << " "
+        << static_cast<int>(b.scheme) << "|" << result.us << "|"
         << result.candidates_tried << "\n";
   }
   if (!out.good()) return Status::Internal("cache write failed");
@@ -136,6 +190,17 @@ Status Profiler::LoadCache(std::istream& in) {
       continue;
     }
     const auto fields = StrSplit(line, '|');
+    if (StartsWith(line, kCpuKeyPrefix)) {
+      // CPU records are machine-specific real measurements, and one file
+      // legitimately accretes records from several machines and thread
+      // configurations.  A record that is corrupt, wrong-version, or from
+      // a foreign arch is therefore dropped *individually* — the rest of
+      // the file (GPU and CPU alike) still loads.
+      if (!MergeCpuCacheLine(fields)) {
+        CpuTuneInstruments::Get().cache_lines_rejected.Increment();
+      }
+      continue;
+    }
     if (fields.size() != 4) {
       return Status::InvalidArgument(
           StrCat("malformed cache record at line ", line_no));
@@ -183,6 +248,77 @@ Status Profiler::LoadCache(std::istream& in) {
     cache_[fields[0]] = result;
   }
   return Status::Ok();
+}
+
+namespace {
+
+/// Parses the leading "MxNxK" of a cpu cache-key workload field (conv
+/// workloads append "__<geometry>" after the implicit-GEMM dims).
+bool ParseCpuWorkloadDims(const std::string& s, int64_t* m, int64_t* n,
+                          int64_t* k) {
+  const std::string dims = s.substr(0, s.find("__"));
+  const auto parts = StrSplit(dims, 'x');
+  if (parts.size() != 3) return false;
+  int vals[3];
+  for (int i = 0; i < 3; ++i) {
+    if (!ParseInt(parts[i], &vals[i]) || vals[i] <= 0) return false;
+  }
+  *m = vals[0];
+  *n = vals[1];
+  *k = vals[2];
+  return true;
+}
+
+}  // namespace
+
+bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
+  // Caller (LoadCache) holds cache_mu_ exclusively.
+  if (fields.size() != 4) return false;
+  // Key: cpu/v1/<op>/<workload>/t<threads>/<cpu-arch-token>
+  const auto parts = StrSplit(fields[0], '/');
+  if (parts.size() != 6) return false;
+  if (parts[1] != kCpuKeyVersion) return false;
+  cpukernels::TunedKind kind;
+  if (parts[2] == "gemm") {
+    kind = cpukernels::TunedKind::kGemm;
+  } else if (parts[2] == "conv") {
+    kind = cpukernels::TunedKind::kConv;
+  } else {
+    return false;
+  }
+  int64_t m = 0, n = 0, k = 0;
+  if (!ParseCpuWorkloadDims(parts[3], &m, &n, &k)) return false;
+  if (parts[4].size() < 2 || parts[4][0] != 't') return false;
+  int threads = 0;
+  if (!ParseInt(parts[4].substr(1), &threads) || threads <= 0) return false;
+  if (parts[5] != cpukernels::CpuArchToken()) return false;  // foreign arch
+
+  int mc = 0, kc = 0, nc = 0, scheme = 0;
+  std::istringstream cfg(fields[1]);
+  cfg >> mc >> kc >> nc >> scheme;
+  if (cfg.fail()) return false;
+  cfg >> std::ws;
+  if (!cfg.eof()) return false;
+  if (scheme != 0 && scheme != 1) return false;
+  auto made = cpukernels::BlockConfig::Make(
+      mc, kc, nc, static_cast<cpukernels::ParallelScheme>(scheme));
+  if (!made.ok()) return false;
+
+  CpuProfileResult result;
+  result.block = made.value();
+  if (!ParseDouble(fields[2], &result.us) || result.us <= 0.0) return false;
+  if (!ParseInt(fields[3], &result.candidates_tried) ||
+      result.candidates_tried <= 0) {
+    return false;
+  }
+  cpu_cache_[fields[0]] = result;
+  // Activate for execution only when the record was measured under this
+  // deployment's thread configuration; other thread counts stay cached
+  // (they round-trip through SaveCache) but dormant.
+  if (threads == cpukernels::DefaultNumThreads()) {
+    cpukernels::RegisterTunedBlock(kind, m, n, k, result.block);
+  }
+  return true;
 }
 
 Status Profiler::SaveCacheFile(const std::string& path) const {
@@ -341,6 +477,26 @@ bool Profiler::LookupOrBeginFlightB2b(const std::string& key,
   }
 }
 
+bool Profiler::LookupOrBeginFlightCpu(const std::string& key,
+                                      CpuProfileResult* hit) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> read(cache_mu_);
+      auto it = cpu_cache_.find(key);
+      if (it != cpu_cache_.end()) {
+        *hit = it->second;
+        hit->cache_hit = true;
+        CpuTuneInstruments::Get().cache_hits.Increment();
+        return true;
+      }
+    }
+    if (TryClaimFlight(key)) {
+      CpuTuneInstruments::Get().cache_misses.Increment();
+      return false;
+    }
+  }
+}
+
 void Profiler::PublishResult(const std::string& key,
                              const ProfileResult& result) {
   {
@@ -355,6 +511,15 @@ void Profiler::PublishResultB2b(const std::string& key,
   {
     std::unique_lock<std::shared_mutex> write(cache_mu_);
     b2b_cache_[key] = result;
+  }
+  AbandonFlight(key);
+}
+
+void Profiler::PublishResultCpu(const std::string& key,
+                                const CpuProfileResult& result) {
+  {
+    std::unique_lock<std::shared_mutex> write(cache_mu_);
+    cpu_cache_[key] = result;
   }
   AbandonFlight(key);
 }
@@ -475,6 +640,120 @@ Result<ProfileResult> Profiler::ProfileConv(
   im.workload_best_us.Observe(best.us);
   PublishResult(key, best);
   return best;
+}
+
+Result<CpuProfileResult> Profiler::RunCpuSweep(
+    const std::string& key, cpukernels::TunedKind kind, int64_t m,
+    int64_t n, int64_t k,
+    const std::vector<cpukernels::BlockConfig>& candidates,
+    const std::function<double(const cpukernels::BlockConfig&)>& measure) {
+  CpuProfileResult cached;
+  if (LookupOrBeginFlightCpu(key, &cached)) {
+    // Re-assert the registry entry so a cache hit alone (e.g. a loaded
+    // file, or a second compile after ClearTunedBlocks in tests) restores
+    // execution-time selection with zero re-measurement.
+    cpukernels::RegisterTunedBlock(kind, m, n, k, cached.block);
+    return cached;
+  }
+  if (candidates.empty()) {
+    AbandonFlight(key);
+    return Status::NotFound(StrCat("no CPU blocking candidates for ", key));
+  }
+
+  trace::TraceSink& sink = trace::TraceSink::Global();
+  const double t0_us = sink.enabled() ? sink.NowUs() : 0.0;
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // Serial sweep in enumeration order (strict less keeps the earliest of
+  // tied candidates): each launch may already own the whole process pool,
+  // and overlapping candidates would corrupt each other's timings.
+  CpuProfileResult best;
+  best.us = std::numeric_limits<double>::infinity();
+  for (const cpukernels::BlockConfig& c : candidates) {
+    const double us = measure(c);
+    ++best.candidates_tried;
+    if (us < best.us) {
+      best.us = us;
+      best.block = c;
+    }
+  }
+
+  // CPU measurement consumes real time; the TuningClock absorbs it so
+  // tuning-cost reports cover both the simulated GPU measurements and the
+  // real CPU ones.  Wall == device: the sweep is serial by design.
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall0)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    clock_.ChargeMeasure(elapsed_s);
+  }
+  if (sink.enabled()) {
+    sink.EmitSpan(trace::kPidCpuTune, sink.CurrentThreadLane(), key,
+                  "cpu.tune", t0_us, sink.NowUs(),
+                  StrCat("{\"candidates\":", candidates.size(),
+                         ",\"best_us\":", best.us, "}"));
+  }
+  CpuTuneInstruments& im = CpuTuneInstruments::Get();
+  im.workloads.Increment();
+  im.candidates.Increment(static_cast<int64_t>(candidates.size()));
+  im.best_us.Observe(best.us);
+
+  cpukernels::RegisterTunedBlock(kind, m, n, k, best.block);
+  PublishResultCpu(key, best);
+  return best;
+}
+
+Result<CpuProfileResult> Profiler::ProfileCpuGemm(
+    const CpuGemmWorkload& workload) {
+  if (workload.m <= 0 || workload.n <= 0 || workload.k <= 0) {
+    return Status::InvalidArgument(
+        StrCat("invalid CPU GEMM workload ", workload.ToString()));
+  }
+  const int threads = cpukernels::DefaultNumThreads();
+  const std::string key = CpuCacheKey("gemm", workload.ToString(), threads);
+  const auto candidates = EnumerateCpuBlockCandidates(
+      cpukernels::HostCacheInfo(), workload.m, workload.n, workload.k,
+      threads);
+  // Operand buffers are only materialized if the sweep actually measures.
+  std::optional<CpuGemmMeasurer> measurer;
+  return RunCpuSweep(
+      key, cpukernels::TunedKind::kGemm, workload.m, workload.n, workload.k,
+      candidates, [&](const cpukernels::BlockConfig& block) {
+        if (!measurer.has_value()) measurer.emplace(workload);
+        return measurer->MeasureUs(block, &cpukernels::ProcessPool(),
+                                   cost_.cpu_warmup_runs,
+                                   cost_.cpu_measure_runs);
+      });
+}
+
+Result<CpuProfileResult> Profiler::ProfileCpuConv(
+    const CpuConvWorkload& workload) {
+  const cpukernels::ConvGemmShape shape = workload.GemmShape();
+  if (shape.m <= 0 || shape.n <= 0 || shape.k <= 0) {
+    return Status::InvalidArgument(
+        StrCat("invalid CPU conv workload ", workload.ToString()));
+  }
+  const int threads = cpukernels::DefaultNumThreads();
+  // The implicit-GEMM dims lead the workload field so LoadCache can key
+  // the tuned-block registry without re-deriving conv geometry.
+  const std::string key = CpuCacheKey(
+      "conv",
+      StrCat(shape.m, "x", shape.n, "x", shape.k, "__",
+             workload.ToString()),
+      threads);
+  const auto candidates = EnumerateCpuBlockCandidates(
+      cpukernels::HostCacheInfo(), shape.m, shape.n, shape.k, threads);
+  std::optional<CpuConvMeasurer> measurer;
+  return RunCpuSweep(
+      key, cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
+      candidates, [&](const cpukernels::BlockConfig& block) {
+        if (!measurer.has_value()) measurer.emplace(workload);
+        return measurer->MeasureUs(block, &cpukernels::ProcessPool(),
+                                   cost_.cpu_warmup_runs,
+                                   cost_.cpu_measure_runs);
+      });
 }
 
 B2bProfileResult Profiler::ProfileB2bGemm(

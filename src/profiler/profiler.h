@@ -27,6 +27,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <istream>
 #include <map>
 #include <memory>
@@ -39,18 +40,30 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "cpukernels/config.h"
+#include "cpukernels/tuned.h"
 #include "cutlite/b2b.h"
 #include "cutlite/conv.h"
 #include "cutlite/gemm.h"
 #include "device/spec.h"
 #include "device/timing.h"
 #include "profiler/candidates.h"
+#include "profiler/cpu_tune.h"
 
 namespace bolt {
 
 /// Outcome of profiling one workload.
 struct ProfileResult {
   cutlite::KernelConfig config;
+  double us = 0.0;
+  int candidates_tried = 0;
+  bool cache_hit = false;
+};
+
+/// Outcome of tuning one CPU kernel workload (real wall-clock measurement
+/// of the packed kernels, unlike the simulated ProfileResult).
+struct CpuProfileResult {
+  cpukernels::BlockConfig block;
   double us = 0.0;
   int candidates_tried = 0;
   bool cache_hit = false;
@@ -83,6 +96,13 @@ struct ProfilerCostModel {
   /// programs; its wall cost shrinks accordingly when workers compile them
   /// in parallel.
   int pregen_programs = 64;
+  /// Real-measurement discipline for CPU kernel tuning (ProfileCpuGemm /
+  /// ProfileCpuConv): each candidate runs `cpu_warmup_runs` unmeasured
+  /// launches then `cpu_measure_runs` timed ones, keeping the minimum.
+  /// Candidates are swept serially — each launch may itself use the whole
+  /// process pool — so these directly bound the wall cost of tuning.
+  int cpu_warmup_runs = 1;
+  int cpu_measure_runs = 3;
 };
 
 class Profiler {
@@ -112,11 +132,28 @@ class Profiler {
       const std::vector<cutlite::ConvProblem>& problems,
       const std::vector<cutlite::EpilogueSpec>& epilogues);
 
+  /// Best CPU blocking for a GEMM workload, by real wall-clock measurement
+  /// of the packed kernels (cpu_tune.h).  The winner is published to the
+  /// process-wide tuned-block registry (cpukernels/tuned.h) — on both the
+  /// measured and the cache-hit path — so the interpreter, engine host
+  /// ops, and cutlite delegation pick it up at execution time.  Results
+  /// are cached under the versioned `cpu/` key namespace (keyed by
+  /// problem, thread count, and the detected cache hierarchy) and persist
+  /// through Save/LoadCache; elapsed measurement time is charged to the
+  /// TuningClock.  Thread-safe and single-flight like ProfileGemm.
+  Result<CpuProfileResult> ProfileCpuGemm(const CpuGemmWorkload& workload);
+
+  /// Same for an implicit-GEMM conv workload; the registry entry is keyed
+  /// by the conv's implicit-GEMM dims under TunedKind::kConv.
+  Result<CpuProfileResult> ProfileCpuConv(const CpuConvWorkload& workload);
+
   const TuningClock& clock() const { return clock_; }
   TuningClock& clock() { return clock_; }
   const DeviceSpec& spec() const { return spec_; }
   const ProfilerCostModel& cost() const { return cost_; }
   int cache_size() const;
+  /// Number of cached CPU tuning results (the `cpu/` namespace).
+  int cpu_cache_size() const;
 
   /// Worker pool used for candidate- and workload-level fan-out; nullptr
   /// when the profiler is configured serial (num_threads <= 1).
@@ -158,10 +195,30 @@ class Profiler {
   /// publish via PublishResult or abandon via AbandonFlight.
   bool LookupOrBeginFlight(const std::string& key, ProfileResult* hit);
   bool LookupOrBeginFlightB2b(const std::string& key, B2bProfileResult* hit);
+  bool LookupOrBeginFlightCpu(const std::string& key, CpuProfileResult* hit);
   void PublishResult(const std::string& key, const ProfileResult& result);
   void PublishResultB2b(const std::string& key,
                         const B2bProfileResult& result);
+  void PublishResultCpu(const std::string& key,
+                        const CpuProfileResult& result);
   void AbandonFlight(const std::string& key);
+
+  /// Shared sweep for ProfileCpuGemm/ProfileCpuConv: measures `candidates`
+  /// serially with `measure`, reduces deterministically, charges the
+  /// TuningClock with the real elapsed seconds, emits the bolt.cpu.tune
+  /// span, publishes to both caches and the tuned-block registry.
+  Result<CpuProfileResult> RunCpuSweep(
+      const std::string& key, cpukernels::TunedKind kind, int64_t m,
+      int64_t n, int64_t k,
+      const std::vector<cpukernels::BlockConfig>& candidates,
+      const std::function<double(const cpukernels::BlockConfig&)>& measure);
+
+  /// Parses and merges one `cpu/` cache record; returns false (leaving the
+  /// caches untouched) when the line is malformed, has the wrong version,
+  /// or names a foreign arch token — cpu records are rejected individually
+  /// rather than failing the whole load, since a cache file legitimately
+  /// accretes entries from several machines.
+  bool MergeCpuCacheLine(const std::vector<std::string>& fields);
 
   /// Claims `key` in the in-flight set, blocking while another thread holds
   /// it.  Returns true after claiming the flight; returns false when a
@@ -181,6 +238,7 @@ class Profiler {
   mutable std::shared_mutex cache_mu_;
   std::map<std::string, ProfileResult> cache_;
   std::map<std::string, B2bProfileResult> b2b_cache_;
+  std::map<std::string, CpuProfileResult> cpu_cache_;
 
   /// Single-flight bookkeeping: keys currently being profiled.
   std::mutex flight_mu_;

@@ -14,6 +14,9 @@
 
 #include "bolt/engine.h"
 #include "common/rng.h"
+#include "cpukernels/backend.h"
+#include "cpukernels/cpuinfo.h"
+#include "cpukernels/tuned.h"
 #include "models/workloads.h"
 #include "models/zoo.h"
 #include "profiler/profiler.h"
@@ -157,6 +160,146 @@ TEST(TuningCacheTest, RejectsWrongFieldCount) {
   Profiler prof(kT4);
   std::istringstream in("gemm/a/linear/sm75|1 2 3|12.5\n");
   EXPECT_FALSE(prof.LoadCache(in).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CPU (`cpu/` namespace) records: golden schema, mixed round-trip with GPU
+// records, and per-line rejection — a corrupt, wrong-version, or
+// foreign-arch cpu line is dropped individually without failing the file,
+// while GPU records keep their strict whole-file semantics.
+
+std::string ValidCpuRecord() {
+  return StrCat("cpu/v1/gemm/24x16x32/t", cpukernels::DefaultNumThreads(),
+                "/", cpukernels::CpuArchToken(), "|64 256 4096 0|12.5|7\n");
+}
+
+TEST(CpuTuningCacheTest, MixedGpuAndCpuRoundTripIsIdentical) {
+  cpukernels::ClearTunedBlocks();
+  Profiler session1(kT4);
+  PopulateCache(session1, 7, 6);
+  CpuGemmWorkload w;
+  w.m = 24;
+  w.n = 16;
+  w.k = 32;
+  ASSERT_TRUE(session1.ProfileCpuGemm(w).ok());
+  ASSERT_GT(session1.cache_size(), 0);
+  ASSERT_EQ(session1.cpu_cache_size(), 1);
+  std::ostringstream saved;
+  ASSERT_TRUE(session1.SaveCache(saved).ok());
+
+  Profiler session2(kT4);
+  std::istringstream in(saved.str());
+  ASSERT_TRUE(session2.LoadCache(in).ok());
+  EXPECT_EQ(session2.cache_size(), session1.cache_size());
+  EXPECT_EQ(session2.cpu_cache_size(), session1.cpu_cache_size());
+  std::ostringstream resaved;
+  ASSERT_TRUE(session2.SaveCache(resaved).ok());
+  EXPECT_EQ(saved.str(), resaved.str());
+  cpukernels::ClearTunedBlocks();
+}
+
+TEST(CpuTuningCacheTest, AcceptsTheGoldenCpuRecord) {
+  cpukernels::ClearTunedBlocks();
+  Profiler prof(kT4);
+  std::istringstream in(ValidCpuRecord());
+  ASSERT_TRUE(prof.LoadCache(in).ok());
+  EXPECT_EQ(prof.cpu_cache_size(), 1);
+  EXPECT_EQ(prof.cache_size(), 0);
+  // Loading activates the execution registry for this thread config.
+  auto hit = cpukernels::FindTunedBlockForBackend(
+      cpukernels::TunedKind::kGemm, 24, 16, 32,
+      cpukernels::Backend::kFastCpu);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mc, 64);
+  EXPECT_EQ(hit->kc, 256);
+  EXPECT_EQ(hit->nc, 4096);
+  cpukernels::ClearTunedBlocks();
+}
+
+TEST(CpuTuningCacheTest, BadCpuLinesAreDroppedIndividually) {
+  // One valid GPU record, one valid cpu record, and a pile of bad cpu
+  // lines: the load must succeed and keep exactly the two valid records.
+  const std::string arch = cpukernels::CpuArchToken();
+  const std::string threads =
+      StrCat("t", cpukernels::DefaultNumThreads());
+  const std::string bad_lines[] = {
+      // wrong version
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5|7\n"),
+      // foreign arch token
+      StrCat("cpu/v1/gemm/24x16x32/", threads,
+             "/cpu4x8-l1_1-l2_2-l3_3|64 256 4096 0|12.5|7\n"),
+      // unknown op
+      StrCat("cpu/v1/b2b/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5|7\n"),
+      // malformed workload dims
+      StrCat("cpu/v1/gemm/24x16/", threads, "/", arch,
+             "|64 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v1/gemm/0x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5|7\n"),
+      // malformed thread field
+      StrCat("cpu/v1/gemm/24x16x32/x4/", arch, "|64 256 4096 0|12.5|7\n"),
+      // invalid blockings: mc not a multiple of kMR, nc not of kNR,
+      // kc < 8, unknown scheme
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|3 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 12 0|12.5|7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 4 4096 0|12.5|7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 2|12.5|7\n"),
+      // trailing garbage / wrong field counts / bad numerics
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 junk|12.5|7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|0|7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5|-7\n"),
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0|12.5abc|7\n"),
+      "cpu/v1/gemm\n",
+  };
+  for (const std::string& bad : bad_lines) {
+    cpukernels::ClearTunedBlocks();
+    Profiler prof(kT4);
+    std::istringstream in(StrCat(ValidRecord(), bad, ValidCpuRecord()));
+    ASSERT_TRUE(prof.LoadCache(in).ok()) << bad;
+    EXPECT_EQ(prof.cache_size(), 1) << bad;
+    EXPECT_EQ(prof.cpu_cache_size(), 1) << bad;
+    // The bad line must not have leaked into the registry either.
+    EXPECT_EQ(cpukernels::TunedBlockCount(), 1) << bad;
+  }
+  cpukernels::ClearTunedBlocks();
+}
+
+TEST(CpuTuningCacheTest, ForeignThreadCountLoadsButStaysDormant) {
+  // Records measured under another deployment's thread count round-trip
+  // through the cache but must not activate execution-time selection.
+  cpukernels::ClearTunedBlocks();
+  const std::string foreign = StrCat(
+      "cpu/v1/gemm/24x16x32/t", cpukernels::DefaultNumThreads() + 1, "/",
+      cpukernels::CpuArchToken(), "|64 256 4096 0|12.5|7\n");
+  Profiler prof(kT4);
+  std::istringstream in(foreign);
+  ASSERT_TRUE(prof.LoadCache(in).ok());
+  EXPECT_EQ(prof.cpu_cache_size(), 1);
+  EXPECT_EQ(cpukernels::TunedBlockCount(), 0);
+  std::ostringstream out;
+  ASSERT_TRUE(prof.SaveCache(out).ok());
+  EXPECT_TRUE(Contains(out.str(), foreign));  // round-trips verbatim
+}
+
+TEST(CpuTuningCacheTest, CpuLinesDoNotRelaxGpuStrictness) {
+  // A valid cpu line must not rescue a malformed GPU record: GPU parsing
+  // keeps its whole-file error semantics.
+  Profiler prof(kT4);
+  std::istringstream in(
+      StrCat(ValidCpuRecord(), "gemm/a/linear/sm75|1 2 3|12.5\n"));
+  EXPECT_FALSE(prof.LoadCache(in).ok());
+  cpukernels::ClearTunedBlocks();
 }
 
 // ---------------------------------------------------------------------------
