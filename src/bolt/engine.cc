@@ -250,6 +250,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
         w.m = p.m;
         w.n = p.n;
         w.k = p.k;
+        w.isa = options_.cpu_isa;
         auto r = profiler.ProfileCpuGemm(w);
         if (!r.ok()) return r.status();
         record(r.value());
@@ -264,6 +265,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
         w.m = a.shape[0];
         w.n = wt.shape[0];
         w.k = a.shape[1];
+        w.isa = options_.cpu_isa;
         auto r = profiler.ProfileCpuGemm(w);
         if (!r.ok()) return r.status();
         record(r.value());
@@ -279,6 +281,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
           w.m = p.m;
           w.n = p.n;
           w.k = p.k;
+          w.isa = options_.cpu_isa;
           auto r = profiler.ProfileCpuGemm(w);
           if (!r.ok()) return r.status();
           record(r.value());
@@ -301,6 +304,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
           w.params.stride_w = p.stride_w;
           w.params.pad_h = p.pad_h;
           w.params.pad_w = p.pad_w;
+          w.isa = options_.cpu_isa;
           auto r = profiler.ProfileCpuConv(w);
           if (!r.ok()) return r.status();
           record(r.value());
@@ -321,6 +325,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
         w.params.stride_w = p.stride_w;
         w.params.pad_h = p.pad_h;
         w.params.pad_w = p.pad_w;
+        w.isa = options_.cpu_isa;
         auto r = profiler.ProfileCpuConv(w);
         if (!r.ok()) return r.status();
         record(r.value());
@@ -354,6 +359,7 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
         w.params.pad_w = a.pad_w;
         w.params.dilation_h = a.dilation_h;
         w.params.dilation_w = a.dilation_w;
+        w.isa = options_.cpu_isa;
         auto r = profiler.ProfileCpuConv(w);
         if (!r.ok()) return r.status();
         record(r.value());

@@ -56,6 +56,14 @@ struct CompileOptions {
   /// BOLT_CPU_BACKEND=ref (the reference oracle must not depend on
   /// tuning state).
   bool tune_cpu_kernels = false;
+  /// Micro-kernel ISA mode for CPU execution and tuning
+  /// (cpukernels/cpuinfo.h).  kAuto follows BOLT_CPU_ISA and defaults to
+  /// the bit-exact scalar tier; kAvx2 opts this compile into the
+  /// ULP-bounded AVX2+FMA kernels (clamped to host capability, and
+  /// overridden by BOLT_CPU_ISA=scalar).  When CPU tuning is enabled the
+  /// mode also widens candidate enumeration: under AVX2 the profiler
+  /// measures scalar and AVX2 variants of every blocking.
+  cpukernels::CpuIsa cpu_isa = cpukernels::CpuIsa::kAuto;
 };
 
 struct TuningReport {

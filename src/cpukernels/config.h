@@ -34,6 +34,7 @@
 
 #include "common/status.h"
 #include "common/strings.h"
+#include "cpukernels/cpuinfo.h"
 
 namespace bolt {
 namespace cpukernels {
@@ -67,6 +68,11 @@ struct BlockConfig {
   int kc = 256;   // K depth of one packed slice (threadblock.k analogue)
   int nc = 4096;  // cols of B packed per panel (threadblock.n analogue)
   ParallelScheme scheme = ParallelScheme::kLoopLevel;
+  /// Micro-kernel instruction set, resolved per launch via ResolveCpuIsa
+  /// (kAuto follows BOLT_CPU_ISA, defaulting to the bit-exact scalar
+  /// tier).  A tunable axis like `scheme`: the profiler measures scalar
+  /// vs AVX2 per problem shape instead of assuming wider is faster.
+  CpuIsa isa = CpuIsa::kAuto;
 
   /// Structural validity: the packing layouts want mc a positive multiple
   /// of kMR, nc a positive multiple of kNR, and kc at least the minimum
@@ -92,6 +98,10 @@ struct BlockConfig {
         scheme != ParallelScheme::kBatchLevel) {
       return Status::InvalidArgument("BlockConfig.scheme is invalid");
     }
+    if (isa != CpuIsa::kAuto && isa != CpuIsa::kScalar &&
+        isa != CpuIsa::kAvx2) {
+      return Status::InvalidArgument("BlockConfig.isa is invalid");
+    }
     return Status::Ok();
   }
 
@@ -100,12 +110,14 @@ struct BlockConfig {
   /// silent clamping FromTileShape applies).
   static Result<BlockConfig> Make(
       int mc, int kc, int nc,
-      ParallelScheme scheme = ParallelScheme::kLoopLevel) {
+      ParallelScheme scheme = ParallelScheme::kLoopLevel,
+      CpuIsa isa = CpuIsa::kAuto) {
     BlockConfig c;
     c.mc = mc;
     c.kc = kc;
     c.nc = nc;
     c.scheme = scheme;
+    c.isa = isa;
     BOLT_RETURN_IF_ERROR(c.Validate());
     return c;
   }
@@ -126,7 +138,7 @@ struct BlockConfig {
 
   friend bool operator==(const BlockConfig& a, const BlockConfig& b) {
     return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc &&
-           a.scheme == b.scheme;
+           a.scheme == b.scheme && a.isa == b.isa;
   }
   friend bool operator!=(const BlockConfig& a, const BlockConfig& b) {
     return !(a == b);

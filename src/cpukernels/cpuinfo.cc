@@ -3,11 +3,13 @@
 
 #include "cpukernels/cpuinfo.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/strings.h"
 #include "cpukernels/config.h"
+#include "cpukernels/micro.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -113,13 +115,65 @@ const CpuCacheInfo& HostCacheInfo() {
   return info;
 }
 
-std::string CpuArchTokenFor(const CpuCacheInfo& info) {
+bool ParseCpuIsa(const std::string& s, CpuIsa* out) {
+  if (s == "auto") {
+    *out = CpuIsa::kAuto;
+  } else if (s == "scalar") {
+    *out = CpuIsa::kScalar;
+  } else if (s == "avx2") {
+    *out = CpuIsa::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CpuIsa DetectedCpuIsa() {
+  static const CpuIsa detected = [] {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (internal::Avx2MicroKernelAvailable() &&
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return CpuIsa::kAvx2;
+    }
+#endif
+    return CpuIsa::kScalar;
+  }();
+  return detected;
+}
+
+CpuIsa EnvCpuIsa() {
+  static const CpuIsa env = [] {
+    const char* v = std::getenv("BOLT_CPU_ISA");
+    CpuIsa isa = CpuIsa::kAuto;
+    if (v != nullptr) ParseCpuIsa(v, &isa);
+    return isa;
+  }();
+  return env;
+}
+
+CpuIsa ResolveCpuIsaFor(CpuIsa requested, CpuIsa env, CpuIsa host) {
+  if (env == CpuIsa::kScalar) return CpuIsa::kScalar;  // hard kill-switch
+  if (requested == CpuIsa::kAuto) requested = env;
+  if (requested == CpuIsa::kAvx2 && host == CpuIsa::kAvx2) {
+    return CpuIsa::kAvx2;
+  }
+  return CpuIsa::kScalar;
+}
+
+CpuIsa ResolveCpuIsa(CpuIsa requested) {
+  return ResolveCpuIsaFor(requested, EnvCpuIsa(), DetectedCpuIsa());
+}
+
+CpuIsa DefaultCpuIsa() { return ResolveCpuIsa(CpuIsa::kAuto); }
+
+std::string CpuArchTokenFor(const CpuCacheInfo& info, CpuIsa isa) {
   return StrCat("cpu", kMR, "x", kNR, "-l1_", info.l1_bytes, "-l2_",
-                info.l2_bytes, "-l3_", info.l3_bytes);
+                info.l2_bytes, "-l3_", info.l3_bytes, "-", CpuIsaName(isa));
 }
 
 const std::string& CpuArchToken() {
-  static const std::string token = CpuArchTokenFor(HostCacheInfo());
+  static const std::string token =
+      CpuArchTokenFor(HostCacheInfo(), DefaultCpuIsa());
   return token;
 }
 

@@ -11,6 +11,13 @@
 // packed B panel stays L3 resident.  This header exposes the detected
 // sizes plus a stable arch token that namespaces tuning-cache entries, so
 // a cache file tuned on one machine is never replayed on another.
+//
+// The same file owns the instruction-set probe: the micro-kernel exists in
+// a bit-exact scalar flavor and an AVX2+FMA flavor (micro_avx2.cc), and
+// which one a launch uses is decided here — detected capability, clamped
+// by the BOLT_CPU_ISA environment override and the per-block request
+// (BlockConfig::isa).  docs/CPU_BACKEND.md describes the resulting
+// two-tier numeric contract.
 
 #pragma once
 
@@ -19,6 +26,62 @@
 
 namespace bolt {
 namespace cpukernels {
+
+/// Which micro-kernel instruction set a kernel launch uses.
+enum class CpuIsa : int {
+  /// Follow the process default: BOLT_CPU_ISA if set, otherwise scalar.
+  /// The default is deliberately *not* "fastest detected" — the scalar
+  /// tier is bit-exact against the reference oracle, and relaxing that
+  /// must be an explicit opt-in.
+  kAuto = 0,
+  /// Portable scalar micro-kernel; bit-identical to RefExecutor.
+  kScalar = 1,
+  /// AVX2+FMA micro-kernel; ULP-bounded against RefExecutor.
+  kAvx2 = 2,
+};
+
+inline const char* CpuIsaName(CpuIsa isa) {
+  switch (isa) {
+    case CpuIsa::kAuto:
+      return "auto";
+    case CpuIsa::kScalar:
+      return "scalar";
+    case CpuIsa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+/// Parses "auto" | "scalar" | "avx2" (the BOLT_CPU_ISA vocabulary).
+/// Returns false (and leaves *out alone) for anything else.
+bool ParseCpuIsa(const std::string& s, CpuIsa* out);
+
+/// Best micro-kernel ISA this host can execute: kAvx2 when the binary
+/// carries the AVX2+FMA kernel and the CPU reports both features,
+/// otherwise kScalar.  Detected once per process and cached.
+CpuIsa DetectedCpuIsa();
+
+/// The BOLT_CPU_ISA environment override, read once and cached: kScalar
+/// or kAvx2 when set to a valid value, kAuto when unset or unparseable.
+CpuIsa EnvCpuIsa();
+
+/// Resolution of a per-launch request against the environment override
+/// and host capability (pure function, exposed for tests):
+///   * env=scalar is a hard kill-switch: everything resolves kScalar,
+///     even an explicit kAvx2 request — the knob that restores the
+///     bit-exact tier process-wide.
+///   * an explicit request otherwise wins, clamped to what the host can
+///     run (kAvx2 degrades to kScalar on non-AVX2 hosts).
+///   * kAuto follows env (clamped), and defaults to kScalar when env is
+///     unset: FMA relaxation is opt-in.
+/// The result is always executable: kScalar or kAvx2, never kAuto.
+CpuIsa ResolveCpuIsaFor(CpuIsa requested, CpuIsa env, CpuIsa host);
+
+/// ResolveCpuIsaFor against the process environment and detected host.
+CpuIsa ResolveCpuIsa(CpuIsa requested);
+
+/// ResolveCpuIsa(kAuto): the ISA a default-configured launch executes.
+CpuIsa DefaultCpuIsa();
 
 /// Detected data-cache sizes in bytes.  Every field is positive: levels
 /// the platform does not report fall back to conservative defaults
@@ -37,13 +100,17 @@ const CpuCacheInfo& HostCacheInfo();
 CpuCacheInfo DetectCacheInfo();
 
 /// Stable identity token for cpu tuning-cache keys, e.g.
-/// "cpu4x8-l1_32768-l2_1048576-l3_8388608".  Encodes the micro-tile and
-/// the detected cache sizes — the inputs candidate enumeration depends
-/// on — so foreign entries are rejected at load time.
+/// "cpu4x8-l1_32768-l2_1048576-l3_8388608-scalar".  Encodes the
+/// micro-tile, the detected cache sizes, and the default ISA mode — every
+/// input candidate enumeration and measurement depend on — so foreign
+/// entries are rejected at load time.  The ISA suffix means a cache tuned
+/// with AVX2 kernels can never silently re-activate in a process running
+/// the bit-exact scalar tier (or vice versa).
 const std::string& CpuArchToken();
 
-/// Token for an explicit cache description (exposed for tests).
-std::string CpuArchTokenFor(const CpuCacheInfo& info);
+/// Token for an explicit cache description and ISA mode (exposed for
+/// tests); `isa` should be a resolved mode, i.e. kScalar or kAvx2.
+std::string CpuArchTokenFor(const CpuCacheInfo& info, CpuIsa isa);
 
 }  // namespace cpukernels
 }  // namespace bolt

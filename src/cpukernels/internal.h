@@ -15,12 +15,17 @@
 //           acc += Ap x Bp over the kc slice
 //           last pc slice: fused epilogue on write-back
 //
-// Numeric contract: every output element accumulates its K terms in
-// strictly ascending k order (within a slice in the micro-kernel, across
-// slices through the FP32 C buffer), which is the same addition sequence
-// as the naive triple loop.  Results are therefore bit-identical to the
-// reference kernels and to themselves for any thread count — the
-// differential tests and the cutlite functional delegation rely on this.
+// Numeric contract (two-tier, see docs/CPU_BACKEND.md): every output
+// element accumulates its K terms in strictly ascending k order (within a
+// slice in the micro-kernel, across slices through the FP32 C buffer),
+// which is the same addition sequence as the naive triple loop.  With the
+// scalar micro-kernel each term is rounded exactly like the reference
+// loop, so results are bit-identical to the reference kernels and to
+// themselves for any thread count — the differential tests and the
+// cutlite functional delegation rely on this.  The AVX2 micro-kernel
+// keeps the same accumulation *order* but fuses each multiply-add into
+// one rounding, so its tier is ULP-bounded agreement instead of bit
+// identity; it is only selected through ResolveCpuIsa (cpuinfo.h).
 
 #pragma once
 
@@ -30,6 +35,7 @@
 #include "common/thread_pool.h"
 #include "cpukernels/config.h"
 #include "cpukernels/epilogue.h"
+#include "cpukernels/micro.h"
 
 namespace bolt {
 namespace cpukernels {
@@ -75,6 +81,17 @@ inline void MicroKernel(int64_t kcb, const float* ap, const float* bp,
   }
 }
 
+// micro_avx2.cc hardcodes the micro-tile shape because it cannot include
+// this header (ODR/ISA hazard, see micro.h).
+static_assert(kMR == 4 && kNR == 8,
+              "micro_avx2.cc hardcodes a 4x8 micro-tile");
+
+/// Maps a *resolved* ISA (kScalar or kAvx2, from ResolveCpuIsa) to the
+/// micro-kernel that implements it.
+inline MicroKernelFn SelectMicroKernel(CpuIsa resolved) {
+  return resolved == CpuIsa::kAvx2 ? &MicroKernelAvx2 : &MicroKernel;
+}
+
 /// Runs the full jc/pc cache-loop nest over output rows [m_lo, m_hi).
 /// When `pool` is non-null, row panels inside each (jc, pc) block are
 /// computed in parallel (loop-level parallelism); with a null pool the
@@ -83,8 +100,8 @@ inline void MicroKernel(int64_t kcb, const float* ap, const float* bp,
 template <typename PackAFn, typename DIndexFn>
 void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
                   const float* w, float* d, const Epilogue& epi, int64_t mc,
-                  int64_t kc, int64_t nc, ThreadPool* pool,
-                  PackAFn&& pack_a, DIndexFn&& dindex) {
+                  int64_t kc, int64_t nc, MicroKernelFn micro,
+                  ThreadPool* pool, PackAFn&& pack_a, DIndexFn&& dindex) {
   std::vector<float> bpanel;
   for (int64_t jc = 0; jc < n; jc += nc) {
     const int64_t ncb = std::min(nc, n - jc);
@@ -125,7 +142,7 @@ void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
                 for (int64_t j = 0; j < jn; ++j)
                   acc[r * kNR + j] = d[dindex(gi0 + r, j0 + j)];
             }
-            if (kcb > 0) MicroKernel(kcb, ap, bp, acc);
+            if (kcb > 0) micro(kcb, ap, bp, acc);
             if (last) {
               for (int64_t r = 0; r < rm; ++r) {
                 for (int64_t j = 0; j < jn; ++j) {
@@ -183,6 +200,9 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
   const int64_t kc = std::max<int64_t>(8, cfg.kc);
   const int64_t nc =
       std::max<int64_t>(kNR, (static_cast<int64_t>(cfg.nc) / kNR) * kNR);
+  // Resolve the ISA once per launch; every row chunk and panel of this
+  // launch uses the same micro-kernel regardless of scheme or threads.
+  const MicroKernelFn micro = SelectMicroKernel(ResolveCpuIsa(cfg.isa));
 
   const int64_t iblocks = CeilDiv(m, mc);
   if (pool != nullptr && cfg.scheme == ParallelScheme::kBatchLevel &&
@@ -197,12 +217,13 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
       const int64_t hi =
           std::min<int64_t>(m, (c + 1) * blocks_per_chunk * mc);
       if (lo >= hi) return;
-      GemmCoreRows(lo, hi, n, k, w, d, epi, mc, kc, nc, nullptr, pack_a,
-                   dindex);
+      GemmCoreRows(lo, hi, n, k, w, d, epi, mc, kc, nc, micro, nullptr,
+                   pack_a, dindex);
     });
     return;
   }
-  GemmCoreRows(0, m, n, k, w, d, epi, mc, kc, nc, pool, pack_a, dindex);
+  GemmCoreRows(0, m, n, k, w, d, epi, mc, kc, nc, micro, pool, pack_a,
+               dindex);
 }
 
 }  // namespace internal

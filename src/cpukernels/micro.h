@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Micro-kernel dispatch surface shared between the portable driver code
+// and the ISA-specific translation units.
+//
+// This header deliberately includes nothing but <cstdint>: micro_avx2.cc
+// is compiled with -mavx2 -mfma, and any inline function it pulls in from
+// a shared header would be emitted with AVX2 codegen in that TU.  The
+// linker keeps exactly one copy of an inline function, and if it keeps the
+// AVX2-compiled one, "portable" code would execute AVX2 instructions on
+// hosts that lack them.  Keeping this boundary header free of inline code
+// makes that ODR hazard structurally impossible.
+
+#pragma once
+
+#include <cstdint>
+
+namespace bolt {
+namespace cpukernels {
+namespace internal {
+
+/// Register micro-kernel signature: acc[kMR][kNR] += Ap-strip x Bp-strip
+/// over a kc slice.  `ap` is kMR-interleaved, `bp` kNR-interleaved; see
+/// internal.h for the packing layouts.
+using MicroKernelFn = void (*)(int64_t kcb, const float* ap,
+                               const float* bp, float* acc);
+
+/// AVX2+FMA micro-kernel (micro_avx2.cc, compiled with -mavx2 -mfma when
+/// the toolchain supports it).  Hardcodes the 4x8 micro-tile: one __m256
+/// accumulator row per kMR row, broadcast-FMA over the kc slice.  Uses
+/// fused multiply-add, so results are NOT bit-identical to the scalar
+/// kernel — callers must select it only through ResolveCpuIsa.
+void MicroKernelAvx2(int64_t kcb, const float* ap, const float* bp,
+                     float* acc);
+
+/// True when MicroKernelAvx2 was actually built with AVX2+FMA codegen
+/// (false on non-x86 targets or toolchains without the flags, where the
+/// symbol is a scalar stub that the ISA probe never selects).
+bool Avx2MicroKernelAvailable();
+
+}  // namespace internal
+}  // namespace cpukernels
+}  // namespace bolt

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// AVX2+FMA register micro-kernel.
+//
+// This is the only translation unit in the repo compiled with
+// -mavx2 -mfma (see cpukernels/CMakeLists.txt); it includes only micro.h
+// so no shared inline function is ever emitted with AVX2 codegen (the ODR
+// hazard described there).  The 4x8 micro-tile is hardcoded; internal.h
+// static_asserts that it matches kMR x kNR.
+//
+// Numerics: _mm256_fmadd_ps contracts the multiply-add, so each term is
+// rounded once instead of twice.  Accumulation order over k is identical
+// to the scalar kernel (ascending, one fused term per step), which keeps
+// the divergence from the bit-exact reference within a few ULP per
+// element — the tolerance tier of the two-tier contract
+// (docs/CPU_BACKEND.md), validated by tests/testing/diff_harness.
+
+#include "cpukernels/micro.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace bolt {
+namespace cpukernels {
+namespace internal {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+bool Avx2MicroKernelAvailable() { return true; }
+
+void MicroKernelAvx2(int64_t kcb, const float* ap, const float* bp,
+                     float* acc) {
+  // kMR = 4 rows, kNR = 8 columns: one 8-lane accumulator per row.
+  __m256 c0 = _mm256_loadu_ps(acc + 0 * 8);
+  __m256 c1 = _mm256_loadu_ps(acc + 1 * 8);
+  __m256 c2 = _mm256_loadu_ps(acc + 2 * 8);
+  __m256 c3 = _mm256_loadu_ps(acc + 3 * 8);
+  for (int64_t kk = 0; kk < kcb; ++kk) {
+    const __m256 b = _mm256_loadu_ps(bp + kk * 8);
+    const float* a = ap + kk * 4;
+    c0 = _mm256_fmadd_ps(_mm256_set1_ps(a[0]), b, c0);
+    c1 = _mm256_fmadd_ps(_mm256_set1_ps(a[1]), b, c1);
+    c2 = _mm256_fmadd_ps(_mm256_set1_ps(a[2]), b, c2);
+    c3 = _mm256_fmadd_ps(_mm256_set1_ps(a[3]), b, c3);
+  }
+  _mm256_storeu_ps(acc + 0 * 8, c0);
+  _mm256_storeu_ps(acc + 1 * 8, c1);
+  _mm256_storeu_ps(acc + 2 * 8, c2);
+  _mm256_storeu_ps(acc + 3 * 8, c3);
+}
+
+#else  // toolchain/target without AVX2+FMA
+
+bool Avx2MicroKernelAvailable() { return false; }
+
+// Scalar stand-in so the symbol always links.  The ISA probe reports
+// kScalar when Avx2MicroKernelAvailable() is false, so dispatch never
+// reaches this; it still computes correctly if called.
+void MicroKernelAvx2(int64_t kcb, const float* ap, const float* bp,
+                     float* acc) {
+  for (int64_t kk = 0; kk < kcb; ++kk) {
+    const float* a = ap + kk * 4;
+    const float* b = bp + kk * 8;
+    for (int r = 0; r < 4; ++r) {
+      const float av = a[r];
+      float* row = acc + r * 8;
+      for (int j = 0; j < 8; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+#endif
+
+}  // namespace internal
+}  // namespace cpukernels
+}  // namespace bolt

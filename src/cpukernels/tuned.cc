@@ -7,6 +7,8 @@
 #include <mutex>
 #include <tuple>
 
+#include "common/metrics.h"
+
 namespace bolt {
 namespace cpukernels {
 namespace {
@@ -43,10 +45,21 @@ std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
                                                     int64_t k,
                                                     Backend backend) {
   if (backend == Backend::kReference) return std::nullopt;
+  // Hit/miss counters make registry consultation observable: execution
+  // paths that should pick up tuned blocks (interpreter, engine host ops,
+  // cutlite delegation) can be asserted on without plumbing test hooks.
+  static metrics::Counter& hits =
+      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.hit");
+  static metrics::Counter& misses =
+      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.miss");
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.blocks.find(MakeKey(kind, m, n, k));
-  if (it == r.blocks.end()) return std::nullopt;
+  if (it == r.blocks.end()) {
+    misses.Increment();
+    return std::nullopt;
+  }
+  hits.Increment();
   return it->second;
 }
 

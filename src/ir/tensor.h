@@ -16,6 +16,7 @@
 #include "common/half.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/ulp.h"
 
 namespace bolt {
 
@@ -144,6 +145,25 @@ class Tensor {
     float m = 0.0f;
     for (size_t i = 0; i < data_.size(); ++i) {
       float d = std::abs(data_[i] - other.data_[i]);
+      if (d > m) m = d;
+    }
+    return m;
+  }
+
+  /// Max ULP distance against another tensor of identical shape, measured
+  /// on this tensor's storage grid (FP16 tensors compare on the binary16
+  /// line, everything else on the FP32 line).  The comparison unit of the
+  /// SIMD tier's tolerance contract (common/ulp.h); elements within
+  /// `abs_escape` absolutely are counted as 0 ULP, which absolves sign
+  /// flips across zero that the ULP line scores as enormous.
+  int64_t MaxUlpDiff(const Tensor& other, float abs_escape = 0.0f) const {
+    BOLT_CHECK(num_elements() == other.num_elements());
+    const bool halfs = desc_.dtype == DType::kFloat16;
+    int64_t m = 0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+      if (std::abs(data_[i] - other.data_[i]) <= abs_escape) continue;
+      const int64_t d = halfs ? Float16UlpDiff(data_[i], other.data_[i])
+                              : Float32UlpDiff(data_[i], other.data_[i]);
       if (d > m) m = d;
     }
     return m;

@@ -49,12 +49,19 @@ cpukernels::ConvGemmShape CpuConvWorkload::GemmShape() const {
 
 std::vector<BlockConfig> EnumerateCpuBlockCandidates(
     const cpukernels::CpuCacheInfo& cache, int64_t m, int64_t n, int64_t k,
-    int num_threads) {
+    int num_threads, cpukernels::CpuIsa isa) {
+  // When the requested mode resolves to AVX2, the ISA becomes a measured
+  // axis: the default-mode (kAuto -> AVX2 here) variant plus an explicit
+  // scalar variant of every blocking.  In scalar mode only kAuto variants
+  // are emitted — identical to the pre-ISA candidate set.
+  const bool sweep_scalar_too =
+      cpukernels::ResolveCpuIsa(isa) == cpukernels::CpuIsa::kAvx2;
   std::vector<BlockConfig> out;
-  auto add = [&](int64_t mc, int64_t kc, int64_t nc, ParallelScheme s) {
+  auto add = [&](int64_t mc, int64_t kc, int64_t nc, ParallelScheme s,
+                 cpukernels::CpuIsa block_isa) {
     auto made = BlockConfig::Make(static_cast<int>(mc),
                                   static_cast<int>(kc),
-                                  static_cast<int>(nc), s);
+                                  static_cast<int>(nc), s, block_isa);
     if (!made.ok()) return;
     for (const BlockConfig& existing : out) {
       if (existing == made.value()) return;
@@ -62,8 +69,16 @@ std::vector<BlockConfig> EnumerateCpuBlockCandidates(
     out.push_back(made.value());
   };
   auto add_schemes = [&](int64_t mc, int64_t kc, int64_t nc) {
-    add(mc, kc, nc, ParallelScheme::kLoopLevel);
-    if (num_threads > 1) add(mc, kc, nc, ParallelScheme::kBatchLevel);
+    for (const cpukernels::CpuIsa block_isa :
+         {cpukernels::CpuIsa::kAuto, cpukernels::CpuIsa::kScalar}) {
+      if (block_isa == cpukernels::CpuIsa::kScalar && !sweep_scalar_too) {
+        continue;
+      }
+      add(mc, kc, nc, ParallelScheme::kLoopLevel, block_isa);
+      if (num_threads > 1) {
+        add(mc, kc, nc, ParallelScheme::kBatchLevel, block_isa);
+      }
+    }
   };
 
   // Candidate #0 is the fixed heuristic, so measured selection can never

@@ -36,9 +36,19 @@ namespace bolt {
 /// A representative GEMM workload: D[m, n] = A[m, k] x W[n, k]^T.
 struct CpuGemmWorkload {
   int64_t m = 0, n = 0, k = 0;
+  /// ISA mode the sweep enumerates under (CompileOptions::cpu_isa).
+  /// kAuto follows the process default; when the mode resolves to AVX2
+  /// the sweep measures scalar and AVX2 variants of every blocking.
+  cpukernels::CpuIsa isa = cpukernels::CpuIsa::kAuto;
 
   std::string ToString() const {
-    return StrCat(m, "x", n, "x", k);
+    std::string s = StrCat(m, "x", n, "x", k);
+    // kAuto keeps the historical workload spelling (cache-key stable);
+    // an explicit per-compile mode is part of the workload identity.
+    if (isa != cpukernels::CpuIsa::kAuto) {
+      s += StrCat("__isa_", cpukernels::CpuIsaName(isa));
+    }
+    return s;
   }
 };
 
@@ -48,15 +58,22 @@ struct CpuConvWorkload {
   int64_t oc = 0, kh = 1, kw = 1;          // filter
   cpukernels::ConvParams params;
   Layout layout = Layout::kNHWC;
+  /// See CpuGemmWorkload::isa.
+  cpukernels::CpuIsa isa = cpukernels::CpuIsa::kAuto;
 
   /// The implicit-GEMM problem dims (registry key for tuned blocks).
   cpukernels::ConvGemmShape GemmShape() const;
 
   std::string ToString() const {
-    return StrCat(batch, "x", h, "x", w, "x", c, "_oc", oc, "_f", kh, "x",
-                  kw, "_s", params.stride_h, "x", params.stride_w, "_p",
-                  params.pad_h, "x", params.pad_w, "_d", params.dilation_h,
-                  "x", params.dilation_w, "_", LayoutName(layout));
+    std::string s =
+        StrCat(batch, "x", h, "x", w, "x", c, "_oc", oc, "_f", kh, "x",
+               kw, "_s", params.stride_h, "x", params.stride_w, "_p",
+               params.pad_h, "x", params.pad_w, "_d", params.dilation_h,
+               "x", params.dilation_w, "_", LayoutName(layout));
+    if (isa != cpukernels::CpuIsa::kAuto) {
+      s += StrCat("__isa_", cpukernels::CpuIsaName(isa));
+    }
+    return s;
   }
 };
 
@@ -71,11 +88,21 @@ struct CpuConvWorkload {
 /// The fixed FromTileShape-era heuristic (default BlockConfig) is always
 /// candidate #0, so measured selection can never regress the heuristic by
 /// more than measurement noise.  With `num_threads > 1` every blocking is
-/// emitted in both parallelization schemes.  Every returned config passes
+/// emitted in both parallelization schemes.
+///
+/// The micro-kernel ISA is one more profiled axis: when `isa` resolves to
+/// AVX2 (ResolveCpuIsa — so only when the host supports it and
+/// BOLT_CPU_ISA permits it), every blocking is additionally emitted with
+/// an explicit kScalar variant, because on barrier- or bandwidth-bound
+/// shapes the scalar kernel can genuinely win.  Blockings carry
+/// isa=kAuto for the default-mode variant, so a persisted winner re-reads
+/// the process default at execution time; the arch token's ISA suffix
+/// (CpuArchToken) keeps such records from crossing between scalar-mode
+/// and AVX2-mode processes.  Every returned config passes
 /// BlockConfig::Validate(); enumeration order is deterministic.
 std::vector<cpukernels::BlockConfig> EnumerateCpuBlockCandidates(
     const cpukernels::CpuCacheInfo& cache, int64_t m, int64_t n, int64_t k,
-    int num_threads);
+    int num_threads, cpukernels::CpuIsa isa = cpukernels::CpuIsa::kAuto);
 
 /// Wall-clock measurement engine for GEMM candidates.  Operand data is
 /// generated once (deterministic seeds) and reused across candidates.

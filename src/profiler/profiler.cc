@@ -114,9 +114,12 @@ struct CpuTuneInstruments {
 
 /// The versioned key prefix of the CPU tuning-cache namespace.  Grammar
 /// (docs/TUNING_CACHE.md):
-///   cpu/v1/<op>/<workload>/t<threads>/<cpu-arch-token>|mc kc nc scheme|us|n
+///   cpu/v2/<op>/<workload>/t<threads>/<cpu-arch-token>|mc kc nc scheme isa|us|n
+/// v2 added the micro-kernel ISA to the block payload (and the arch token
+/// gained an ISA-mode suffix); v1 records are dropped at load like any
+/// other unknown version.
 constexpr char kCpuKeyPrefix[] = "cpu/";
-constexpr char kCpuKeyVersion[] = "v1";
+constexpr char kCpuKeyVersion[] = "v2";
 
 std::string CpuCacheKey(const char* op, const std::string& workload,
                         int threads) {
@@ -163,8 +166,8 @@ Status Profiler::SaveCache(std::ostream& out) const {
   for (const auto& [key, result] : cpu_cache_) {
     const cpukernels::BlockConfig& b = result.block;
     out << key << "|" << b.mc << " " << b.kc << " " << b.nc << " "
-        << static_cast<int>(b.scheme) << "|" << result.us << "|"
-        << result.candidates_tried << "\n";
+        << static_cast<int>(b.scheme) << " " << static_cast<int>(b.isa)
+        << "|" << result.us << "|" << result.candidates_tried << "\n";
   }
   if (!out.good()) return Status::Internal("cache write failed");
   return Status::Ok();
@@ -274,7 +277,7 @@ bool ParseCpuWorkloadDims(const std::string& s, int64_t* m, int64_t* n,
 bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   // Caller (LoadCache) holds cache_mu_ exclusively.
   if (fields.size() != 4) return false;
-  // Key: cpu/v1/<op>/<workload>/t<threads>/<cpu-arch-token>
+  // Key: cpu/v2/<op>/<workload>/t<threads>/<cpu-arch-token>
   const auto parts = StrSplit(fields[0], '/');
   if (parts.size() != 6) return false;
   if (parts[1] != kCpuKeyVersion) return false;
@@ -293,15 +296,17 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   if (!ParseInt(parts[4].substr(1), &threads) || threads <= 0) return false;
   if (parts[5] != cpukernels::CpuArchToken()) return false;  // foreign arch
 
-  int mc = 0, kc = 0, nc = 0, scheme = 0;
+  int mc = 0, kc = 0, nc = 0, scheme = 0, isa = 0;
   std::istringstream cfg(fields[1]);
-  cfg >> mc >> kc >> nc >> scheme;
+  cfg >> mc >> kc >> nc >> scheme >> isa;
   if (cfg.fail()) return false;
   cfg >> std::ws;
   if (!cfg.eof()) return false;
   if (scheme != 0 && scheme != 1) return false;
+  if (isa < 0 || isa > 2) return false;
   auto made = cpukernels::BlockConfig::Make(
-      mc, kc, nc, static_cast<cpukernels::ParallelScheme>(scheme));
+      mc, kc, nc, static_cast<cpukernels::ParallelScheme>(scheme),
+      static_cast<cpukernels::CpuIsa>(isa));
   if (!made.ok()) return false;
 
   CpuProfileResult result;
@@ -715,7 +720,7 @@ Result<CpuProfileResult> Profiler::ProfileCpuGemm(
   const std::string key = CpuCacheKey("gemm", workload.ToString(), threads);
   const auto candidates = EnumerateCpuBlockCandidates(
       cpukernels::HostCacheInfo(), workload.m, workload.n, workload.k,
-      threads);
+      threads, workload.isa);
   // Operand buffers are only materialized if the sweep actually measures.
   std::optional<CpuGemmMeasurer> measurer;
   return RunCpuSweep(
@@ -744,7 +749,8 @@ Result<CpuProfileResult> Profiler::ProfileCpuConv(
              workload.ToString()),
       threads);
   const auto candidates = EnumerateCpuBlockCandidates(
-      cpukernels::HostCacheInfo(), shape.m, shape.n, shape.k, threads);
+      cpukernels::HostCacheInfo(), shape.m, shape.n, shape.k, threads,
+      workload.isa);
   std::optional<CpuConvMeasurer> measurer;
   return RunCpuSweep(
       key, cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,

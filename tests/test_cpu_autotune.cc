@@ -34,6 +34,7 @@
 #include "ir/interpreter.h"
 #include "profiler/cpu_tune.h"
 #include "profiler/profiler.h"
+#include "testing/diff_harness.h"
 
 namespace bolt {
 namespace {
@@ -44,14 +45,7 @@ using cpukernels::ParallelScheme;
 using cpukernels::TunedKind;
 using cpukernels::kMR;
 using cpukernels::kNR;
-
-Tensor RandomTensor(TensorDesc desc, uint64_t seed) {
-  Tensor t(std::move(desc));
-  Rng rng(seed);
-  rng.FillNormal(t.data(), 0.5f);
-  t.Quantize();
-  return t;
-}
+using difftest::RandomTensor;
 
 // ---------------------------------------------------------------------------
 // BlockConfig validation: Make rejects, FromTileShape clamps.
@@ -133,13 +127,14 @@ TEST(CandidateEnumerationTest, EveryCandidateValidatesAcrossMachines) {
         // The fixed heuristic is always candidate #0, so measured
         // selection can never lose to it beyond noise.
         EXPECT_TRUE(cands[0] == BlockConfig{});
-        std::set<std::tuple<int, int, int, int>> seen;
+        std::set<std::tuple<int, int, int, int, int>> seen;
         for (const BlockConfig& c : cands) {
           EXPECT_TRUE(c.Validate().ok())
               << "m=" << m << " n=" << n << " k=" << k << " mc=" << c.mc
               << " kc=" << c.kc << " nc=" << c.nc;
           EXPECT_TRUE(seen.emplace(c.mc, c.kc, c.nc,
-                                   static_cast<int>(c.scheme))
+                                   static_cast<int>(c.scheme),
+                                   static_cast<int>(c.isa))
                           .second)
               << "duplicate candidate";
         }
@@ -170,6 +165,47 @@ TEST(CandidateEnumerationTest, MultiThreadEmitsBothSchemes) {
   EXPECT_GT(parallel.size(), serial.size());
 }
 
+TEST(CandidateEnumerationTest, IsaBecomesAMeasuredAxisUnderAvx2) {
+  const CpuCacheInfo cache = cpukernels::HostCacheInfo();
+  // Scalar mode: every blocking rides with isa=kAuto — element-wise
+  // identical to the pre-ISA candidate set.
+  const auto scalar = EnumerateCpuBlockCandidates(
+      cache, 256, 256, 256, 4, cpukernels::CpuIsa::kScalar);
+  ASSERT_FALSE(scalar.empty());
+  EXPECT_TRUE(scalar[0] == BlockConfig{});
+  for (const BlockConfig& c : scalar) {
+    EXPECT_EQ(c.isa, cpukernels::CpuIsa::kAuto);
+  }
+  // AVX2 mode (testable only when the host resolves it; BOLT_CPU_ISA=
+  // scalar also vetoes): the ISA turns into a measured axis — every
+  // blocking additionally appears as an explicit kScalar variant, and
+  // the kAuto subsequence is exactly the scalar-mode set.
+  if (cpukernels::ResolveCpuIsa(cpukernels::CpuIsa::kAvx2) !=
+      cpukernels::CpuIsa::kAvx2) {
+    GTEST_SKIP() << "host or env pins the scalar tier";
+  }
+  const auto avx2 = EnumerateCpuBlockCandidates(
+      cache, 256, 256, 256, 4, cpukernels::CpuIsa::kAvx2);
+  ASSERT_EQ(avx2.size(), 2 * scalar.size());
+  EXPECT_TRUE(avx2[0] == BlockConfig{});
+  std::vector<BlockConfig> autos, scalars;
+  for (const BlockConfig& c : avx2) {
+    (c.isa == cpukernels::CpuIsa::kAuto ? autos : scalars).push_back(c);
+    EXPECT_TRUE(c.isa == cpukernels::CpuIsa::kAuto ||
+                c.isa == cpukernels::CpuIsa::kScalar);
+    EXPECT_TRUE(c.Validate().ok());
+  }
+  ASSERT_EQ(autos.size(), scalar.size());
+  ASSERT_EQ(scalars.size(), scalar.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_TRUE(autos[i] == scalar[i]);
+    EXPECT_EQ(scalars[i].mc, scalar[i].mc);
+    EXPECT_EQ(scalars[i].kc, scalar[i].kc);
+    EXPECT_EQ(scalars[i].nc, scalar[i].nc);
+    EXPECT_EQ(scalars[i].scheme, scalar[i].scheme);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Randomized differential harness: ~200 (shape, layout, epilogue,
 // BlockConfig, thread-count) tuples against the naive reference loops.
@@ -177,25 +213,8 @@ TEST(CandidateEnumerationTest, MultiThreadEmitsBothSchemes) {
 // bit-identical regardless.
 // ---------------------------------------------------------------------------
 
-/// Draws a BlockConfig from a space that deliberately includes invalid
-/// values (mc < kMR, nc not a multiple of kNR, non-positive dims).
-BlockConfig RandomBlock(Rng& rng) {
-  const int mcs[] = {-4, 0, 1, 3, 4, 5, 8, 12, 32, 64, 200};
-  const int kcs[] = {-2, 0, 1, 7, 8, 9, 33, 256};
-  const int ncs[] = {-8, 0, 1, 7, 8, 9, 24, 100, 4096};
-  BlockConfig c;
-  c.mc = mcs[rng.Uniform(0, 10)];
-  c.kc = kcs[rng.Uniform(0, 7)];
-  c.nc = ncs[rng.Uniform(0, 8)];
-  c.scheme = rng.Uniform(0, 1) == 0 ? ParallelScheme::kLoopLevel
-                                    : ParallelScheme::kBatchLevel;
-  return c;
-}
-
-const std::vector<ActivationKind> kActs = {
-    ActivationKind::kIdentity, ActivationKind::kRelu,
-    ActivationKind::kGelu,     ActivationKind::kSigmoid,
-};
+using difftest::RandomBlock;
+const std::vector<ActivationKind>& kActs = difftest::kActivations;
 
 TEST(DifferentialAutotuneTest, RandomizedGemmTuples) {
   Rng rng(2026);
@@ -233,7 +252,9 @@ TEST(DifferentialAutotuneTest, RandomizedGemmTuples) {
     if (has_bias) want = refop::BiasAdd(want, bias);
     want = refop::Activation(want, act);
     if (has_residual) want = refop::Add(want, res);
-    EXPECT_EQ(got.MaxAbsDiff(want), 0.0f);
+    EXPECT_TRUE(difftest::CheckDiff(
+        "gemm", got, want,
+        difftest::ToleranceFor(cpukernels::ResolveCpuIsa(block.isa), dt)));
   }
 }
 
@@ -288,7 +309,10 @@ TEST(DifferentialAutotuneTest, RandomizedConvTuples) {
     Tensor want = refop::Conv2d(x, w, attrs);
     if (has_bias) want = refop::BiasAdd(want, bias);
     want = refop::Activation(want, act);
-    EXPECT_EQ(got.MaxAbsDiff(want), 0.0f);
+    EXPECT_TRUE(difftest::CheckDiff(
+        "conv", got, want,
+        difftest::ToleranceFor(cpukernels::ResolveCpuIsa(block.isa),
+                               DType::kFloat16)));
   }
 }
 

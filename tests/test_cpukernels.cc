@@ -18,23 +18,16 @@
 #include "cpukernels/gemm.h"
 #include "ir/graph.h"
 #include "ir/interpreter.h"
+#include "testing/diff_harness.h"
 
 namespace bolt {
 namespace {
 
 Tensor RandomTensor(TensorDesc desc, uint64_t seed = 1) {
-  Tensor t(std::move(desc));
-  Rng rng(seed);
-  rng.FillNormal(t.data(), 0.5f);
-  t.Quantize();
-  return t;
+  return difftest::RandomTensor(std::move(desc), seed);
 }
 
-const std::vector<ActivationKind> kAllActivations = {
-    ActivationKind::kIdentity,  ActivationKind::kRelu,
-    ActivationKind::kGelu,      ActivationKind::kHardswish,
-    ActivationKind::kSoftplus,  ActivationKind::kSigmoid,
-};
+const std::vector<ActivationKind>& kAllActivations = difftest::kActivations;
 
 // ---------------------------------------------------------------------------
 // GEMM vs refop::Dense

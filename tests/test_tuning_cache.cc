@@ -169,8 +169,9 @@ TEST(TuningCacheTest, RejectsWrongFieldCount) {
 // while GPU records keep their strict whole-file semantics.
 
 std::string ValidCpuRecord() {
-  return StrCat("cpu/v1/gemm/24x16x32/t", cpukernels::DefaultNumThreads(),
-                "/", cpukernels::CpuArchToken(), "|64 256 4096 0|12.5|7\n");
+  return StrCat("cpu/v2/gemm/24x16x32/t", cpukernels::DefaultNumThreads(),
+                "/", cpukernels::CpuArchToken(),
+                "|64 256 4096 0 0|12.5|7\n");
 }
 
 TEST(CpuTuningCacheTest, MixedGpuAndCpuRoundTripIsIdentical) {
@@ -223,44 +224,53 @@ TEST(CpuTuningCacheTest, BadCpuLinesAreDroppedIndividually) {
   const std::string threads =
       StrCat("t", cpukernels::DefaultNumThreads());
   const std::string bad_lines[] = {
-      // wrong version
-      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+      // superseded version: v1 records carry no ISA field and are
+      // retired rather than reinterpreted
+      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
              "|64 256 4096 0|12.5|7\n"),
+      // unknown future version
+      StrCat("cpu/v3/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5|7\n"),
       // foreign arch token
-      StrCat("cpu/v1/gemm/24x16x32/", threads,
-             "/cpu4x8-l1_1-l2_2-l3_3|64 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads,
+             "/cpu4x8-l1_1-l2_2-l3_3-scalar|64 256 4096 0 0|12.5|7\n"),
       // unknown op
-      StrCat("cpu/v1/b2b/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v2/b2b/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5|7\n"),
       // malformed workload dims
-      StrCat("cpu/v1/gemm/24x16/", threads, "/", arch,
-             "|64 256 4096 0|12.5|7\n"),
-      StrCat("cpu/v1/gemm/0x16x32/", threads, "/", arch,
-             "|64 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/0x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5|7\n"),
       // malformed thread field
-      StrCat("cpu/v1/gemm/24x16x32/x4/", arch, "|64 256 4096 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/x4/", arch,
+             "|64 256 4096 0 0|12.5|7\n"),
       // invalid blockings: mc not a multiple of kMR, nc not of kNR,
-      // kc < 8, unknown scheme
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|3 256 4096 0|12.5|7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 12 0|12.5|7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 4 4096 0|12.5|7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 2|12.5|7\n"),
+      // kc < 8, unknown scheme, out-of-range isa
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|3 256 4096 0 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 12 0 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 4 4096 0 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 2 0|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 3|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 -1|12.5|7\n"),
       // trailing garbage / wrong field counts / bad numerics
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 junk|12.5|7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0|12.5\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0|0|7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0|12.5|-7\n"),
-      StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0|12.5abc|7\n"),
-      "cpu/v1/gemm\n",
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 junk|12.5|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|0|7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5|-7\n"),
+      StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0|12.5abc|7\n"),
+      "cpu/v2/gemm\n",
   };
   for (const std::string& bad : bad_lines) {
     cpukernels::ClearTunedBlocks();
@@ -280,8 +290,8 @@ TEST(CpuTuningCacheTest, ForeignThreadCountLoadsButStaysDormant) {
   // through the cache but must not activate execution-time selection.
   cpukernels::ClearTunedBlocks();
   const std::string foreign = StrCat(
-      "cpu/v1/gemm/24x16x32/t", cpukernels::DefaultNumThreads() + 1, "/",
-      cpukernels::CpuArchToken(), "|64 256 4096 0|12.5|7\n");
+      "cpu/v2/gemm/24x16x32/t", cpukernels::DefaultNumThreads() + 1, "/",
+      cpukernels::CpuArchToken(), "|64 256 4096 0 0|12.5|7\n");
   Profiler prof(kT4);
   std::istringstream in(foreign);
   ASSERT_TRUE(prof.LoadCache(in).ok());

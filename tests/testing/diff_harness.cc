@@ -1,0 +1,168 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "testing/diff_harness.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/ulp.h"
+
+namespace bolt {
+namespace difftest {
+
+Tensor RandomTensor(TensorDesc desc, uint64_t seed) {
+  Tensor t(std::move(desc));
+  Rng rng(seed);
+  rng.FillNormal(t.data(), 0.5f);
+  t.Quantize();
+  return t;
+}
+
+cpukernels::BlockConfig RandomBlock(Rng& rng, bool isa_axis) {
+  const int mcs[] = {-4, 0, 1, 3, 4, 5, 8, 12, 32, 64, 200};
+  const int kcs[] = {-2, 0, 1, 7, 8, 9, 33, 256};
+  const int ncs[] = {-8, 0, 1, 7, 8, 9, 24, 100, 4096};
+  cpukernels::BlockConfig c;
+  c.mc = mcs[rng.Uniform(0, 10)];
+  c.kc = kcs[rng.Uniform(0, 7)];
+  c.nc = ncs[rng.Uniform(0, 8)];
+  c.scheme = rng.Uniform(0, 1) == 0 ? cpukernels::ParallelScheme::kLoopLevel
+                                    : cpukernels::ParallelScheme::kBatchLevel;
+  if (isa_axis) {
+    const cpukernels::CpuIsa isas[] = {cpukernels::CpuIsa::kAuto,
+                                       cpukernels::CpuIsa::kScalar,
+                                       cpukernels::CpuIsa::kAvx2};
+    c.isa = isas[rng.Uniform(0, 2)];
+  }
+  return c;
+}
+
+const std::vector<ActivationKind> kActivations = {
+    ActivationKind::kIdentity,  ActivationKind::kRelu,
+    ActivationKind::kGelu,      ActivationKind::kSigmoid,
+    ActivationKind::kHardswish, ActivationKind::kSoftplus,
+};
+
+Tolerance ToleranceFor(cpukernels::CpuIsa resolved, DType dtype) {
+  Tolerance tol;
+  if (resolved == cpukernels::CpuIsa::kAvx2) {
+    tol.max_ulps = dtype == DType::kFloat16 ? kSimdMaxUlpsFloat16
+                                            : kSimdMaxUlpsFloat32;
+    tol.abs_escape = kSimdUlpAbsEscape;
+  }
+  return tol;
+}
+
+namespace {
+
+std::mutex g_stats_mu;
+std::map<std::string, OpStats>& StatsMap() {
+  static auto* m = new std::map<std::string, OpStats>();
+  return *m;
+}
+
+void Record(const std::string& op, int64_t ulps, bool failed,
+            const Tolerance& tol) {
+  {
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    OpStats& s = StatsMap()[op];
+    ++s.checks;
+    if (failed) ++s.failures;
+    if (ulps > s.max_ulps) s.max_ulps = ulps;
+    if (tol.max_ulps > s.bound_ulps) s.bound_ulps = tol.max_ulps;
+  }
+  auto& reg = metrics::Registry::Global();
+  reg.GetCounter(StrCat("cpu.diff.", op, ".checks")).Increment();
+  if (failed) reg.GetCounter(StrCat("cpu.diff.", op, ".failures")).Increment();
+  reg.GetHistogram(StrCat("cpu.diff.", op, ".ulp"))
+      .Observe(static_cast<double>(ulps));
+}
+
+/// Registered at static-init time (AddGlobalTestEnvironment is legal
+/// before InitGoogleTest); TearDown runs once after every test in the
+/// binary, when the accounting is complete.
+class DiffSummaryEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("BOLT_DIFF_SUMMARY");
+    if (path == nullptr || *path == '\0') return;
+    const Status s = WriteDiffSummary(path);
+    if (!s.ok()) {
+      ADD_FAILURE() << "BOLT_DIFF_SUMMARY write failed: " << s.message();
+    }
+  }
+};
+
+const int kSummaryEnvRegistered =
+    (::testing::AddGlobalTestEnvironment(new DiffSummaryEnvironment()), 0);
+
+}  // namespace
+
+OpStats StatsFor(const std::string& op) {
+  std::lock_guard<std::mutex> lock(g_stats_mu);
+  return StatsMap()[op];
+}
+
+::testing::AssertionResult CheckDiff(const std::string& op,
+                                     const Tensor& got, const Tensor& want,
+                                     const Tolerance& tol) {
+  (void)kSummaryEnvRegistered;
+  // Always measure the ULP distance (with the tier's escape) so the
+  // accounting reflects real drift even for exact-tier checks, where any
+  // nonzero distance is already a failure.
+  const int64_t ulps = got.MaxUlpDiff(want, tol.abs_escape);
+  bool failed;
+  std::string why;
+  if (tol.exact()) {
+    const float abs = got.MaxAbsDiff(want);
+    failed = abs != 0.0f;
+    if (failed) {
+      why = StrCat("bit-exact tier violated for ", op, ": MaxAbsDiff=", abs,
+                   " (", ulps, " ULPs)");
+    }
+  } else {
+    failed = ulps > tol.max_ulps;
+    if (failed) {
+      why = StrCat("ULP bound violated for ", op, ": ", ulps, " > ",
+                   tol.max_ulps, " (abs_escape=", tol.abs_escape, ")");
+    }
+  }
+  Record(op, tol.exact() && !failed ? 0 : ulps, failed, tol);
+  if (failed) return ::testing::AssertionFailure() << why;
+  return ::testing::AssertionSuccess();
+}
+
+Status WriteDiffSummary(const std::string& path) {
+  std::map<std::string, OpStats> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    snapshot = StatsMap();
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument(StrCat("cannot open ", path));
+  }
+  out << "{\n  \"isa\": \""
+      << cpukernels::CpuIsaName(cpukernels::DefaultCpuIsa())
+      << "\",\n  \"ops\": {";
+  bool first = true;
+  for (const auto& [op, s] : snapshot) {
+    out << (first ? "" : ",") << "\n    \"" << op << "\": {"
+        << "\"checks\": " << s.checks << ", \"failures\": " << s.failures
+        << ", \"max_ulps\": " << s.max_ulps
+        << ", \"bound_ulps\": " << s.bound_ulps << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+}  // namespace difftest
+}  // namespace bolt
