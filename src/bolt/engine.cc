@@ -536,6 +536,91 @@ Status Engine::BuildModule(Profiler& profiler) {
   return Status::Ok();
 }
 
+Result<std::vector<std::vector<Tensor>>> Engine::RunBatch(
+    const std::vector<Tensor>& requests) const {
+  if (requests.empty()) {
+    return Status::InvalidArgument("RunBatch needs at least one request");
+  }
+  if (graph_.input_ids().size() != 1) {
+    return Status::Unsupported(
+        StrCat("RunBatch requires exactly one graph input, got ",
+               graph_.input_ids().size()));
+  }
+  const Node& in_node = graph_.node(graph_.input_ids()[0]);
+  const TensorDesc& in_desc = in_node.out_desc;
+  if (in_desc.rank() < 1) {
+    return Status::Unsupported("RunBatch input has no batch axis");
+  }
+  const int64_t batch = in_desc.shape[0];
+  const int64_t row_elems = in_desc.num_elements() / batch;
+
+  int64_t rows = 0;
+  for (const Tensor& r : requests) {
+    const TensorDesc& d = r.desc();
+    if (d.rank() != in_desc.rank() || d.shape[0] < 1) {
+      return Status::InvalidArgument(
+          StrCat("request shape ", d.ToString(),
+                 " does not match engine input ", in_desc.ToString()));
+    }
+    for (int i = 1; i < d.rank(); ++i) {
+      if (d.shape[i] != in_desc.shape[i]) {
+        return Status::InvalidArgument(
+            StrCat("request shape ", d.ToString(),
+                   " does not match engine input ", in_desc.ToString()));
+      }
+    }
+    if (d.dtype != in_desc.dtype) {
+      return Status::InvalidArgument(
+          StrCat("request dtype ", DTypeName(d.dtype),
+                 " does not match engine input ",
+                 DTypeName(in_desc.dtype)));
+    }
+    rows += d.shape[0];
+  }
+  if (rows > batch) {
+    return Status::InvalidArgument(
+        StrCat("batch of ", rows, " rows exceeds compiled batch ", batch));
+  }
+
+  // Stack the requests along the batch axis; rows [rows, batch) stay the
+  // zero padding the constructor provides.
+  Tensor stacked(TensorDesc(in_desc.dtype, in_desc.shape, in_desc.layout));
+  int64_t at = 0;
+  for (const Tensor& r : requests) {
+    std::copy(r.data().begin(), r.data().end(),
+              stacked.data().begin() + at * row_elems);
+    at += r.shape()[0];
+  }
+
+  auto outs = Run({{in_node.name, stacked}});
+  if (!outs.ok()) return outs.status();
+
+  // Demux every output back into per-request leading-axis slices.
+  std::vector<std::vector<Tensor>> per_request(requests.size());
+  for (const Tensor& out : outs.value()) {
+    const TensorDesc& od = out.desc();
+    if (od.rank() < 1 || od.shape[0] != batch) {
+      return Status::Unsupported(
+          StrCat("RunBatch output ", od.ToString(),
+                 " does not carry the batch on its leading axis"));
+    }
+    const int64_t out_row_elems = od.num_elements() / batch;
+    int64_t row = 0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const int64_t b = requests[i].shape()[0];
+      std::vector<int64_t> shape = od.shape;
+      shape[0] = b;
+      Tensor slice(TensorDesc(od.dtype, std::move(shape), od.layout));
+      std::copy(out.data().begin() + row * out_row_elems,
+                out.data().begin() + (row + b) * out_row_elems,
+                slice.data().begin());
+      per_request[i].push_back(std::move(slice));
+      row += b;
+    }
+  }
+  return per_request;
+}
+
 Result<std::vector<Tensor>> Engine::Run(
     const std::map<std::string, Tensor>& inputs) const {
   std::vector<Tensor> env(graph_.num_nodes());
@@ -560,7 +645,10 @@ Result<std::vector<Tensor>> Engine::Run(
     switch (n.kind) {
       case OpKind::kBoltGemm: {
         const GemmCoord p = GemmProblemOf(graph_, n);
-        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        // Store at the node's declared precision: an FP32 graph must not
+        // be quantized through the EpilogueSpec's FP16 default.
+        e.output_dtype = n.out_desc.dtype;
         const auto& plan = plans_.at(n.id);
         GemmKernel kernel(p, plan.configs[0], e);
         cutlite::GemmArguments args;
@@ -576,7 +664,8 @@ Result<std::vector<Tensor>> Engine::Run(
       }
       case OpKind::kBoltConv2d: {
         const ConvProblem p = ConvProblemOf(graph_, n);
-        const EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        EpilogueSpec e = EpilogueFromAttrs(n.attrs);
+        e.output_dtype = n.out_desc.dtype;
         const auto& plan = plans_.at(n.id);
         Conv2dKernel kernel(p, plan.configs[0], e);
         int idx = 2;
@@ -597,8 +686,8 @@ Result<std::vector<Tensor>> Engine::Run(
         int idx = 1;
         for (int s = 0; s < stages; ++s) {
           const GemmCoord p = GemmProblemOf(graph_, n, s);
-          const EpilogueSpec e =
-              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          EpilogueSpec e = EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          e.output_dtype = n.out_desc.dtype;
           kstages.push_back(B2bStage{p, plan.configs[s], e});
           weights.push_back(&env[n.inputs[idx++]]);
           biases.push_back(e.has_bias ? &env[n.inputs[idx++]] : nullptr);
@@ -618,8 +707,8 @@ Result<std::vector<Tensor>> Engine::Run(
         int idx = 1;
         for (int s = 0; s < stages; ++s) {
           const ConvProblem p = ConvProblemOf(graph_, n, s);
-          const EpilogueSpec e =
-              EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          EpilogueSpec e = EpilogueFromAttrs(n.attrs, StrCat("s", s, "_"));
+          e.output_dtype = n.out_desc.dtype;
           kstages.push_back(B2bConvStage{p, plan.configs[s], e});
           weights.push_back(&env[n.inputs[idx++]]);
           biases.push_back(e.has_bias ? &env[n.inputs[idx++]] : nullptr);
@@ -682,9 +771,13 @@ Result<std::vector<Tensor>> Engine::Run(
           const cpukernels::ConvGemmShape shape =
               cpukernels::ResolveConvGemmShape(env[n.inputs[0]],
                                                env[n.inputs[1]], p);
+          // Shape-bucketed reuse: a batched serving execution whose exact
+          // implicit-GEMM shape was never tuned still rides the nearest
+          // tuned batch size for the same (n, k).
           const cpukernels::BlockConfig block =
-              cpukernels::FindTunedBlock(cpukernels::TunedKind::kConv,
-                                         shape.m, shape.n, shape.k)
+              cpukernels::FindTunedBlockNearBatch(
+                  cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
+                  cpukernels::DefaultBackend())
                   .value_or(cpukernels::BlockConfig{});
           env[n.id] =
               cpukernels::Conv2d(env[n.inputs[0]], env[n.inputs[1]], p, epi,
@@ -702,9 +795,10 @@ Result<std::vector<Tensor>> Engine::Run(
           const Tensor& act = env[n.inputs[0]];
           const Tensor& wt = env[n.inputs[1]];
           const cpukernels::BlockConfig block =
-              cpukernels::FindTunedBlock(cpukernels::TunedKind::kGemm,
-                                         act.shape()[0], wt.shape()[0],
-                                         act.shape()[1])
+              cpukernels::FindTunedBlockNearBatch(
+                  cpukernels::TunedKind::kGemm, act.shape()[0],
+                  wt.shape()[0], act.shape()[1],
+                  cpukernels::DefaultBackend())
                   .value_or(cpukernels::BlockConfig{});
           env[n.id] = cpukernels::Gemm(act, wt, epi, block,
                                        &cpukernels::ProcessPool());

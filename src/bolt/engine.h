@@ -112,6 +112,26 @@ class Engine {
   Result<std::vector<Tensor>> Run(
       const std::map<std::string, Tensor>& inputs) const;
 
+  /// Batched execute entry point for the serving layer (src/serve).
+  ///
+  /// Each request tensor is a leading-batch-axis slice of this engine's
+  /// single graph input: shape [b_i, ...tail] with the tail dims, layout
+  /// and dtype of the compiled input, b_i >= 1, and sum(b_i) <= the
+  /// compiled batch B.  The requests are stacked in order along the batch
+  /// axis, the gap up to B is padded with zero rows (the paper's
+  /// kernel-padding idea applied to partial batches), the engine executes
+  /// once, and every output — whose leading axis must be the batch axis —
+  /// is demultiplexed back into per-request slices with the padded rows
+  /// dropped.
+  ///
+  /// Because every kernel in the pipeline treats batch rows
+  /// independently, the demuxed results are bit-identical to running each
+  /// request alone on this engine; vs the per-request RefExecutor they
+  /// inherit the backend's two-tier contract (scalar bit-exact,
+  /// SIMD ULP-bounded).
+  Result<std::vector<std::vector<Tensor>>> RunBatch(
+      const std::vector<Tensor>& requests) const;
+
  private:
   /// Per-node kernel plan recorded at compile time.
   struct NodePlan {

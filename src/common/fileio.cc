@@ -7,7 +7,13 @@
 #include <sstream>
 
 #ifdef __unix__
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
+
+#include <cerrno>
 #endif
 
 #include "common/strings.h"
@@ -28,29 +34,96 @@ std::string TempPathFor(const std::string& path) {
   return StrCat(path, ".tmp.", pid, ".", counter.fetch_add(1));
 }
 
+#ifdef __unix__
+
+/// POSIX write path: the temp file is fsynced before the rename, closing
+/// the durability gap where a crash *after* the rename could surface a
+/// truncated or empty destination (rename orders metadata, not data, on
+/// most filesystems).  close() is checked too — some filesystems report
+/// deferred write errors there.
+Status WriteTempDurable(const std::string& tmp,
+                        const std::string& contents) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrCat("cannot create temp file ", tmp, ": ",
+                                   ::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t w = ::write(fd, contents.data() + off,
+                              contents.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(StrCat("short write to temp file ", tmp,
+                                     ": ", ::strerror(err)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(StrCat("fsync of temp file ", tmp, " failed: ",
+                                   ::strerror(err)));
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal(StrCat("close of temp file ", tmp, " failed: ",
+                                   ::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+/// Best-effort directory fsync after the rename so the new directory
+/// entry itself is durable.  Failure is ignored: the data is already
+/// safe, and some filesystems refuse O_RDONLY directory fds.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+#else  // !__unix__
+
+Status WriteTempDurable(const std::string& tmp,
+                        const std::string& contents) {
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal(StrCat("cannot create temp file ", tmp));
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal(StrCat("short write to temp file ", tmp));
+  }
+  return Status::Ok();
+}
+
+void SyncParentDir(const std::string&) {}
+
+#endif  // __unix__
+
 }  // namespace
 
 Status WriteFileAtomic(const std::string& path,
                        const std::string& contents) {
   const std::string tmp = TempPathFor(path);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::Internal(StrCat("cannot create temp file ", tmp));
-    }
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::Internal(StrCat("short write to temp file ", tmp));
-    }
+  Status st = WriteTempDurable(tmp, contents);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal(StrCat("atomic rename to ", path, " failed"));
   }
+  SyncParentDir(path);
   return Status::Ok();
 }
 

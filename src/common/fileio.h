@@ -12,11 +12,12 @@
 namespace bolt {
 
 /// Atomically replaces `path` with `contents`: writes a uniquely-named
-/// temporary file in the same directory, then renames it over `path`.
-/// A crash mid-write or a concurrent reader can therefore never observe a
-/// torn file — the destination either keeps its previous content or shows
-/// the complete new content.  On failure the destination is untouched and
-/// the temporary is removed.
+/// temporary file in the same directory, fsyncs it (on __unix__), then
+/// renames it over `path`.  A crash at any point can therefore never
+/// surface a torn or truncated destination — without the fsync, a crash
+/// shortly *after* the rename could leave the new name pointing at
+/// unwritten data.  On failure the destination is untouched and the
+/// temporary is removed.
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
 
 /// Reads a whole file into `*contents`; NotFound if it cannot be opened.

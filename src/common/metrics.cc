@@ -4,11 +4,16 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace bolt {
 namespace metrics {
 
 void Histogram::Observe(double value) {
+  // Non-finite observations are rejected: a single NaN fed into the sum_
+  // CAS loop would poison every later sum (NaN + x == NaN) and serialize
+  // as bare `nan`, which is not JSON.
+  if (!std::isfinite(value)) return;
   int bucket = 0;
   if (value > 1.0) {
     // Smallest i with value <= 2^i, capped at the overflow bucket.
@@ -67,15 +72,20 @@ std::string Registry::DumpJson() const {
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     if (!first) out << ",";
-    out << "\"" << name << "\":" << counter->value();
+    out << "\"" << trace::JsonEscape(name) << "\":" << counter->value();
     first = false;
   }
   out << "},\"histograms\":{";
   first = true;
   for (const auto& [name, hist] : histograms_) {
     if (!first) out << ",";
-    out << "\"" << name << "\":{\"count\":" << hist->count()
-        << ",\"sum\":" << hist->sum() << ",\"buckets\":[";
+    // Belt and braces on `sum`: Observe rejects non-finite values, but a
+    // poisoned pre-fix registry (or future bug) must still serialize as
+    // valid JSON, so clamp to 0 here.
+    const double sum = hist->sum();
+    out << "\"" << trace::JsonEscape(name) << "\":{\"count\":"
+        << hist->count() << ",\"sum\":" << (std::isfinite(sum) ? sum : 0.0)
+        << ",\"buckets\":[";
     const std::vector<int64_t> buckets = hist->bucket_counts();
     int last = static_cast<int>(buckets.size()) - 1;
     while (last > 0 && buckets[last] == 0) --last;

@@ -45,6 +45,9 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 28;  // up to ~134s in us, + overflow
 
+  /// Records one observation.  Non-finite values (NaN, +-Inf) are
+  /// rejected — a NaN would otherwise poison `sum` permanently and break
+  /// DumpJson's output (bare `nan` is not JSON).
   void Observe(double value);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -76,6 +79,8 @@ class Registry {
 
   /// JSON object: {"counters":{...},"histograms":{name:{"count":..,
   /// "sum":..,"buckets":[...]}}} with trailing empty buckets elided.
+  /// Metric names are escaped, so any registered name yields a valid
+  /// document.
   std::string DumpJson() const;
 
   /// Zeroes every registered instrument (addresses stay valid).  For

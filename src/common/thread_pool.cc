@@ -55,13 +55,25 @@ void ThreadPool::ParallelFor(int64_t n,
   // Shared claim counter: workers and the caller race to claim indices, so
   // a busy pool degrades gracefully to caller-executed work (no deadlock
   // for nested ParallelFor).
+  //
+  // Exception safety: `fn` may throw.  Every body call runs inside a
+  // try/catch that records the first exception; once a failure is
+  // recorded, later-claimed indices are skipped (fail-fast) but still
+  // counted, so `done` always reaches `n`.  The caller therefore never
+  // unwinds while a helper could still dereference `fn` (which points at
+  // the caller's stack frame), and a throw inside a pool worker can never
+  // escape WorkerLoop into std::terminate.  The first exception is
+  // rethrown on the calling thread after every claimed iteration has
+  // finished.
   struct LoopState {
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> done{0};
+    std::atomic<bool> failed{false};
     int64_t n = 0;
     const std::function<void(int64_t)>* fn = nullptr;
     std::mutex mu;
     std::condition_variable cv;
+    std::exception_ptr error;  // first error; guarded by mu
   };
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -70,7 +82,17 @@ void ThreadPool::ParallelFor(int64_t n,
   auto drain = [](const std::shared_ptr<LoopState>& s) {
     int64_t i;
     while ((i = s->next.fetch_add(1)) < s->n) {
-      (*s->fn)(i);
+      if (!s->failed.load(std::memory_order_acquire)) {
+        try {
+          (*s->fn)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(s->mu);
+            if (s->error == nullptr) s->error = std::current_exception();
+          }
+          s->failed.store(true, std::memory_order_release);
+        }
+      }
       if (s->done.fetch_add(1) + 1 == s->n) {
         std::lock_guard<std::mutex> lock(s->mu);
         s->cv.notify_all();
@@ -84,8 +106,11 @@ void ThreadPool::ParallelFor(int64_t n,
     Submit([state, drain] { drain(state); });
   }
   drain(state);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done.load() == n; });
+  }
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace bolt

@@ -39,6 +39,12 @@ class ThreadPool {
   /// Runs fn(0) .. fn(n-1), blocking until all iterations complete.
   /// Iterations are claimed dynamically by the workers *and* the calling
   /// thread; `fn` must be safe to call concurrently for distinct indices.
+  ///
+  /// `fn` may throw: the first exception is captured and rethrown on the
+  /// calling thread after every already-claimed iteration has finished
+  /// (so the loop never unwinds under a still-running body), and indices
+  /// claimed after the failure are skipped.  Exceptions never escape the
+  /// pool's worker threads.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
  private:

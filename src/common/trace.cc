@@ -181,6 +181,7 @@ Status TraceSink::WriteTo(std::ostream& out) const {
       Metadata(kPidRuntime, 0, "process_name", "bolt.runtime (simulated)"));
   meta.push_back(Metadata(kPidCpu, 0, "process_name", "bolt.cpu"));
   meta.push_back(Metadata(kPidCpuTune, 0, "process_name", "bolt.cpu.tune"));
+  meta.push_back(Metadata(kPidServe, 0, "process_name", "bolt.serve"));
   std::set<int> tuning_lanes, runtime_lanes;
   for (const Event& e : events) {
     if (e.pid == kPidTuning) tuning_lanes.insert(e.tid);

@@ -12,7 +12,7 @@
 // spans into a global TraceSink, which flushes a Chrome trace_event JSON
 // file loadable in chrome://tracing or https://ui.perfetto.dev.
 //
-// Five process lanes coexist in one trace (see docs/OBSERVABILITY.md):
+// Six process lanes coexist in one trace (see docs/OBSERVABILITY.md):
 //
 //   pid kPidCompile  "bolt.compile"   — real wall-clock time of the
 //                                       compile passes (one span each).
@@ -33,6 +33,10 @@
 //                                       blocking autotuning; one span per
 //                                       tuned workload covering its
 //                                       candidate sweep.
+//   pid kPidServe    "bolt.serve"     — real wall-clock time of the
+//                                       dynamic-batching serving layer;
+//                                       one span per batched execution
+//                                       (docs/SERVING.md).
 //
 // Overhead discipline: when tracing is disabled every entry point is a
 // single relaxed atomic load.  Instrumentation sites emit at workload /
@@ -61,6 +65,7 @@ inline constexpr int kPidTuning = 2;
 inline constexpr int kPidRuntime = 3;
 inline constexpr int kPidCpu = 4;
 inline constexpr int kPidCpuTune = 5;
+inline constexpr int kPidServe = 6;
 
 /// One Chrome trace_event record.  `args` is a pre-rendered JSON object
 /// ("{...}") or empty.

@@ -4,29 +4,46 @@
 #include <string>
 #include <thread>
 
+#include "common/strings.h"
+
 namespace bolt {
 namespace cpukernels {
 
-Backend DefaultBackend() {
-  static const Backend backend = [] {
-    const char* env = std::getenv("BOLT_CPU_BACKEND");
-    if (env != nullptr) {
-      const std::string v(env);
-      if (v == "ref" || v == "reference" || v == "naive") {
-        return Backend::kReference;
-      }
-    }
+std::optional<int> ParseCpuThreadsEnv(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  int n = 0;
+  // ParseInt is the strict full-string from_chars pattern: trailing
+  // garbage ("4abc"), empty strings, signs with no digits, and overflow
+  // are all rejected instead of silently truncated (atoi accepted "4abc"
+  // as 4 and had UB on overflow).
+  if (!ParseInt(std::string(value), &n)) return std::nullopt;
+  if (n < 1 || n > 4096) return std::nullopt;
+  return n;
+}
+
+std::optional<Backend> ParseCpuBackendEnv(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  const std::string v(value);
+  if (v == "ref" || v == "reference" || v == "naive") {
+    return Backend::kReference;
+  }
+  if (v.empty() || v == "fast" || v == "cpukernels") {
     return Backend::kFastCpu;
-  }();
+  }
+  return std::nullopt;
+}
+
+Backend DefaultBackend() {
+  static const Backend backend =
+      ParseCpuBackendEnv(std::getenv("BOLT_CPU_BACKEND"))
+          .value_or(Backend::kFastCpu);
   return backend;
 }
 
 int DefaultNumThreads() {
   static const int threads = [] {
-    const char* env = std::getenv("BOLT_CPU_THREADS");
-    if (env != nullptr) {
-      const int n = std::atoi(env);
-      if (n >= 1) return n;
+    if (auto n = ParseCpuThreadsEnv(std::getenv("BOLT_CPU_THREADS"))) {
+      return *n;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? static_cast<int>(hw) : 1;

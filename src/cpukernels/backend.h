@@ -19,6 +19,8 @@
 
 #pragma once
 
+#include <optional>
+
 #include "common/thread_pool.h"
 
 namespace bolt {
@@ -46,6 +48,19 @@ Backend DefaultBackend();
 /// Worker count of the shared pool (BOLT_CPU_THREADS or hardware
 /// concurrency, >= 1).
 int DefaultNumThreads();
+
+/// Strict parsing of a BOLT_CPU_THREADS value: the whole string must be a
+/// decimal integer in [1, 4096] (the same from_chars discipline the
+/// tuning-cache loader uses — "4abc", "", overflow, and non-positive
+/// counts are all rejected).  nullopt on any rejection, in which case
+/// DefaultNumThreads falls back to hardware concurrency.
+std::optional<int> ParseCpuThreadsEnv(const char* value);
+
+/// Strict parsing of a BOLT_CPU_BACKEND value: "ref" / "reference" /
+/// "naive" select the reference loops; "" / "fast" / "cpukernels" select
+/// the fast kernels.  Anything else is rejected (nullopt), in which case
+/// DefaultBackend falls back to kFastCpu.
+std::optional<Backend> ParseCpuBackendEnv(const char* value);
 
 /// Lazily constructed process-wide pool shared by every kernel launch
 /// that does not bring its own pool.

@@ -68,6 +68,52 @@ std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
   return FindTunedBlockForBackend(kind, m, n, k, DefaultBackend());
 }
 
+std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
+                                                   int64_t m, int64_t n,
+                                                   int64_t k,
+                                                   Backend backend) {
+  if (backend == Backend::kReference) return std::nullopt;
+  if (auto exact = FindTunedBlockForBackend(kind, m, n, k, backend)) {
+    return exact;
+  }
+  static metrics::Counter& nears =
+      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.near");
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // Keys order as (kind, m, n, k), so same-(n, k) entries for other batch
+  // sizes are scattered; a linear scan is fine at registry scale (one
+  // entry per tuned problem shape).
+  std::optional<int64_t> above, below;
+  for (const auto& [key, block] : r.blocks) {
+    if (std::get<0>(key) != static_cast<int>(kind)) continue;
+    if (std::get<2>(key) != n || std::get<3>(key) != k) continue;
+    const int64_t bm = std::get<1>(key);
+    if (bm >= m) {
+      if (!above || bm < *above) above = bm;
+    } else if (!below || bm > *below) {
+      below = bm;
+    }
+  }
+  const std::optional<int64_t> pick = above ? above : below;
+  if (!pick) return std::nullopt;
+  nears.Increment();
+  return r.blocks.at(MakeKey(kind, *pick, n, k));
+}
+
+std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<int64_t> sizes;
+  for (const auto& [key, block] : r.blocks) {
+    if (std::get<0>(key) != static_cast<int>(kind)) continue;
+    if (std::get<2>(key) == n && std::get<3>(key) == k) {
+      sizes.push_back(std::get<1>(key));
+    }
+  }
+  // Map iteration on (kind, m, n, k) keys yields ascending m already.
+  return sizes;
+}
+
 int64_t TunedBlockCount() {
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "cpukernels/backend.h"
 #include "cpukernels/config.h"
@@ -55,6 +56,26 @@ std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
 /// Lookup under the process-wide DefaultBackend().
 std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
                                           int64_t n, int64_t k);
+
+/// Shape-bucketed lookup for the serving layer's batched executions:
+/// exact (m, n, k) match first; on a miss, reuses the tuned block of the
+/// *nearest batch size* with the same (n, k) — smallest tuned m above the
+/// request, else the largest below (Nautilus-style reuse of a small tuned
+/// kernel set across variable batch traffic).  The reused block's scheme
+/// and ISA ride along, which is sound because every blocking is
+/// numerically equivalent under the two-tier contract.  Near-misses are
+/// counted separately (`cpu.tuned.lookup.near`).  Always nullopt for
+/// Backend::kReference.
+std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
+                                                   int64_t m, int64_t n,
+                                                   int64_t k,
+                                                   Backend backend);
+
+/// The distinct batch sizes (m dims) with a tuned block registered for
+/// problem columns/depth (n, k) — ascending.  The serving layer's bucket
+/// policy rounds partial batches up onto this set.  Not backend-gated:
+/// it is a shape policy query, not a numeric one.
+std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k);
 
 /// Number of registered entries (tests / diagnostics).
 int64_t TunedBlockCount();

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The dynamic batcher: pulls coherent same-model batches off the request
+// queue, rounds them up to a tuned bucket, fetches (or compiles) the
+// bucket's engine from the registry, executes once via Engine::RunBatch,
+// and fulfills every request's promise with its output slices.
+//
+// Observability: each batched execution emits one span on the
+// trace::kPidServe lane and updates the serve.* metrics
+// (docs/OBSERVABILITY.md, docs/SERVING.md).
+
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/model.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+
+namespace bolt {
+namespace serve {
+
+struct BatcherOptions {
+  /// How long a batch waits for stragglers past its oldest request's
+  /// arrival before executing partially filled (then padded).
+  int64_t max_wait_us = 2000;
+  /// Worker threads pulling batches concurrently.
+  int num_workers = 1;
+};
+
+class DynamicBatcher {
+ public:
+  /// The queue, registry and model table must outlive the batcher; the
+  /// table must not change while the batcher runs.
+  DynamicBatcher(RequestQueue* queue, EngineRegistry* registry,
+                 const ModelTable* models, BatcherOptions options);
+  ~DynamicBatcher();
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  /// Spawns the worker threads.  Idempotent.
+  void Start();
+  /// Shuts the queue down, lets the workers drain it, and joins them.
+  void Stop();
+
+  /// Processes exactly one batch on the calling thread: blocks until a
+  /// request is available (push before calling in tests), then assembles,
+  /// executes and fulfills it.  Returns the number of request rows
+  /// served, 0 when the queue is shut down and drained.  Usable
+  /// concurrently with running workers, but meant for deterministic
+  /// single-threaded tests.
+  int64_t RunOnce();
+
+ private:
+  void WorkerLoop();
+  /// Executes one assembled batch and fulfills its promises.  Never
+  /// throws; every error lands in the requests' promises.
+  int64_t ProcessBatch(std::vector<Request> batch);
+
+  RequestQueue* const queue_;
+  EngineRegistry* const registry_;
+  const ModelTable* const models_;
+  const BatcherOptions options_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace bolt

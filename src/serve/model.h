@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Model registration vocabulary shared by the batcher and the server.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "bolt/engine.h"
+#include "common/status.h"
+#include "ir/graph.h"
+#include "serve/bucketing.h"
+
+namespace bolt {
+namespace serve {
+
+/// One served model (tenant).  The graph is built per bucket batch size:
+/// `build_graph(b)` must return a graph with exactly one input whose
+/// leading dimension is `b` — the serving layer compiles one engine per
+/// bucket on demand and pads partial batches up to it.
+struct ModelSpec {
+  std::string name;
+  std::function<Result<Graph>(int64_t batch)> build_graph;
+  BucketPolicy buckets;
+  CompileOptions compile;
+
+  /// Filled in by Server::RegisterModel from build_graph(max bucket):
+  /// the graph input's name and descriptor.  Submit validates request
+  /// tensors against the tail dims / dtype recorded here.
+  std::string input_name;
+  TensorDesc input_desc;
+};
+
+using ModelTable = std::map<std::string, ModelSpec>;
+
+}  // namespace serve
+}  // namespace bolt

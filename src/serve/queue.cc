@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace bolt {
+namespace serve {
+namespace {
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::Push(Request& r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return queue_.size() < capacity_ || shutdown_;
+  });
+  if (shutdown_) return false;
+  r.enqueue_us = SteadyNowUs();
+  queue_.push_back(std::move(r));
+  // notify_all, not _one: consumers wait on model-specific batch
+  // conditions, so the woken waiter is not necessarily the one this
+  // request can satisfy.
+  not_empty_.notify_all();
+  return true;
+}
+
+bool RequestQueue::TryPush(Request& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || queue_.size() >= capacity_) return false;
+  r.enqueue_us = SteadyNowUs();
+  queue_.push_back(std::move(r));
+  not_empty_.notify_all();
+  return true;
+}
+
+int64_t RequestQueue::CoalescibleRows(const std::string& model,
+                                      int64_t cap) const {
+  int64_t rows = 0;
+  bool first = true;
+  for (const Request& r : queue_) {
+    if (r.model != model) continue;
+    const int64_t b = std::max<int64_t>(r.rows(), 1);
+    if (first) {
+      // The front-most request is always taken, even oversized.
+      rows = b;
+      first = false;
+    } else {
+      if (rows + b > cap) break;  // FIFO within a model: never skip ahead
+      rows += b;
+    }
+    if (rows >= cap) break;
+  }
+  return rows;
+}
+
+std::vector<Request> RequestQueue::NextBatch(
+    const std::function<int64_t(const std::string&)>& max_rows_for,
+    int64_t max_wait_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    not_empty_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return {};  // shut down and drained
+
+    const std::string model = queue_.front().model;
+    const int64_t cap = std::max<int64_t>(1, max_rows_for(model));
+    const double deadline_us =
+        queue_.front().enqueue_us + static_cast<double>(max_wait_us);
+
+    // Wait for stragglers until the batch fills or the deadline passes.
+    // Re-check the front each wakeup: another consumer may have raced
+    // this one to the run we were assembling.
+    while (!shutdown_ && !queue_.empty() &&
+           queue_.front().model == model) {
+      if (CoalescibleRows(model, cap) >= cap) break;
+      const double remaining_us = deadline_us - SteadyNowUs();
+      if (remaining_us <= 0.0) break;
+      not_empty_.wait_for(
+          lock, std::chrono::duration<double, std::micro>(remaining_us));
+    }
+
+    // Extract: FIFO same-model run, never splitting a request, stopping
+    // at the first same-model request that would overflow the cap.
+    std::vector<Request> batch;
+    int64_t rows = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->model != model) {
+        ++it;
+        continue;
+      }
+      const int64_t b = std::max<int64_t>(it->rows(), 1);
+      if (!batch.empty() && rows + b > cap) break;
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+      rows += b;
+      if (rows >= cap) break;
+    }
+    if (!batch.empty()) {
+      not_full_.notify_all();
+      return batch;
+    }
+    // A competing consumer drained this model's run while we slept;
+    // go around and re-pick from the new front.
+  }
+}
+
+void RequestQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool RequestQueue::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+}  // namespace serve
+}  // namespace bolt

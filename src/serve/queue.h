@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Bounded MPMC request queue with same-model batch extraction.
+//
+// Producers (Server::Submit) push requests with backpressure; consumers
+// (DynamicBatcher workers) pull *coherent batches*: FIFO runs of requests
+// for one model, coalesced up to a per-model row cap, waiting up to a
+// max-wait deadline (measured from the oldest request's arrival) for
+// stragglers to fill the batch.  Shutdown drains: queued requests are
+// still handed out in batches after Shutdown(); NextBatch returns empty
+// only once the queue is both shut down and empty.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace bolt {
+namespace serve {
+
+class RequestQueue {
+ public:
+  /// `capacity` bounds the number of queued requests (not rows).
+  explicit RequestQueue(size_t capacity);
+
+  /// Blocking push: waits while the queue is full.  Returns false (with
+  /// `r` intact) iff the queue was shut down.  Stamps r.enqueue_us.
+  bool Push(Request& r);
+
+  /// Non-blocking push: returns false (with `r` intact) when the queue
+  /// is full or shut down.
+  bool TryPush(Request& r);
+
+  /// Pulls the next batch: blocks until a request is available, picks the
+  /// front request's model, then coalesces later same-model requests in
+  /// FIFO order while their summed rows fit within
+  /// `max_rows_for(model)`.  If the batch is not full, waits until
+  /// `front.enqueue_us + max_wait_us` for more same-model arrivals.  The
+  /// front request is always taken, even when it alone exceeds the cap
+  /// (the batcher surfaces the error through its promise).  Returns an
+  /// empty vector only when shut down and drained.
+  std::vector<Request> NextBatch(
+      const std::function<int64_t(const std::string&)>& max_rows_for,
+      int64_t max_wait_us);
+
+  /// Stops accepting pushes and wakes every waiter.  Idempotent.
+  void Shutdown();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool is_shutdown() const;
+
+ private:
+  /// Rows coalescible for `model` under `cap` right now (front-first,
+  /// FIFO, never splitting a request).  Caller holds mu_.
+  int64_t CoalescibleRows(const std::string& model, int64_t cap) const;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace bolt

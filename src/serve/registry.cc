@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace bolt {
+namespace serve {
+
+std::string EngineRegistry::MakeKey(const std::string& model,
+                                    int64_t batch) {
+  return StrCat(model, "@", batch);
+}
+
+EngineRegistry::EngineRegistry(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void EngineRegistry::Touch(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+Result<std::shared_ptr<const Engine>> EngineRegistry::GetOrCompile(
+    const std::string& model, int64_t batch, const CompileFn& compile) {
+  static metrics::Counter& hits =
+      metrics::Registry::Global().GetCounter("serve.engine.hit");
+  static metrics::Counter& misses =
+      metrics::Registry::Global().GetCounter("serve.engine.miss");
+  static metrics::Counter& evictions =
+      metrics::Registry::Global().GetCounter("serve.engine.evict");
+
+  const std::string key = MakeKey(model, batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto cached = index_.find(key);
+    if (cached != index_.end()) {
+      Touch(key);
+      hits.Increment();
+      return cached->second->second;
+    }
+    auto flying = inflight_.find(key);
+    if (flying == inflight_.end()) break;
+    // Another worker is compiling this key: wait for its verdict.  On a
+    // compile failure, loop and retry (possibly becoming the compiler).
+    std::shared_ptr<Flight> flight = flying->second;
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->engine != nullptr) {
+      hits.Increment();
+      return flight->engine;
+    }
+    if (!flight->error.ok()) return flight->error;
+  }
+
+  // This caller compiles.  The flight entry keeps late arrivals parked
+  // while the (expensive) compile runs outside the lock.
+  auto flight = std::make_shared<Flight>();
+  inflight_[key] = flight;
+  misses.Increment();
+  lock.unlock();
+
+  Result<Engine> compiled = compile(batch);
+
+  lock.lock();
+  inflight_.erase(key);
+  if (!compiled.ok()) {
+    flight->error = compiled.status();
+    flight->done = true;
+    flight->cv.notify_all();
+    return compiled.status();
+  }
+  auto engine =
+      std::make_shared<const Engine>(std::move(compiled).value());
+  lru_.emplace_front(key, engine);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions.Increment();
+  }
+  flight->engine = engine;
+  flight->done = true;
+  flight->cv.notify_all();
+  return engine;
+}
+
+size_t EngineRegistry::Invalidate(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    // Keys are "model@batch"; match on the exact model prefix.
+    const std::string& key = it->first;
+    const size_t at = key.rfind('@');
+    if (at != std::string::npos && key.compare(0, at, model) == 0) {
+      index_.erase(key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+size_t EngineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::vector<std::string> EngineRegistry::KeysByRecency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const auto& [key, engine] : lru_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace serve
+}  // namespace bolt

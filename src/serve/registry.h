@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Multi-tenant engine cache for the serving layer: compiled engines keyed
+// by (model, bucket batch size), bounded with LRU eviction.
+//
+// Compilation is *single-flight*: when several batcher workers miss on
+// the same key concurrently, exactly one compiles while the rest block on
+// the result — a thundering herd of redundant (expensive, profiler-
+// touching) compiles is the classic serving-layer bug this guards
+// against.  Engines are handed out as shared_ptr<const Engine>, so an
+// eviction never invalidates an execution already in flight.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bolt/engine.h"
+#include "common/status.h"
+
+namespace bolt {
+namespace serve {
+
+class EngineRegistry {
+ public:
+  /// Compiles an engine for one bucket batch size of some model.
+  using CompileFn = std::function<Result<Engine>(int64_t batch)>;
+
+  /// `capacity` bounds the number of cached engines (>= 1).
+  explicit EngineRegistry(size_t capacity);
+
+  /// Returns the cached engine for (model, batch), compiling it via
+  /// `compile` on a miss.  Concurrent callers for the same key share one
+  /// compilation; callers for different keys compile in parallel.  A
+  /// failed compilation is returned to every waiter but not cached, so a
+  /// later call retries.  Thread-safe.
+  Result<std::shared_ptr<const Engine>> GetOrCompile(
+      const std::string& model, int64_t batch, const CompileFn& compile);
+
+  /// Drops every cached engine for `model` (e.g. tenant unload).
+  /// Returns the number of entries dropped.
+  size_t Invalidate(const std::string& model);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Cache keys ("model@batch"), most-recently-used first (tests).
+  std::vector<std::string> KeysByRecency() const;
+
+  static std::string MakeKey(const std::string& model, int64_t batch);
+
+ private:
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    Status error;
+    std::shared_ptr<const Engine> engine;
+  };
+
+  /// Moves `key` to the LRU front.  Caller holds mu_.
+  void Touch(const std::string& key);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Most-recently-used at the front.
+  std::list<std::pair<std::string, std::shared_ptr<const Engine>>> lru_;
+  std::map<std::string, decltype(lru_)::iterator> index_;
+  std::map<std::string, std::shared_ptr<Flight>> inflight_;
+};
+
+}  // namespace serve
+}  // namespace bolt

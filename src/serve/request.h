@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The unit of work flowing through the serving layer (docs/SERVING.md):
+// one client inference request carrying a leading-batch-axis input slice
+// and the promise its results are delivered through.
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/tensor.h"
+
+namespace bolt {
+namespace serve {
+
+/// A single in-flight inference request.  `input` has shape
+/// [rows, ...tail] where tail matches the registered model's input; the
+/// dynamic batcher stacks several requests' rows into one engine
+/// execution and fulfills `promise` with this request's output slices.
+/// Move-only (the promise).
+struct Request {
+  std::string model;
+  Tensor input;
+  std::promise<Result<std::vector<Tensor>>> promise;
+  /// Monotonic id assigned at submission (diagnostics / tracing).
+  int64_t id = 0;
+  /// Queue-arrival timestamp on the trace steady clock, microseconds.
+  /// Set by RequestQueue::Push; the batcher's max-wait deadline and the
+  /// serve.request.latency_us histogram are measured from here.
+  double enqueue_us = 0.0;
+
+  int64_t rows() const {
+    return input.shape().empty() ? 0 : input.shape()[0];
+  }
+};
+
+}  // namespace serve
+}  // namespace bolt

@@ -1,0 +1,161 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serve/server.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace bolt {
+namespace serve {
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      registry_(options.engine_cache_capacity),
+      batcher_(&queue_, &registry_, &models_, options.batcher) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::RegisterModel(ModelSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition(
+        "RegisterModel must precede Start()");
+  }
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (models_.count(spec.name) > 0) {
+    return Status::InvalidArgument(
+        StrCat("model already registered: ", spec.name));
+  }
+  if (!spec.build_graph) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, " has no build_graph"));
+  }
+  if (spec.buckets.empty()) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, " has an empty bucket set"));
+  }
+
+  // Validate the spec at its largest bucket: the serving layer requires
+  // exactly one graph input with a leading batch axis.
+  const int64_t max_bucket = spec.buckets.max_bucket();
+  Result<Graph> graph = spec.build_graph(max_bucket);
+  if (!graph.ok()) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, ": build_graph(", max_bucket,
+               ") failed: ", graph.status().message()));
+  }
+  if (graph->input_ids().size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, " must have exactly one graph input, "
+               "got ", graph->input_ids().size()));
+  }
+  const Node& input = graph->node(graph->input_ids()[0]);
+  if (input.out_desc.rank() < 1 ||
+      input.out_desc.shape[0] != max_bucket) {
+    return Status::InvalidArgument(StrCat(
+        "model ", spec.name, ": build_graph(", max_bucket,
+        ") input must have leading batch dim ", max_bucket, ", got ",
+        input.out_desc.ToString()));
+  }
+  spec.input_name = input.name;
+  spec.input_desc = input.out_desc;
+
+  models_.emplace(spec.name, std::move(spec));
+  return Status::Ok();
+}
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.empty()) {
+    return Status::FailedPrecondition("no models registered");
+  }
+  started_ = true;
+  batcher_.Start();
+  return Status::Ok();
+}
+
+void Server::Stop() { batcher_.Stop(); }
+
+Result<Request> Server::MakeRequest(const std::string& model,
+                                    Tensor input) {
+  static metrics::Counter& rejected =
+      metrics::Registry::Global().GetCounter("serve.request.rejected");
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    rejected.Increment();
+    return Status::NotFound(StrCat("model not registered: ", model));
+  }
+  const ModelSpec& spec = it->second;
+  const TensorDesc& want = spec.input_desc;
+  const TensorDesc& got = input.desc();
+  const auto mismatch = [&](const char* what) -> Status {
+    rejected.Increment();
+    return Status::InvalidArgument(
+        StrCat("request for model ", model, ": ", what, " (got ",
+               got.ToString(), ", model input is ", want.ToString(),
+               ")"));
+  };
+  if (got.rank() != want.rank()) return mismatch("rank mismatch");
+  for (int d = 1; d < want.rank(); ++d) {
+    if (got.shape[d] != want.shape[d]) {
+      return mismatch("tail shape mismatch");
+    }
+  }
+  if (got.dtype != want.dtype) return mismatch("dtype mismatch");
+  const int64_t rows = got.shape.empty() ? 0 : got.shape[0];
+  if (rows < 1) return mismatch("batch dim must be >= 1");
+  if (rows > spec.buckets.max_bucket()) {
+    rejected.Increment();
+    return Status::InvalidArgument(
+        StrCat("request of ", rows, " rows exceeds the largest bucket (",
+               spec.buckets.max_bucket(), ") of model ", model));
+  }
+
+  static metrics::Counter& submitted =
+      metrics::Registry::Global().GetCounter("serve.request.submitted");
+  submitted.Increment();
+  Request r;
+  r.model = model;
+  r.input = std::move(input);
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Result<Server::ResponseFuture> Server::Submit(const std::string& model,
+                                              Tensor input) {
+  Result<Request> request = MakeRequest(model, std::move(input));
+  if (!request.ok()) return request.status();
+  ResponseFuture future = request->promise.get_future();
+  if (!queue_.Push(*request)) {
+    return Status::FailedPrecondition("server is shut down");
+  }
+  return future;
+}
+
+Result<Server::ResponseFuture> Server::TrySubmit(const std::string& model,
+                                                 Tensor input) {
+  Result<Request> request = MakeRequest(model, std::move(input));
+  if (!request.ok()) return request.status();
+  ResponseFuture future = request->promise.get_future();
+  if (!queue_.TryPush(*request)) {
+    if (queue_.is_shutdown()) {
+      return Status::FailedPrecondition("server is shut down");
+    }
+    static metrics::Counter& shed = metrics::Registry::Global().GetCounter(
+        "serve.request.shed");
+    shed.Increment();
+    return Status::ResourceExhausted(
+        StrCat("request queue is full (capacity ", queue_.capacity(),
+               ")"));
+  }
+  return future;
+}
+
+}  // namespace serve
+}  // namespace bolt

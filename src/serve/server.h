@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The serving facade (docs/SERVING.md): register models, start the
+// batcher workers, submit requests, collect futures.
+//
+//   Server server(options);
+//   server.RegisterModel({.name = "mlp", .build_graph = ..., .buckets = ...});
+//   server.Start();
+//   auto future = server.Submit("mlp", input);       // [rows, ...tail]
+//   Result<std::vector<Tensor>> outputs = future->get();
+//
+// Requests for the same model are coalesced into one batched execution,
+// padded up to the nearest bucket batch size, and served from the
+// LRU-bounded engine cache.  Per the two-tier numeric contract the
+// demuxed outputs are bit-identical to running each request alone on the
+// same engine (scalar and SIMD tiers alike), and match the per-request
+// reference interpreter bit-exactly on the scalar tier / within ULP
+// tolerance on the SIMD tier.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+
+namespace bolt {
+namespace serve {
+
+struct ServerOptions {
+  /// Bound on queued (not yet batched) requests; Submit blocks and
+  /// TrySubmit fails when it is reached.
+  size_t queue_capacity = 256;
+  /// Bound on cached compiled engines across all models and buckets.
+  size_t engine_cache_capacity = 8;
+  BatcherOptions batcher;
+};
+
+class Server {
+ public:
+  using ResponseFuture = std::future<Result<std::vector<Tensor>>>;
+
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a tenant model.  Must be called before Start().
+  /// Validates the spec by building the graph at the largest bucket:
+  /// exactly one graph input whose leading dimension equals the bucket
+  /// batch size; records the input descriptor for Submit validation.
+  Status RegisterModel(ModelSpec spec);
+
+  /// Spawns the batcher workers.  Idempotent.
+  Status Start();
+  /// Stops accepting requests, drains the queue, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Validates and enqueues a request (blocking while the queue is
+  /// full).  `input` has shape [rows, ...tail] with 1 <= rows <= the
+  /// model's largest bucket and tail/dtype matching the registered
+  /// input.  The future yields one tensor per graph output, each sliced
+  /// to this request's rows.
+  Result<ResponseFuture> Submit(const std::string& model, Tensor input);
+
+  /// Non-blocking Submit: kResourceExhausted when the queue is full.
+  Result<ResponseFuture> TrySubmit(const std::string& model, Tensor input);
+
+  /// Components, exposed for deterministic tests and benches (e.g.
+  /// batcher().RunOnce() instead of Start()).
+  RequestQueue& queue() { return queue_; }
+  EngineRegistry& registry() { return registry_; }
+  DynamicBatcher& batcher() { return batcher_; }
+  const ModelTable& models() const { return models_; }
+
+ private:
+  /// Validates a request and builds it; nullopt-style error via Result.
+  Result<Request> MakeRequest(const std::string& model, Tensor input);
+
+  ServerOptions options_;
+  RequestQueue queue_;
+  EngineRegistry registry_;
+  ModelTable models_;
+  DynamicBatcher batcher_;
+  std::mutex mu_;  // guards models_ mutation and started_
+  bool started_ = false;
+  std::atomic<int64_t> next_id_{0};
+};
+
+}  // namespace serve
+}  // namespace bolt

@@ -5,10 +5,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/activations.h"
+#include "common/fileio.h"
 #include "common/half.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -227,6 +232,65 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(sum.load(), 8 * (15 * 16 / 2));
 }
 
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  // Regression: a throwing body used to unwind ParallelFor while helper
+  // tasks still dereferenced the caller's stack frame (use-after-free),
+  // and a throw inside a worker escaped WorkerLoop into std::terminate.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  auto body = [&](int64_t i) {
+    if (i == 37) throw std::runtime_error("body failed at 37");
+    ran.fetch_add(1);
+  };
+  EXPECT_THROW(pool.ParallelFor(200, body), std::runtime_error);
+  // Fail-fast: indices claimed after the failure are skipped, but every
+  // body that did run completed before ParallelFor returned.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), 200);
+  // The pool survives: later loops on the same pool work normally.
+  std::atomic<int> after{0};
+  pool.ParallelFor(64, [&](int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstErrorOnCaller) {
+  // Multiple concurrent throwers: exactly one exception surfaces, on the
+  // calling thread, and its message is one of the thrown ones.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  for (int round = 0; round < 8; ++round) {
+    bool caught = false;
+    try {
+      pool.ParallelFor(100, [&](int64_t i) {
+        if (i % 10 == 3) {
+          throw std::runtime_error(StrCat("err", i));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      EXPECT_TRUE(StartsWith(e.what(), "err")) << e.what();
+    }
+    EXPECT_TRUE(caught);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionInNestedLoop) {
+  // A throw inside a nested (caller-participating) loop must propagate
+  // out of the inner loop, get captured by the outer loop's body guard,
+  // and surface once at the outermost caller.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](int64_t) {
+                                  pool.ParallelFor(16, [&](int64_t j) {
+                                    if (j == 5) {
+                                      throw std::logic_error("inner");
+                                    }
+                                  });
+                                }),
+               std::logic_error);
+}
+
 TEST(ThreadPoolTest, SubmitRunsTasks) {
   std::atomic<int> ran{0};
   {
@@ -237,6 +301,59 @@ TEST(ThreadPoolTest, SubmitRunsTasks) {
     // Destructor drains the queue before joining.
   }
   EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(FileIoTest, WriteFileAtomicRoundTrips) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "bolt_fileio_roundtrip_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.txt").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld").ok());
+  std::string got;
+  ASSERT_TRUE(ReadFile(path, &got).ok());
+  EXPECT_EQ(got, "hello\nworld");
+  // Overwrite is atomic too.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  ASSERT_TRUE(ReadFile(path, &got).ok());
+  EXPECT_EQ(got, "v2");
+  // No temp files linger after success.
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, WriteFileAtomicErrorPathRemovesTempFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "bolt_fileio_err_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // The destination is a *directory*, so the final rename must fail — and
+  // the written-and-fsynced temp file must be cleaned up, not leaked.
+  const fs::path target = dir / "target_is_a_dir";
+  fs::create_directories(target);
+  const Status st = WriteFileAtomic(target.string(), "payload");
+  EXPECT_FALSE(st.ok());
+  int entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1) << "temp file leaked next to the failed target";
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, WriteFileAtomicFailsCleanlyInMissingDirectory) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "bolt_no_such_dir" / "x.txt").string();
+  fs::remove_all(fs::temp_directory_path() / "bolt_no_such_dir");
+  EXPECT_FALSE(WriteFileAtomic(path, "payload").ok());
 }
 
 TEST(ActivationTest, CostOrderingMatchesComplexity) {

@@ -30,6 +30,46 @@ Tensor RandomTensor(TensorDesc desc, uint64_t seed = 1) {
 const std::vector<ActivationKind>& kAllActivations = difftest::kActivations;
 
 // ---------------------------------------------------------------------------
+// Backend environment-variable parsing (strict from_chars discipline)
+// ---------------------------------------------------------------------------
+
+TEST(BackendEnvTest, ParseCpuThreadsRejectsMalformedValues) {
+  using cpukernels::ParseCpuThreadsEnv;
+  EXPECT_EQ(ParseCpuThreadsEnv("4"), 4);
+  EXPECT_EQ(ParseCpuThreadsEnv("1"), 1);
+  EXPECT_EQ(ParseCpuThreadsEnv("4096"), 4096);
+  // atoi used to accept "4abc" as 4 and had UB on overflow.
+  EXPECT_EQ(ParseCpuThreadsEnv("4abc"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("abc"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv(""), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv(" 4"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("4 "), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("4.5"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("0"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("-3"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("4097"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv("99999999999999999999"), std::nullopt);
+  EXPECT_EQ(ParseCpuThreadsEnv(nullptr), std::nullopt);
+}
+
+TEST(BackendEnvTest, ParseCpuBackendRecognizedValuesOnly) {
+  using cpukernels::Backend;
+  using cpukernels::ParseCpuBackendEnv;
+  EXPECT_EQ(ParseCpuBackendEnv("ref"), Backend::kReference);
+  EXPECT_EQ(ParseCpuBackendEnv("reference"), Backend::kReference);
+  EXPECT_EQ(ParseCpuBackendEnv("naive"), Backend::kReference);
+  EXPECT_EQ(ParseCpuBackendEnv(""), Backend::kFastCpu);
+  EXPECT_EQ(ParseCpuBackendEnv("fast"), Backend::kFastCpu);
+  EXPECT_EQ(ParseCpuBackendEnv("cpukernels"), Backend::kFastCpu);
+  // Unrecognized values are rejected (the caller falls back to fast, but
+  // the parse itself must not silently guess).
+  EXPECT_EQ(ParseCpuBackendEnv("REF"), std::nullopt);
+  EXPECT_EQ(ParseCpuBackendEnv("ref "), std::nullopt);
+  EXPECT_EQ(ParseCpuBackendEnv("refx"), std::nullopt);
+  EXPECT_EQ(ParseCpuBackendEnv(nullptr), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
 // GEMM vs refop::Dense
 // ---------------------------------------------------------------------------
 

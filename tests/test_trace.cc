@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -311,6 +312,42 @@ TEST(MetricsTest, DumpJsonIsValidJson) {
   const std::string json = metrics::Registry::Global().DumpJson();
   EXPECT_TRUE(JsonValidator(json).Valid()) << json;
   EXPECT_NE(json.find("\"test.dump_counter\":7"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, DumpJsonEscapesHostileMetricNames) {
+  // A quote or backslash in a metric name used to be interpolated raw
+  // into the document, corrupting it.  Names reach the registry from
+  // workload descriptions, so hostile characters are reachable in
+  // practice.
+  metrics::Registry::Global()
+      .GetCounter("test.hostile.\"quote\\back\nnewline")
+      .Increment();
+  metrics::Registry::Global()
+      .GetHistogram("test.hostile.hist\"\\")
+      .Observe(1.0);
+  const std::string json = metrics::Registry::Global().DumpJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("test.hostile.\\\"quote\\\\back"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsTest, HistogramRejectsNonFiniteObservations) {
+  // NaN used to poison sum_ forever (NaN + x == NaN) and serialize as
+  // bare `nan`/`inf`, which is not JSON.
+  metrics::Histogram& h =
+      metrics::Registry::Global().GetHistogram("test.nonfinite_hist");
+  h.Reset();
+  h.Observe(2.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  const std::string json = metrics::Registry::Global().DumpJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
 }
 
 TEST(MetricsTest, ProfilerCountsCacheHitsAndMisses) {
