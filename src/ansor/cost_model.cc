@@ -37,9 +37,11 @@ std::vector<double> Featurize(const SearchTask& task,
 void BoostedStumps::Fit(const std::vector<std::vector<double>>& x,
                         const std::vector<double>& y) {
   stumps_.clear();
+  trained_dim_ = 0;
   if (x.empty()) return;
   const size_t n = x.size();
   const size_t d = x[0].size();
+  trained_dim_ = static_cast<int>(d);
 
   base_ = std::accumulate(y.begin(), y.end(), 0.0) / n;
   std::vector<double> residual(n);
@@ -49,6 +51,11 @@ void BoostedStumps::Fit(const std::vector<std::vector<double>>& x,
   for (int round = 0; round < rounds_; ++round) {
     Stump best;
     double best_gain = -1.0;
+    // The residual total is a per-round invariant: it only changes when a
+    // stump is committed, so compute it once here instead of re-summing
+    // inside the per-feature loop.
+    double total = 0.0;
+    for (double r : residual) total += r;
     // Try every feature; candidate thresholds are data quantiles.
     for (size_t f = 0; f < d; ++f) {
       std::iota(order.begin(), order.end(), 0);
@@ -56,8 +63,6 @@ void BoostedStumps::Fit(const std::vector<std::vector<double>>& x,
         return x[a][f] < x[b][f];
       });
       // Prefix sums of residuals in feature order.
-      double total = 0.0;
-      for (double r : residual) total += r;
       double left_sum = 0.0;
       for (size_t i = 0; i + 1 < n; ++i) {
         left_sum += residual[order[i]];
@@ -88,6 +93,11 @@ void BoostedStumps::Fit(const std::vector<std::vector<double>>& x,
 }
 
 double BoostedStumps::Predict(const std::vector<double>& f) const {
+  // A width mismatch means the stumps' split features index a different
+  // feature layout than `f`; scoring would read out of bounds (or worse,
+  // silently misinterpret features).  The training-set mean is the only
+  // honest prediction in that case.
+  if (static_cast<int>(f.size()) != trained_dim_) return base_;
   double out = base_;
   for (const Stump& s : stumps_) {
     out += f[s.feature] < s.threshold ? s.left : s.right;

@@ -35,19 +35,27 @@ class BoostedStumps {
   explicit BoostedStumps(int rounds = 60, double learning_rate = 0.3)
       : rounds_(rounds), learning_rate_(learning_rate) {}
 
-  /// Fit from scratch on the dataset (features x, target y).
+  /// Fit from scratch on the dataset (features x, target y).  Every row
+  /// of `x` must have the same width; that width becomes `trained_dim()`.
   void Fit(const std::vector<std::vector<double>>& x,
            const std::vector<double>& y);
 
+  /// Predicts the score for one feature vector.  A vector whose width
+  /// differs from `trained_dim()` cannot be scored by the stumps (their
+  /// split features index the training layout); such queries return the
+  /// training-set mean rather than reading past the end of `features`.
   double Predict(const std::vector<double>& features) const;
 
   bool trained() const { return !stumps_.empty(); }
   int num_stumps() const { return static_cast<int>(stumps_.size()); }
+  /// Feature-vector width the model was fit on (0 before any Fit).
+  int trained_dim() const { return trained_dim_; }
 
  private:
   int rounds_;
   double learning_rate_;
   double base_ = 0.0;
+  int trained_dim_ = 0;
   std::vector<Stump> stumps_;
 };
 

@@ -240,6 +240,8 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
       ++report_.cpu_cache_hits;
     } else {
       report_.cpu_candidates_tried += r.candidates_tried;
+      report_.cpu_candidates_enumerated += r.candidates_enumerated;
+      if (r.ranked) ++report_.cpu_ranked_workloads;
     }
   };
   for (const Node& n : graph_.nodes()) {

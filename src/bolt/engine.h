@@ -85,6 +85,14 @@ struct TuningReport {
   int cpu_workloads_tuned = 0;
   int cpu_candidates_tried = 0;
   int cpu_cache_hits = 0;
+  /// Candidates the enumerator produced across measured sweeps (including
+  /// any cross-shape transfer seeds); `cpu_candidates_tried /
+  /// cpu_candidates_enumerated` is the measured fraction after learned
+  /// pruning — 1.0 when every sweep ran full.
+  int cpu_candidates_enumerated = 0;
+  /// Sweeps where the learned pre-filter confidently pruned the
+  /// candidate set (subset of cpu_workloads_tuned minus cache hits).
+  int cpu_ranked_workloads = 0;
   PassStats pass_stats;
 };
 

@@ -3,6 +3,7 @@
 
 #include "cpukernels/tuned.h"
 
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -29,6 +30,30 @@ Key MakeKey(TunedKind kind, int64_t m, int64_t n, int64_t k) {
   return {static_cast<int>(kind), m, n, k};
 }
 
+struct LookupCounters {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& nears;
+
+  static LookupCounters& Get() {
+    static LookupCounters* c = new LookupCounters{
+        metrics::Registry::Global().GetCounter("cpu.tuned.lookup.hit"),
+        metrics::Registry::Global().GetCounter("cpu.tuned.lookup.miss"),
+        metrics::Registry::Global().GetCounter("cpu.tuned.lookup.near"),
+    };
+    return *c;
+  }
+};
+
+/// Uncounted exact lookup; caller holds r.mu and decides which counter
+/// (if any) the outcome feeds, so composite lookups like NearBatch can
+/// count each request exactly once.
+const BlockConfig* FindExactLocked(Registry& r, TunedKind kind, int64_t m,
+                                   int64_t n, int64_t k) {
+  auto it = r.blocks.find(MakeKey(kind, m, n, k));
+  return it == r.blocks.end() ? nullptr : &it->second;
+}
+
 }  // namespace
 
 bool RegisterTunedBlock(TunedKind kind, int64_t m, int64_t n, int64_t k,
@@ -48,19 +73,16 @@ std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
   // Hit/miss counters make registry consultation observable: execution
   // paths that should pick up tuned blocks (interpreter, engine host ops,
   // cutlite delegation) can be asserted on without plumbing test hooks.
-  static metrics::Counter& hits =
-      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.hit");
-  static metrics::Counter& misses =
-      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.miss");
+  LookupCounters& counters = LookupCounters::Get();
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.blocks.find(MakeKey(kind, m, n, k));
-  if (it == r.blocks.end()) {
-    misses.Increment();
+  const BlockConfig* found = FindExactLocked(r, kind, m, n, k);
+  if (found == nullptr) {
+    counters.misses.Increment();
     return std::nullopt;
   }
-  hits.Increment();
-  return it->second;
+  counters.hits.Increment();
+  return *found;
 }
 
 std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
@@ -73,13 +95,18 @@ std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
                                                    int64_t k,
                                                    Backend backend) {
   if (backend == Backend::kReference) return std::nullopt;
-  if (auto exact = FindTunedBlockForBackend(kind, m, n, k, backend)) {
-    return exact;
-  }
-  static metrics::Counter& nears =
-      metrics::Registry::Global().GetCounter("cpu.tuned.lookup.near");
+  LookupCounters& counters = LookupCounters::Get();
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
+  // One request feeds exactly one counter: hit (exact), near (nearest
+  // batch), or miss (both lookups failed).  The exact probe deliberately
+  // bypasses the counting lookup — routing it through
+  // FindTunedBlockForBackend used to charge a miss even when the near
+  // lookup then hit, double-counting misses on serving dashboards.
+  if (const BlockConfig* exact = FindExactLocked(r, kind, m, n, k)) {
+    counters.hits.Increment();
+    return *exact;
+  }
   // Keys order as (kind, m, n, k), so same-(n, k) entries for other batch
   // sizes are scattered; a linear scan is fine at registry scale (one
   // entry per tuned problem shape).
@@ -95,9 +122,38 @@ std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
     }
   }
   const std::optional<int64_t> pick = above ? above : below;
-  if (!pick) return std::nullopt;
-  nears.Increment();
+  if (!pick) {
+    counters.misses.Increment();
+    return std::nullopt;
+  }
+  counters.nears.Increment();
   return r.blocks.at(MakeKey(kind, *pick, n, k));
+}
+
+std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
+                                                     int64_t m, int64_t n,
+                                                     int64_t k) {
+  if (m <= 0 || n <= 0 || k <= 0) return std::nullopt;
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::optional<TunedNeighbor> best;
+  auto axis = [](int64_t a, int64_t b) {
+    return std::abs(std::log2(static_cast<double>(a)) -
+                    std::log2(static_cast<double>(b)));
+  };
+  for (const auto& [key, block] : r.blocks) {
+    if (std::get<0>(key) != static_cast<int>(kind)) continue;
+    const int64_t bm = std::get<1>(key);
+    const int64_t bn = std::get<2>(key);
+    const int64_t bk = std::get<3>(key);
+    const double dist = axis(bm, m) + axis(bn, n) + axis(bk, k);
+    // Strict less keeps the first (smallest-key, i.e. deterministic)
+    // entry among equidistant shapes.
+    if (!best || dist < best->log2_distance) {
+      best = TunedNeighbor{bm, bn, bk, block, dist};
+    }
+  }
+  return best;
 }
 
 std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k) {

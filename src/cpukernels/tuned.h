@@ -71,6 +71,28 @@ std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
                                                    int64_t k,
                                                    Backend backend);
 
+/// A registry entry returned by the nearest-shape query: the tuned shape
+/// itself rides along so callers can tell how far the transfer reached.
+struct TunedNeighbor {
+  int64_t m = 0, n = 0, k = 0;
+  BlockConfig block;
+  /// Sum over the three dims of |log2(tuned) - log2(query)| — 0 for an
+  /// exact match, 1.0 for one dim off by 2x, etc.
+  double log2_distance = 0.0;
+};
+
+/// Cross-shape transfer lookup for the tuning path: the registered entry
+/// nearest to (m, n, k) under per-axis log2 distance, any batch/cols/depth
+/// (generalizing FindTunedBlockNearBatch's same-(n, k) constraint to the
+/// full shape space).  Ties break toward the smallest registered key, so
+/// results are deterministic.  Like TunedBatchSizes this is a tuning-time
+/// policy query, not an execution-time lookup: it is not backend-gated and
+/// feeds no `cpu.tuned.lookup.*` counter — the profiler counts transfer
+/// seeds under `cpu.tune.ranked.seeded` instead.
+std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
+                                                     int64_t m, int64_t n,
+                                                     int64_t k);
+
 /// The distinct batch sizes (m dims) with a tuned block registered for
 /// problem columns/depth (n, k) — ascending.  The serving layer's bucket
 /// policy rounds partial batches up onto this set.  Not backend-gated:

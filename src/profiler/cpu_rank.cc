@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "profiler/cpu_rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bolt {
+
+using cpukernels::BlockConfig;
+using cpukernels::kMR;
+using cpukernels::kNR;
+
+std::vector<double> FeaturizeCpuBlock(const cpukernels::CpuCacheInfo& cache,
+                                      cpukernels::TunedKind kind, int64_t m,
+                                      int64_t n, int64_t k, int num_threads,
+                                      const BlockConfig& b) {
+  auto lg = [](double v) { return std::log2(std::max(1.0, v)); };
+  // Signed log-ratio: how many doublings a working set is from fitting
+  // its cache level (negative = head-room, positive = overflow).
+  auto lgr = [](double bytes, double cache_bytes) {
+    return std::log2(std::max(1.0, bytes) / std::max(1.0, cache_bytes));
+  };
+  const double fb = static_cast<double>(sizeof(float));
+  const double a_panel = static_cast<double>(b.mc) * b.kc * fb;
+  const double b_panel = static_cast<double>(b.kc) * b.nc * fb;
+  const double strips = static_cast<double>(kMR + kNR) * b.kc * fb;
+  auto ceil_div = [](int64_t a, int64_t q) {
+    return static_cast<double>((a + q - 1) / q);
+  };
+  return {
+      lg(static_cast<double>(m)),
+      lg(static_cast<double>(n)),
+      lg(static_cast<double>(k)),
+      kind == cpukernels::TunedKind::kConv ? 1.0 : 0.0,
+      lg(b.mc),
+      lg(b.kc),
+      lg(b.nc),
+      b.scheme == cpukernels::ParallelScheme::kBatchLevel ? 1.0 : 0.0,
+      cpukernels::ResolveCpuIsa(b.isa) == cpukernels::CpuIsa::kAvx2 ? 1.0
+                                                                    : 0.0,
+      lg(static_cast<double>(num_threads)),
+      lgr(strips, static_cast<double>(cache.l1_bytes)),
+      lgr(a_panel, static_cast<double>(cache.l2_bytes)),
+      lgr(b_panel, static_cast<double>(cache.l3_bytes)),
+      lg(ceil_div(m, b.mc)),   // row panels the jc/pc nest iterates
+      lg(ceil_div(n, b.nc)),   // B panel count (1 == full-N, no jc loop)
+      lg(ceil_div(k, b.kc)),   // packed K slices
+      lg(static_cast<double>(b.mc) * b.nc),  // output tile area
+  };
+}
+
+CpuRankModel::CpuRankModel() : CpuRankModel(Options()) {}
+
+CpuRankModel::CpuRankModel(Options opts) : opts_(opts) {}
+
+void CpuRankModel::AddMeasurement(std::vector<double> features, double us) {
+  if (!(us > 0.0) || !std::isfinite(us)) return;
+  xs_.push_back(std::move(features));
+  ys_.push_back(-std::log(us));
+  const size_t cap = static_cast<size_t>(std::max(1, opts_.max_rows));
+  if (ys_.size() > cap) {
+    const size_t drop = ys_.size() - cap;
+    xs_.erase(xs_.begin(), xs_.begin() + static_cast<ptrdiff_t>(drop));
+    ys_.erase(ys_.begin(), ys_.begin() + static_cast<ptrdiff_t>(drop));
+  }
+}
+
+void CpuRankModel::Fit() {
+  if (ys_.empty()) return;
+  model_ = ansor::BoostedStumps(opts_.fit_rounds);
+  model_.Fit(xs_, ys_);
+}
+
+std::optional<std::vector<size_t>> CpuRankModel::SelectTopK(
+    const std::vector<std::vector<double>>& features, size_t keep) const {
+  if (keep == 0 || keep >= features.size()) return std::nullopt;
+  if (!model_.trained() || rows() < opts_.min_rows) return std::nullopt;
+  std::vector<double> score(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (static_cast<int>(features[i].size()) != model_.trained_dim()) {
+      return std::nullopt;
+    }
+    score[i] = model_.Predict(features[i]);
+    if (!std::isfinite(score[i])) return std::nullopt;
+  }
+  const auto [lo, hi] = std::minmax_element(score.begin(), score.end());
+  if (*hi - *lo < opts_.min_spread) return std::nullopt;  // flat: can't rank
+  std::vector<size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable sort on descending score: equal predictions keep enumeration
+  // order, so the selection is deterministic for a given model state.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score[a] > score[b]; });
+  order.resize(keep);
+  return order;
+}
+
+}  // namespace bolt

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Learned candidate ranking for the CPU blocking autotuner.
+//
+// First-seen shapes used to pay a full wall-clock sweep over
+// EnumerateCpuBlockCandidates — the long-tail-traffic blocker at fleet
+// scale.  This module reuses the GBT-stump cost model from the Ansor
+// baseline (ansor/cost_model.h) as a *pre-filter* over that sweep: block
+// candidates are featurized against the problem shape and the detected
+// cache hierarchy, the model is trained online from the measurements the
+// profiler already collects, and only the top-k predicted candidates get
+// measured.  When the model is unconfident — too few training rows, a
+// feature-layout mismatch, or a predicted spread too flat to distinguish
+// candidates — the profiler falls back to the full sweep, so ranking can
+// degrade tuning *time* but never tuning *correctness* (and the fixed
+// heuristic candidate is always measured regardless, so selection can
+// never regress it).
+//
+// The same shape-similarity idea powers cross-shape transfer: a new
+// workload's candidate list is seeded from the tuned block of the nearest
+// cached shape (cpukernels::FindTunedBlockNearShape), the warm-start
+// AutoKernel and Nautilus use to reach new workloads from priors.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ansor/cost_model.h"
+#include "cpukernels/config.h"
+#include "cpukernels/cpuinfo.h"
+#include "cpukernels/tuned.h"
+
+namespace bolt {
+
+/// Feature vector of one (problem, BlockConfig) pair.  Every input the
+/// candidate enumerator conditions on is a feature: the problem dims, the
+/// kernel family, the blocking itself, its cache-residency ratios against
+/// the detected hierarchy, the parallelization scheme, the resolved ISA,
+/// and the deployment thread count.  Deterministic; fixed width.
+std::vector<double> FeaturizeCpuBlock(const cpukernels::CpuCacheInfo& cache,
+                                      cpukernels::TunedKind kind, int64_t m,
+                                      int64_t n, int64_t k, int num_threads,
+                                      const cpukernels::BlockConfig& block);
+
+/// Online-trained ranking model over FeaturizeCpuBlock rows.
+///
+/// Not thread-safe: the profiler serializes access with its own lock.
+class CpuRankModel {
+ public:
+  struct Options {
+    /// Confidence gate: the model does not rank until it has seen at
+    /// least this many measured (features, latency) rows — about one
+    /// full deep-K sweep.
+    int min_rows = 16;
+    /// Confidence gate: minimum predicted spread (max - min score, in
+    /// -log(us) space) across a candidate set.  A flatter prediction
+    /// means the model cannot tell the candidates apart — fall back to
+    /// the full sweep instead of pruning on noise.  Stump ensembles
+    /// compress predictions toward the mean, so this sits well below the
+    /// corresponding measured-runtime spread.
+    double min_spread = 0.01;
+    /// Boosting rounds per refit (the model is small; refits are cheap).
+    int fit_rounds = 40;
+    /// Training-window cap: oldest rows are dropped beyond this, keeping
+    /// refit cost bounded at fleet scale.
+    int max_rows = 1024;
+  };
+
+  CpuRankModel();
+  explicit CpuRankModel(Options opts);
+
+  /// Records one measured candidate.  The training target is -log(us),
+  /// so higher predicted scores mean faster blocks.  `us` may be an
+  /// absolute latency or one normalized within its sweep (the profiler
+  /// passes us/best-of-sweep so scores contrast *blockings*, not shapes);
+  /// only the relative order within comparable rows matters for ranking.
+  void AddMeasurement(std::vector<double> features, double us);
+
+  /// Refits the stumps on the accumulated window.  Called once per
+  /// completed sweep (never per candidate).
+  void Fit();
+
+  int rows() const { return static_cast<int>(ys_.size()); }
+  bool trained() const { return model_.trained(); }
+
+  /// Scores every candidate and returns the indices worth measuring: the
+  /// top `keep` by predicted score, in descending score order (ties keep
+  /// enumeration order, so results are deterministic).  Returns nullopt
+  /// when the model is unconfident for this candidate set — too few rows,
+  /// a feature-width mismatch, a non-finite score, or a predicted spread
+  /// below the gate — or when keep >= candidates (nothing to prune).
+  std::optional<std::vector<size_t>> SelectTopK(
+      const std::vector<std::vector<double>>& features, size_t keep) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  ansor::BoostedStumps model_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace bolt

@@ -94,12 +94,26 @@ std::vector<BlockConfig> EnumerateCpuBlockCandidates(
   // problem depth up to the minimum slice so tiny-K problems still get a
   // legal candidate.
   const int64_t k_full = std::max<int64_t>(8, k);
+  // Clamping to the problem/cap collapses distinct seed values onto the
+  // same block size (e.g. every kc clamps to k_full on a shallow problem).
+  // The clamped sequences stay sorted, so adjacent-duplicate removal
+  // dedupes them before the O(n^2) scan in `add` ever sees them.
+  auto dedupe = [](std::vector<int64_t>& v) {
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  // A finer seed ladder than the historical {128,256,512} half/double
+  // steps: the full sweep pays for extra points linearly, but the ranked
+  // sweep (profiler/cpu_rank.h) prunes them after its first fitted
+  // workload, so a generous grid is cheap in steady state and gives the
+  // model more slack to find cache-boundary winners.
   std::vector<int64_t> kcs;
-  for (int64_t kc : {int64_t{128}, int64_t{256}, int64_t{512}}) {
+  for (int64_t kc : {int64_t{64}, int64_t{128}, int64_t{192}, int64_t{256},
+                     int64_t{384}, int64_t{512}}) {
     if (kc > kc_cap) continue;
     kcs.push_back(std::min(kc, k_full));
   }
   if (kcs.empty()) kcs.push_back(std::min(kc_cap, k_full));
+  dedupe(kcs);
 
   for (int64_t kc : kcs) {
     // mc: the packed A panel (mc x kc floats) should occupy at most half
@@ -109,11 +123,13 @@ std::vector<BlockConfig> EnumerateCpuBlockCandidates(
     const int64_t m_full = std::min(RoundUp(std::max<int64_t>(m, 1), kMR),
                                     mc_cap);
     std::vector<int64_t> mcs;
-    for (int64_t mc : {int64_t{32}, int64_t{64}, int64_t{128}}) {
+    for (int64_t mc : {int64_t{32}, int64_t{48}, int64_t{64}, int64_t{96},
+                       int64_t{128}}) {
       if (mc > mc_cap) continue;
       mcs.push_back(std::min(mc, m_full));
     }
     mcs.push_back(m_full);  // whole-M panel when it fits the cap
+    dedupe(mcs);            // clamped seeds and m_full often coincide
 
     // nc: the packed B panel (kc x nc floats) should occupy at most half
     // the L3; full-N (no jc loop at all) is the best case for the
@@ -124,6 +140,7 @@ std::vector<BlockConfig> EnumerateCpuBlockCandidates(
                                     nc_cap);
     std::vector<int64_t> ncs = {n_full};
     if (int64_t{1024} <= nc_cap) ncs.push_back(std::min<int64_t>(1024, n_full));
+    dedupe(ncs);  // n_full <= 1024 makes both entries identical
 
     for (int64_t mc : mcs) {
       for (int64_t nc : ncs) {

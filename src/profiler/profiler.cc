@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
+#include <numeric>
 #include <sstream>
 
 #include <chrono>
@@ -97,6 +98,14 @@ struct CpuTuneInstruments {
   metrics::Counter& cache_misses;
   metrics::Counter& cache_lines_rejected;
   metrics::Histogram& best_us;
+  /// Ranked-sweep lane (docs/OBSERVABILITY.md): sweeps where the learned
+  /// pre-filter picked the measured slice, candidates it skipped, sweeps
+  /// that wanted ranking but fell back to the full set, and candidates
+  /// injected by cross-shape transfer.
+  metrics::Counter& ranked_workloads;
+  metrics::Counter& ranked_pruned;
+  metrics::Counter& ranked_fallback;
+  metrics::Counter& ranked_seeded;
 
   static CpuTuneInstruments& Get() {
     static CpuTuneInstruments* instruments = new CpuTuneInstruments{
@@ -107,6 +116,10 @@ struct CpuTuneInstruments {
         metrics::Registry::Global().GetCounter(
             "cpu.tune.cache_lines_rejected"),
         metrics::Registry::Global().GetHistogram("cpu.tune.best_us"),
+        metrics::Registry::Global().GetCounter("cpu.tune.ranked.workloads"),
+        metrics::Registry::Global().GetCounter("cpu.tune.ranked.pruned"),
+        metrics::Registry::Global().GetCounter("cpu.tune.ranked.fallback"),
+        metrics::Registry::Global().GetCounter("cpu.tune.ranked.seeded"),
     };
     return *instruments;
   }
@@ -114,12 +127,15 @@ struct CpuTuneInstruments {
 
 /// The versioned key prefix of the CPU tuning-cache namespace.  Grammar
 /// (docs/TUNING_CACHE.md):
-///   cpu/v2/<op>/<workload>/t<threads>/<cpu-arch-token>|mc kc nc scheme isa|us|n
-/// v2 added the micro-kernel ISA to the block payload (and the arch token
-/// gained an ISA-mode suffix); v1 records are dropped at load like any
-/// other unknown version.
+///   cpu/v3/<op>/<workload>/t<threads>/<cpu-arch-token>
+///     |mc kc nc scheme isa|us|tried|enumerated ranked seeded
+/// v3 appended the ranked-sweep provenance field (how many candidates the
+/// enumerator produced, whether the learned pre-filter pruned the sweep,
+/// and whether a cross-shape transfer seed was injected); v2 added the
+/// micro-kernel ISA to the block payload.  Older-version records are
+/// dropped at load like any other unknown version.
 constexpr char kCpuKeyPrefix[] = "cpu/";
-constexpr char kCpuKeyVersion[] = "v2";
+constexpr char kCpuKeyVersion[] = "v3";
 
 std::string CpuCacheKey(const char* op, const std::string& workload,
                         int threads) {
@@ -134,6 +150,10 @@ Profiler::Profiler(DeviceSpec spec, ProfilerCostModel cost)
   if (cost_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(cost_.num_threads);
   }
+  CpuRankModel::Options rank_opts;
+  rank_opts.min_rows = cost_.cpu_rank_min_rows;
+  rank_opts.min_spread = cost_.cpu_rank_min_spread;
+  cpu_rank_ = CpuRankModel(rank_opts);
 }
 
 int Profiler::cache_size() const {
@@ -167,7 +187,9 @@ Status Profiler::SaveCache(std::ostream& out) const {
     const cpukernels::BlockConfig& b = result.block;
     out << key << "|" << b.mc << " " << b.kc << " " << b.nc << " "
         << static_cast<int>(b.scheme) << " " << static_cast<int>(b.isa)
-        << "|" << result.us << "|" << result.candidates_tried << "\n";
+        << "|" << result.us << "|" << result.candidates_tried << "|"
+        << result.candidates_enumerated << " " << (result.ranked ? 1 : 0)
+        << " " << result.seeded << "\n";
   }
   if (!out.good()) return Status::Internal("cache write failed");
   return Status::Ok();
@@ -276,8 +298,8 @@ bool ParseCpuWorkloadDims(const std::string& s, int64_t* m, int64_t* n,
 
 bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   // Caller (LoadCache) holds cache_mu_ exclusively.
-  if (fields.size() != 4) return false;
-  // Key: cpu/v2/<op>/<workload>/t<threads>/<cpu-arch-token>
+  if (fields.size() != 5) return false;
+  // Key: cpu/v3/<op>/<workload>/t<threads>/<cpu-arch-token>
   const auto parts = StrSplit(fields[0], '/');
   if (parts.size() != 6) return false;
   if (parts[1] != kCpuKeyVersion) return false;
@@ -316,6 +338,21 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
       result.candidates_tried <= 0) {
     return false;
   }
+  // Provenance field: "<enumerated> <ranked> <seeded>".  A ranked sweep
+  // measures a subset, so enumerated bounds tried from above; ranked and
+  // seeded are flags.
+  int enumerated = 0, ranked = 0, seeded = 0;
+  std::istringstream prov(fields[4]);
+  prov >> enumerated >> ranked >> seeded;
+  if (prov.fail()) return false;
+  prov >> std::ws;
+  if (!prov.eof()) return false;
+  if (enumerated < result.candidates_tried) return false;
+  if (ranked != 0 && ranked != 1) return false;
+  if (seeded != 0 && seeded != 1) return false;
+  result.candidates_enumerated = enumerated;
+  result.ranked = ranked != 0;
+  result.seeded = seeded;
   cpu_cache_[fields[0]] = result;
   // Activate for execution only when the record was measured under this
   // deployment's thread configuration; other thread counts stay cached
@@ -668,19 +705,108 @@ Result<CpuProfileResult> Profiler::RunCpuSweep(
   trace::TraceSink& sink = trace::TraceSink::Global();
   const double t0_us = sink.enabled() ? sink.NowUs() : 0.0;
   const auto wall0 = std::chrono::steady_clock::now();
+  CpuTuneInstruments& im = CpuTuneInstruments::Get();
+
+  // Cross-shape transfer: the nearest already-tuned shape's winning block
+  // joins the sweep (if the enumerator did not produce it already).  It is
+  // ranked and measured like any other candidate — a bad prior costs one
+  // measurement, never the selection.
+  std::vector<cpukernels::BlockConfig> sweep = candidates;
+  int seeded = 0;
+  if (cost_.cpu_ranked_sweep) {
+    if (auto near = cpukernels::FindTunedBlockNearShape(kind, m, n, k);
+        near.has_value() && near->log2_distance > 0.0) {
+      const bool already =
+          std::any_of(sweep.begin(), sweep.end(),
+                      [&](const cpukernels::BlockConfig& c) {
+                        return c == near->block;
+                      });
+      if (!already) {
+        sweep.push_back(near->block);
+        seeded = 1;
+        im.ranked_seeded.Increment();
+      }
+    }
+  }
+
+  // Learned pre-filter: rank the sweep with the online cost model and
+  // measure only the most promising slice.  The heuristic candidate
+  // (index 0) is always kept, so a confidently-wrong model can prune
+  // tuning *time* but never regress below the untuned default.  An
+  // unconfident model (nullopt) falls back to the full sweep.
+  std::vector<size_t> picked(sweep.size());
+  std::iota(picked.begin(), picked.end(), size_t{0});
+  std::vector<std::vector<double>> feats;
+  bool ranked = false;
+  if (cost_.cpu_ranked_sweep) {
+    const cpukernels::CpuCacheInfo cache = cpukernels::HostCacheInfo();
+    const int threads = cpukernels::DefaultNumThreads();
+    feats.reserve(sweep.size());
+    for (const cpukernels::BlockConfig& c : sweep) {
+      feats.push_back(FeaturizeCpuBlock(cache, kind, m, n, k, threads, c));
+    }
+    const size_t keep = std::max<size_t>(
+        static_cast<size_t>(std::max(1, cost_.cpu_rank_min_keep)),
+        static_cast<size_t>(cost_.cpu_rank_keep_fraction *
+                            static_cast<double>(sweep.size())));
+    std::optional<std::vector<size_t>> top;
+    {
+      std::lock_guard<std::mutex> lock(rank_mu_);
+      top = cpu_rank_.SelectTopK(feats, keep);
+    }
+    if (top.has_value()) {
+      picked = std::move(*top);
+      picked.push_back(0);  // heuristic default: always measured
+      if (seeded) picked.push_back(sweep.size() - 1);  // transfer seed too
+      // Measure in enumeration order so tie-breaks match the full sweep.
+      std::sort(picked.begin(), picked.end());
+      picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+      ranked = true;
+      im.ranked_workloads.Increment();
+      im.ranked_pruned.Increment(
+          static_cast<int64_t>(sweep.size() - picked.size()));
+    } else if (sweep.size() > keep) {
+      // The model *could* have pruned this sweep but was unconfident.
+      im.ranked_fallback.Increment();
+    }
+  }
 
   // Serial sweep in enumeration order (strict less keeps the earliest of
   // tied candidates): each launch may already own the whole process pool,
   // and overlapping candidates would corrupt each other's timings.
   CpuProfileResult best;
   best.us = std::numeric_limits<double>::infinity();
-  for (const cpukernels::BlockConfig& c : candidates) {
+  std::vector<double> measured_us(picked.size(), 0.0);
+  for (size_t pi = 0; pi < picked.size(); ++pi) {
+    const cpukernels::BlockConfig& c = sweep[picked[pi]];
     const double us = measure(c);
+    measured_us[pi] = us;
     ++best.candidates_tried;
     if (us < best.us) {
       best.us = us;
       best.block = c;
     }
+  }
+  best.candidates_enumerated = static_cast<int>(sweep.size());
+  best.ranked = ranked;
+  best.seeded = seeded;
+
+  // Every measurement is a training row; refit once per sweep.  The model
+  // learns from full and pruned sweeps alike, so early full sweeps are the
+  // bootstrap corpus for later ranked ones.  Targets are normalized to the
+  // sweep's best latency: within one sweep every shape feature is constant,
+  // so training on absolute latency would spend the stumps explaining
+  // shape-to-shape magnitude differences and predict near-flat scores
+  // *within* a candidate set — exactly where ranking needs contrast.
+  // Relative targets make the model predict blocking quality directly.
+  if (cost_.cpu_ranked_sweep && best.us > 0.0 &&
+      std::isfinite(best.us)) {
+    std::lock_guard<std::mutex> lock(rank_mu_);
+    for (size_t pi = 0; pi < picked.size(); ++pi) {
+      cpu_rank_.AddMeasurement(std::move(feats[picked[pi]]),
+                               measured_us[pi] / best.us);
+    }
+    cpu_rank_.Fit();
   }
 
   // CPU measurement consumes real time; the TuningClock absorbs it so
@@ -697,12 +823,14 @@ Result<CpuProfileResult> Profiler::RunCpuSweep(
   if (sink.enabled()) {
     sink.EmitSpan(trace::kPidCpuTune, sink.CurrentThreadLane(), key,
                   "cpu.tune", t0_us, sink.NowUs(),
-                  StrCat("{\"candidates\":", candidates.size(),
+                  StrCat("{\"candidates\":", picked.size(),
+                         ",\"enumerated\":", sweep.size(),
+                         ",\"ranked\":", ranked ? 1 : 0,
+                         ",\"seeded\":", seeded,
                          ",\"best_us\":", best.us, "}"));
   }
-  CpuTuneInstruments& im = CpuTuneInstruments::Get();
   im.workloads.Increment();
-  im.candidates.Increment(static_cast<int64_t>(candidates.size()));
+  im.candidates.Increment(static_cast<int64_t>(picked.size()));
   im.best_us.Observe(best.us);
 
   cpukernels::RegisterTunedBlock(kind, m, n, k, best.block);

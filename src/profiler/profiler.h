@@ -48,6 +48,7 @@
 #include "device/spec.h"
 #include "device/timing.h"
 #include "profiler/candidates.h"
+#include "profiler/cpu_rank.h"
 #include "profiler/cpu_tune.h"
 
 namespace bolt {
@@ -65,7 +66,19 @@ struct ProfileResult {
 struct CpuProfileResult {
   cpukernels::BlockConfig block;
   double us = 0.0;
+  /// Candidates actually measured.  Equal to `candidates_enumerated` for
+  /// a full sweep; a ranked sweep measures only the model's top-k slice.
   int candidates_tried = 0;
+  /// Full candidate-set size (enumeration plus any transfer seed) —
+  /// what an unranked sweep would have measured.
+  int candidates_enumerated = 0;
+  /// True when the learned pre-filter chose the measured slice; false
+  /// for full sweeps (ranking disabled, model unconfident, or nothing
+  /// to prune).
+  bool ranked = false;
+  /// Candidates injected by cross-shape transfer (the tuned block of the
+  /// nearest cached shape): 0 or 1.
+  int seeded = 0;
   bool cache_hit = false;
 };
 
@@ -103,6 +116,30 @@ struct ProfilerCostModel {
   /// process pool — so these directly bound the wall cost of tuning.
   int cpu_warmup_runs = 1;
   int cpu_measure_runs = 3;
+  /// Learned pre-filter for the CPU sweeps (profiler/cpu_rank.h): rank
+  /// candidates with the online GBT-stump model and measure only the
+  /// top-k slice, falling back to the full sweep while the model is
+  /// unconfident.  Also enables cross-shape transfer seeding.  Disable
+  /// for the exhaustive-sweep baseline (bench_cpu_ranked_tuning's
+  /// control arm).
+  bool cpu_ranked_sweep = true;
+  /// Confidence gate: minimum measured training rows before ranking.
+  /// One full deep-K sweep (~16-25 candidates) is enough to bootstrap:
+  /// the heuristic candidate is always measured as a safety net, so the
+  /// cost of a marginal model is a slightly worse pruned set, not a bad
+  /// selection.
+  int cpu_rank_min_rows = 16;
+  /// Confidence gate: minimum predicted spread (-log(us) space) across a
+  /// candidate set; flatter predictions fall back to the full sweep.
+  /// Boosted stumps compress toward the mean, so predicted spread runs
+  /// well under the measured runtime spread — 0.01 here corresponds to
+  /// candidate sets whose real spread is a few percent.
+  double cpu_rank_min_spread = 0.01;
+  /// Ranked sweeps measure max(cpu_rank_min_keep,
+  /// cpu_rank_keep_fraction * candidates) top-predicted candidates (the
+  /// heuristic candidate and the transfer seed ride along on top).
+  double cpu_rank_keep_fraction = 0.125;
+  int cpu_rank_min_keep = 4;
 };
 
 class Profiler {
@@ -203,10 +240,14 @@ class Profiler {
                         const CpuProfileResult& result);
   void AbandonFlight(const std::string& key);
 
-  /// Shared sweep for ProfileCpuGemm/ProfileCpuConv: measures `candidates`
-  /// serially with `measure`, reduces deterministically, charges the
-  /// TuningClock with the real elapsed seconds, emits the bolt.cpu.tune
-  /// span, publishes to both caches and the tuned-block registry.
+  /// Shared sweep for ProfileCpuGemm/ProfileCpuConv: seeds the candidate
+  /// list from the nearest tuned shape (cross-shape transfer), asks the
+  /// online rank model for a top-k slice (full sweep when unconfident),
+  /// measures the selected candidates serially with `measure`, reduces
+  /// deterministically, trains the rank model from the new measurements,
+  /// charges the TuningClock with the real elapsed seconds, emits the
+  /// bolt.cpu.tune span, publishes to both caches and the tuned-block
+  /// registry.
   Result<CpuProfileResult> RunCpuSweep(
       const std::string& key, cpukernels::TunedKind kind, int64_t m,
       int64_t n, int64_t k,
@@ -233,6 +274,13 @@ class Profiler {
   std::mutex clock_mu_;
   TuningClock clock_;
   bool arch_prepared_ = false;
+
+  /// Online candidate-ranking model for the CPU sweeps, trained from
+  /// every real measurement this profiler makes (gemm and conv share it;
+  /// the kernel family is a feature).  Guarded by rank_mu_: sweeps for
+  /// different workloads may rank/train concurrently.
+  std::mutex rank_mu_;
+  CpuRankModel cpu_rank_;
 
   /// Reader/writer lock over both result caches.
   mutable std::shared_mutex cache_mu_;
