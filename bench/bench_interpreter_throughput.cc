@@ -23,7 +23,18 @@
 // stay bit-identical to the naive oracle, and (c) the tuned geomean
 // speedup does not regress the fixed heuristic beyond measurement noise.
 //
-// Usage: bench_interpreter_throughput [--smoke] [--tuned] [--out=PATH]
+// With --tiers, the fused mode is additionally measured once per ISA rung
+// the host can execute (block.isa pinned, tuned blocks off), each SIMD
+// rung in two arms: vectorized packing + fused epilogues (the default)
+// and the scalar data-movement paths (BOLT_CPU_PACK=scalar — the PR-5
+// baseline, SIMD micro-kernel with scalar pack/epilogue loops).  Both
+// arms of a rung must produce bit-identical outputs (the pack contract),
+// and the vectorized arm must beat the scalar-pack arm by >= 1.15x fused
+// geomean at the AVX2 rung — the run asserts that gate.  Emits
+// BENCH_simd_tiers.json with per-rung geomeans for CI tracking.
+//
+// Usage: bench_interpreter_throughput [--smoke] [--tuned] [--tiers]
+//                                     [--out=PATH] [--tiers-out=PATH]
 //                                     [--trace[=P]]
 
 #include <algorithm>
@@ -256,12 +267,14 @@ int TuneGraphCpu(Profiler& prof, const Graph& g, int* measured,
   return tuned;
 }
 
-/// Two-tier agreement check against the naive oracle: the scalar tier
-/// must match bit-for-bit, the AVX2 tier within the documented ULP bound
-/// on the output's storage grid (common/ulp.h, docs/CPU_BACKEND.md).
-void CheckAgainstOracle(const Tensor& got, const Tensor& oracle,
-                        const std::string& what) {
-  if (cpukernels::DefaultCpuIsa() == cpukernels::CpuIsa::kScalar) {
+/// Two-tier agreement check against the naive oracle for a launch that
+/// resolved to `isa`: the scalar tier must match bit-for-bit, the SIMD
+/// tiers within the documented ULP bound on the output's storage grid
+/// (common/ulp.h, docs/CPU_BACKEND.md).
+void CheckTierAgainstOracle(const Tensor& got, const Tensor& oracle,
+                            cpukernels::CpuIsa isa,
+                            const std::string& what) {
+  if (isa == cpukernels::CpuIsa::kScalar) {
     BOLT_CHECK_MSG(got.MaxAbsDiff(oracle) == 0.0f,
                    what << " diverged from the reference");
     return;
@@ -274,6 +287,16 @@ void CheckAgainstOracle(const Tensor& got, const Tensor& oracle,
                                      << " ULP from the reference (bound "
                                      << bound << ")");
 }
+
+void CheckAgainstOracle(const Tensor& got, const Tensor& oracle,
+                        const std::string& what) {
+  CheckTierAgainstOracle(got, oracle, cpukernels::DefaultCpuIsa(), what);
+}
+
+/// The --tiers acceptance gate: vectorized packing + fused epilogues must
+/// beat the scalar data-movement paths by this fused-geomean factor at
+/// the AVX2 rung (the PR-5 baseline: SIMD micro-kernel, scalar pack).
+constexpr double kTierGate = 1.15;
 
 double RunUs(const Interpreter& interp,
              const std::map<std::string, Tensor>& inputs, int iters) {
@@ -291,6 +314,140 @@ double RunUs(const Interpreter& interp,
   return best;
 }
 
+/// One --tiers measurement arm: an ISA rung plus the data-movement knob.
+struct TierArm {
+  std::string name;
+  cpukernels::CpuIsa isa;
+  cpukernels::CpuPackMode pack;
+};
+
+/// Measures the fused mode once per ISA rung the host can execute
+/// (block.isa pinned, tuned blocks off), each SIMD rung in a vectorized
+/// and a scalar-pack arm.  Asserts the two arms of a rung are
+/// bit-identical (the pack contract) and that the vectorized arm clears
+/// kTierGate at the AVX2 rung.  `oracles` holds the naive reference
+/// output per workload, computed by the main mode loop.
+void RunTierBench(std::vector<Workload>& workloads,
+                  const std::vector<Tensor>& oracles, bool smoke,
+                  const std::string& out_path) {
+  using cpukernels::CpuIsa;
+  using cpukernels::CpuPackMode;
+  bench::Rule();
+  bench::Note(
+      "simd tiers: fused mode per ISA rung, vectorized vs scalar pack");
+
+  std::vector<TierArm> arms;
+  arms.push_back({"scalar", CpuIsa::kScalar, CpuPackMode::kSimd});
+  const bool have_avx2 =
+      cpukernels::ResolveCpuIsa(CpuIsa::kAvx2) == CpuIsa::kAvx2;
+  const bool have_avx512 =
+      cpukernels::ResolveCpuIsa(CpuIsa::kAvx512) == CpuIsa::kAvx512;
+  if (have_avx2) {
+    arms.push_back({"avx2+scalarpack", CpuIsa::kAvx2, CpuPackMode::kScalar});
+    arms.push_back({"avx2", CpuIsa::kAvx2, CpuPackMode::kSimd});
+  }
+  if (have_avx512) {
+    arms.push_back(
+        {"avx512+scalarpack", CpuIsa::kAvx512, CpuPackMode::kScalar});
+    arms.push_back({"avx512", CpuIsa::kAvx512, CpuPackMode::kSimd});
+  }
+
+  const CpuPackMode prev_pack = cpukernels::CurrentCpuPackMode();
+  std::map<std::string, std::vector<double>> arm_us;
+  std::map<std::string, std::vector<Tensor>> arm_out;
+  std::string json = StrCat(
+      "{\"bench\":\"simd_tiers\",\"smoke\":", smoke ? "true" : "false",
+      ",\"threads\":", cpukernels::DefaultNumThreads(), ",\"host_isa\":\"",
+      cpukernels::CpuIsaName(cpukernels::DetectedCpuIsa()),
+      "\",\"gate\":", kTierGate, ",\"arms\":[");
+  bool first_arm = true;
+  for (const TierArm& arm : arms) {
+    cpukernels::SetCpuPackMode(arm.pack);
+    double log_gflops = 0.0;
+    json += StrCat(first_arm ? "" : ",",
+                   "{\"name\":", bench::JsonStr(arm.name), ",\"isa\":\"",
+                   cpukernels::CpuIsaName(arm.isa), "\",\"pack\":\"",
+                   arm.pack == CpuPackMode::kSimd ? "simd" : "scalar",
+                   "\",\"workloads\":[");
+    first_arm = false;
+    bool first_wl = true;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      Workload& wl = workloads[i];
+      InterpreterOptions opts;
+      opts.backend = cpukernels::Backend::kFastCpu;
+      opts.fuse_epilogues = true;
+      opts.parallel = true;
+      opts.use_tuned_blocks = false;
+      opts.block.isa = arm.isa;
+      Interpreter interp(wl.graph, opts);
+      const int iters = std::max(wl.iters, smoke ? 2 : 3);
+      const double us = RunUs(interp, wl.inputs, iters);
+      const double flops = GraphFlops(wl.graph);
+      const double gflops = flops / us / 1e3;
+      Tensor got = interp.Run(wl.inputs).value()[0];
+      CheckTierAgainstOracle(got, oracles[i], arm.isa,
+                             StrCat(wl.name, " ", arm.name));
+      arm_us[arm.name].push_back(us);
+      arm_out[arm.name].push_back(std::move(got));
+      log_gflops += std::log(gflops);
+      std::printf("  %-18s %-28s %10.0f us  %8.2f GFLOP/s\n",
+                  arm.name.c_str(), wl.name.c_str(), us, gflops);
+      json += StrCat(first_wl ? "" : ",",
+                     "{\"name\":", bench::JsonStr(wl.name), ",\"us\":", us,
+                     ",\"gflops\":", gflops, "}");
+      first_wl = false;
+    }
+    const double geo =
+        std::exp(log_gflops / static_cast<double>(workloads.size()));
+    json += StrCat("],\"geomean_gflops\":", geo, "}");
+    bench::Note(StrCat(arm.name, " fused geomean: ", StrCat(geo),
+                       " GFLOP/s"));
+  }
+  cpukernels::SetCpuPackMode(prev_pack);
+  json += "]";
+
+  // The pack knob may never change numerics: the vectorized and scalar
+  // arms of one rung must agree bit-for-bit.
+  auto check_identical = [&](const char* simd, const char* base) {
+    const auto& a = arm_out[simd];
+    const auto& b = arm_out[base];
+    for (size_t i = 0; i < a.size(); ++i) {
+      BOLT_CHECK_MSG(a[i].MaxAbsDiff(b[i]) == 0.0f,
+                     workloads[i].name
+                         << ": " << simd << " and " << base
+                         << " arms diverged (pack contract violated)");
+    }
+  };
+  auto pack_speedup = [&](const char* simd, const char* base) {
+    const auto& a = arm_us[simd];
+    const auto& b = arm_us[base];
+    double log_sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) log_sum += std::log(b[i] / a[i]);
+    return std::exp(log_sum / static_cast<double>(a.size()));
+  };
+  if (have_avx2) {
+    check_identical("avx2", "avx2+scalarpack");
+    const double sp = pack_speedup("avx2", "avx2+scalarpack");
+    json += StrCat(",\"avx2_pack_speedup\":", sp);
+    bench::Note(StrCat("avx2 vectorized-pack speedup: ", StrCat(sp),
+                       "x (gate ", kTierGate, "x)"));
+    BOLT_CHECK_MSG(sp >= kTierGate,
+                   "vectorized packing + fused epilogues missed the gate "
+                   "at the avx2 rung: "
+                       << sp << "x < " << kTierGate << "x");
+  }
+  if (have_avx512) {
+    check_identical("avx512", "avx512+scalarpack");
+    const double sp = pack_speedup("avx512", "avx512+scalarpack");
+    json += StrCat(",\"avx512_pack_speedup\":", sp);
+    bench::Note(StrCat("avx512 vectorized-pack speedup: ", StrCat(sp),
+                       "x (reported, gated at avx2)"));
+  }
+  json += "}\n";
+  bench::Rule();
+  bench::WriteBenchJson(out_path, json);
+}
+
 }  // namespace
 }  // namespace bolt
 
@@ -299,11 +456,17 @@ int main(int argc, char** argv) {
   bench::InitTrace(argc, argv);
   bool smoke = false;
   bool tuned_mode = false;
+  bool tiers_mode = false;
   std::string out_path = "BENCH_interpreter.json";
+  std::string tiers_out_path = "BENCH_simd_tiers.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--tuned") == 0) tuned_mode = true;
+    if (std::strcmp(argv[i], "--tiers") == 0) tiers_mode = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--tiers-out=", 12) == 0) {
+      tiers_out_path = argv[i] + 12;
+    }
   }
 
   bench::Title("interpreter_throughput",
@@ -330,6 +493,7 @@ int main(int argc, char** argv) {
       cpukernels::CpuIsaName(cpukernels::DefaultCpuIsa()),
       "\",\"workloads\":[");
 
+  std::vector<Tensor> oracles;  // naive reference output per workload
   bool first_wl = true;
   for (Workload& wl : workloads) {
     const double flops = GraphFlops(wl.graph);
@@ -351,6 +515,7 @@ int main(int argc, char** argv) {
       if (m.name == "naive") {
         naive_us = us;
         naive_out = interp.Run(wl.inputs).value()[0];
+        oracles.push_back(naive_out);
       } else {
         // Every backend mode must agree with the oracle: bit-for-bit on
         // the scalar tier, ULP-bounded under AVX2.
@@ -430,6 +595,7 @@ int main(int argc, char** argv) {
   json += "}\n";
   bench::Rule();
   bench::WriteBenchJson(out_path, json);
+  if (tiers_mode) RunTierBench(workloads, oracles, smoke, tiers_out_path);
   bench::FlushTrace();
   return 0;
 }

@@ -45,6 +45,12 @@ namespace cpukernels {
 inline constexpr int kMR = 4;
 inline constexpr int kNR = 8;
 
+/// Widest micro-tile column count across the ISA ladder: the AVX-512
+/// kernel runs a 4x16 tile (nr = 16), scalar and AVX2 run 4x8 (nr = kNR).
+/// Drivers size accumulators and packed strips for the resolved nr; kNR
+/// remains the structural unit BlockConfig.nc validates against.
+inline constexpr int kMaxNR = 16;
+
 /// How a kernel launch distributes work across the thread pool.
 enum class ParallelScheme : int {
   /// ParallelFor over mc row panels inside each (jc, pc) cache block —
@@ -73,6 +79,12 @@ struct BlockConfig {
   /// tier).  A tunable axis like `scheme`: the profiler measures scalar
   /// vs AVX2 per problem shape instead of assuming wider is faster.
   CpuIsa isa = CpuIsa::kAuto;
+  /// Software-prefetch the next packed A/B micro-panels in the macro
+  /// loops (and the pack-source rows), BLIS-style.  A tunable axis like
+  /// `scheme`: whether hiding panel-load latency pays depends on the
+  /// shape's arithmetic intensity, so the profiler measures it per shape
+  /// instead of guessing.  Off by default; numerics are unaffected.
+  bool prefetch = false;
 
   /// Structural validity: the packing layouts want mc a positive multiple
   /// of kMR, nc a positive multiple of kNR, and kc at least the minimum
@@ -99,7 +111,7 @@ struct BlockConfig {
       return Status::InvalidArgument("BlockConfig.scheme is invalid");
     }
     if (isa != CpuIsa::kAuto && isa != CpuIsa::kScalar &&
-        isa != CpuIsa::kAvx2) {
+        isa != CpuIsa::kAvx2 && isa != CpuIsa::kAvx512) {
       return Status::InvalidArgument("BlockConfig.isa is invalid");
     }
     return Status::Ok();
@@ -111,13 +123,14 @@ struct BlockConfig {
   static Result<BlockConfig> Make(
       int mc, int kc, int nc,
       ParallelScheme scheme = ParallelScheme::kLoopLevel,
-      CpuIsa isa = CpuIsa::kAuto) {
+      CpuIsa isa = CpuIsa::kAuto, bool prefetch = false) {
     BlockConfig c;
     c.mc = mc;
     c.kc = kc;
     c.nc = nc;
     c.scheme = scheme;
     c.isa = isa;
+    c.prefetch = prefetch;
     BOLT_RETURN_IF_ERROR(c.Validate());
     return c;
   }
@@ -138,7 +151,8 @@ struct BlockConfig {
 
   friend bool operator==(const BlockConfig& a, const BlockConfig& b) {
     return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc &&
-           a.scheme == b.scheme && a.isa == b.isa;
+           a.scheme == b.scheme && a.isa == b.isa &&
+           a.prefetch == b.prefetch;
   }
   friend bool operator!=(const BlockConfig& a, const BlockConfig& b) {
     return !(a == b);

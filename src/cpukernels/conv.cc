@@ -48,13 +48,21 @@ ConvDims ResolveDims(const Tensor& x, const Tensor& w, const ConvParams& p) {
 /// Panel-wise im2col packer: gathers A rows (output pixels) x depth
 /// (kh, kw, ic taps) into kMR-wide row strips, zero-filling padding taps
 /// so the accumulation sequence matches the reference loop exactly.
+///
+/// The SIMD path decomposes each strip's depth range into filter-tap
+/// *runs* — maximal spans of consecutive k that share one (kh, kw) tap
+/// and walk the input channel axis — and hands each run to
+/// PackA4RunSimd: an NHWC run is a contiguous channel slice (stride 1,
+/// vector loads + transpose), an NCHW run strides by h*w (AVX2 gather).
+/// Padding taps and rows beyond the panel become null run rows, which
+/// the vector kernel zero-fills exactly like the scalar loop.
 struct Im2colPacker {
   const float* x;
   ConvDims d;
   ConvParams p;
 
   void operator()(float* dst, int64_t i0, int64_t mcb, int64_t p0,
-                  int64_t kcb) const {
+                  int64_t kcb, bool simd) const {
     // Hoist the per-k tap decomposition: k -> (kh, kw, ic) ascending.
     std::vector<int64_t> tap_dh(kcb), tap_dw(kcb), tap_c(kcb);
     for (int64_t kk = 0; kk < kcb; ++kk) {
@@ -80,6 +88,34 @@ struct Im2colPacker {
         const int64_t rem = gi % (d.oh * d.ow);
         bh[r] = (rem / d.ow) * p.stride_h - p.pad_h;
         bw[r] = (rem % d.ow) * p.stride_w - p.pad_w;
+      }
+      if (simd) {
+        const int64_t chan_stride = d.nhwc ? 1 : d.h * d.w;
+        for (int64_t kk = 0; kk < kcb;) {
+          // Run = rest of this (kh, kw) tap's channel walk in the slice.
+          const int64_t run = std::min(kcb - kk, d.c - tap_c[kk]);
+          const float* rows[kMR];
+          for (int64_t r = 0; r < kMR; ++r) {
+            if (!valid[r]) {
+              rows[r] = nullptr;
+              continue;
+            }
+            const int64_t ih = bh[r] + tap_dh[kk];
+            const int64_t iw = bw[r] + tap_dw[kk];
+            if (ih < 0 || ih >= d.h || iw < 0 || iw >= d.w) {
+              rows[r] = nullptr;
+              continue;
+            }
+            const int64_t idx =
+                d.nhwc
+                    ? ((bn[r] * d.h + ih) * d.w + iw) * d.c + tap_c[kk]
+                    : ((bn[r] * d.c + tap_c[kk]) * d.h + ih) * d.w + iw;
+            rows[r] = x + idx;
+          }
+          internal::PackA4RunSimd(rows, run, chan_stride, s + kk * kMR);
+          kk += run;
+        }
+        continue;
       }
       for (int64_t kk = 0; kk < kcb; ++kk) {
         float* out = s + kk * kMR;
@@ -152,15 +188,19 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const ConvParams& p,
     Im2colPacker pack{xd, d, p};
     if (d.nhwc) {
       internal::GemmCore(m, n, k, wd, dd, epi, cfg, pool, pack,
-                         [n](int64_t i, int64_t j) { return i * n + j; });
+                         [n](int64_t i, int64_t j) { return i * n + j; },
+                         /*contiguous_rows=*/true);
     } else {
       const int64_t spatial = d.oh * d.ow;
+      // NCHW output rows are scattered (stride `spatial` between
+      // columns), so the vectorized epilogue is excluded here.
       internal::GemmCore(
           m, n, k, wd, dd, epi, cfg, pool, pack,
           [spatial, n](int64_t i, int64_t j) {
             const int64_t in = i / spatial;
             return (in * n + j) * spatial + i % spatial;
-          });
+          },
+          /*contiguous_rows=*/false);
     }
   }
 

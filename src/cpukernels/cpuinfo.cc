@@ -3,6 +3,8 @@
 
 #include "cpukernels/cpuinfo.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -13,6 +15,10 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
 #endif
 
 namespace bolt {
@@ -122,15 +128,72 @@ bool ParseCpuIsa(const std::string& s, CpuIsa* out) {
     *out = CpuIsa::kScalar;
   } else if (s == "avx2") {
     *out = CpuIsa::kAvx2;
+  } else if (s == "avx512") {
+    *out = CpuIsa::kAvx512;
   } else {
     return false;
   }
   return true;
 }
 
+std::optional<CpuIsa> ParseCpuIsaEnv(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  // ParseCpuIsa matches the full string exactly, so "avx2 " / "avx2,foo"
+  // style trailing garbage is rejected rather than truncated — the same
+  // strictness contract as ParseCpuThreadsEnv/ParseCpuBackendEnv.
+  CpuIsa isa = CpuIsa::kAuto;
+  if (!ParseCpuIsa(std::string(value), &isa)) return std::nullopt;
+  return isa;
+}
+
+bool HostSupportsAvx512() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = [] {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+    // The OS must have enabled extended state saving (OSXSAVE) before
+    // XGETBV is even legal to execute; AVX for the YMM lanes.
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    if (!osxsave || !avx) return false;
+    // XCR0 must report SSE|AVX|opmask|ZMM_Hi256|Hi16_ZMM state enabled
+    // (bits 1,2,5,6,7 = 0xe6): a kernel that does not context-switch the
+    // ZMM state makes the instructions fault even when CPUID advertises
+    // them.
+    uint32_t xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0u));
+    (void)xcr0_hi;
+    if ((xcr0_lo & 0xe6u) != 0xe6u) return false;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+    const bool f = (ebx & (1u << 16)) != 0;    // AVX512F
+    const bool vl = (ebx & (1u << 31)) != 0;   // AVX512VL
+    return f && vl;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool HostSupportsF16c() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = __builtin_cpu_supports("f16c") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
 CpuIsa DetectedCpuIsa() {
   static const CpuIsa detected = [] {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (internal::Avx512MicroKernelAvailable() && HostSupportsAvx512() &&
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      // AVX2+FMA is also required: the SIMD pack/epilogue paths and the
+      // AVX2 rung the ladder can clamp to both assume it (every AVX-512
+      // part ships them, but the probe should not).
+      return CpuIsa::kAvx512;
+    }
     if (internal::Avx2MicroKernelAvailable() &&
         __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
       return CpuIsa::kAvx2;
@@ -144,9 +207,16 @@ CpuIsa DetectedCpuIsa() {
 CpuIsa EnvCpuIsa() {
   static const CpuIsa env = [] {
     const char* v = std::getenv("BOLT_CPU_ISA");
-    CpuIsa isa = CpuIsa::kAuto;
-    if (v != nullptr) ParseCpuIsa(v, &isa);
-    return isa;
+    if (v == nullptr) return CpuIsa::kAuto;
+    if (auto isa = ParseCpuIsaEnv(v)) return *isa;
+    // Loud rejection (once, via the static init): silently falling back
+    // to kAuto made a typo like BOLT_CPU_ISA="avx2 " run a different
+    // numeric tier than the operator asked for.
+    std::fprintf(stderr,
+                 "bolt: ignoring unparseable BOLT_CPU_ISA=\"%s\" "
+                 "(expected auto|scalar|avx2|avx512)\n",
+                 v);
+    return CpuIsa::kAuto;
   }();
   return env;
 }
@@ -154,10 +224,18 @@ CpuIsa EnvCpuIsa() {
 CpuIsa ResolveCpuIsaFor(CpuIsa requested, CpuIsa env, CpuIsa host) {
   if (env == CpuIsa::kScalar) return CpuIsa::kScalar;  // hard kill-switch
   if (requested == CpuIsa::kAuto) requested = env;
-  if (requested == CpuIsa::kAvx2 && host == CpuIsa::kAvx2) {
-    return CpuIsa::kAvx2;
+  if (requested == CpuIsa::kAuto) return CpuIsa::kScalar;  // opt-in only
+  const int rank = CpuIsaRank(requested) < CpuIsaRank(host)
+                       ? CpuIsaRank(requested)
+                       : CpuIsaRank(host);
+  switch (rank) {
+    case 2:
+      return CpuIsa::kAvx512;
+    case 1:
+      return CpuIsa::kAvx2;
+    default:
+      return CpuIsa::kScalar;
   }
-  return CpuIsa::kScalar;
 }
 
 CpuIsa ResolveCpuIsa(CpuIsa requested) {
@@ -165,6 +243,48 @@ CpuIsa ResolveCpuIsa(CpuIsa requested) {
 }
 
 CpuIsa DefaultCpuIsa() { return ResolveCpuIsa(CpuIsa::kAuto); }
+
+namespace {
+
+std::optional<CpuPackMode> EnvCpuPackMode() {
+  static const std::optional<CpuPackMode> env = [] {
+    const char* v = std::getenv("BOLT_CPU_PACK");
+    if (v == nullptr) return std::optional<CpuPackMode>();
+    if (auto mode = ParseCpuPackModeEnv(v)) {
+      return std::optional<CpuPackMode>(*mode);
+    }
+    std::fprintf(stderr,
+                 "bolt: ignoring unparseable BOLT_CPU_PACK=\"%s\" "
+                 "(expected simd|scalar)\n",
+                 v);
+    return std::optional<CpuPackMode>();
+  }();
+  return env;
+}
+
+// -1 = no runtime override; otherwise a CpuPackMode value.
+std::atomic<int> g_pack_mode_override{-1};
+
+}  // namespace
+
+std::optional<CpuPackMode> ParseCpuPackModeEnv(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  const std::string v(value);
+  if (v == "simd") return CpuPackMode::kSimd;
+  if (v == "scalar") return CpuPackMode::kScalar;
+  return std::nullopt;
+}
+
+CpuPackMode CurrentCpuPackMode() {
+  const int forced = g_pack_mode_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<CpuPackMode>(forced);
+  return EnvCpuPackMode().value_or(CpuPackMode::kSimd);
+}
+
+void SetCpuPackMode(CpuPackMode mode) {
+  g_pack_mode_override.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
 
 std::string CpuArchTokenFor(const CpuCacheInfo& info, CpuIsa isa) {
   return StrCat("cpu", kMR, "x", kNR, "-l1_", info.l1_bytes, "-l2_",

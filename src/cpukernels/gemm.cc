@@ -12,14 +12,24 @@ namespace cpukernels {
 namespace {
 
 /// Packs A rows [i0, i0+mcb) x depth [p0, p0+kcb) from a row-major [m, k]
-/// matrix into kMR-wide row strips.
+/// matrix into kMR-wide row strips.  `simd` follows LaunchPlan::simd_pack:
+/// the vector path (4x8 load/transpose with masked tails) produces
+/// bit-identical bytes, and the scalar tier never sets it.
 inline void PackADirect(const float* a, int64_t lda, float* dst, int64_t i0,
-                        int64_t mcb, int64_t p0, int64_t kcb) {
+                        int64_t mcb, int64_t p0, int64_t kcb, bool simd) {
   const int64_t istrips = internal::CeilDiv(mcb, kMR);
   for (int64_t is = 0; is < istrips; ++is) {
     float* s = dst + is * kcb * kMR;
     const int64_t rbase = i0 + is * kMR;
     const int64_t rm = std::min<int64_t>(kMR, i0 + mcb - rbase);
+    if (simd) {
+      const float* rows[kMR];
+      for (int64_t r = 0; r < kMR; ++r) {
+        rows[r] = r < rm ? a + (rbase + r) * lda + p0 : nullptr;
+      }
+      internal::PackA4RunSimd(rows, kcb, 1, s);
+      continue;
+    }
     for (int64_t r = 0; r < kMR; ++r) {
       if (r < rm) {
         const float* src = a + (rbase + r) * lda + p0;
@@ -51,10 +61,10 @@ void GemmRaw(int64_t m, int64_t n, int64_t k, const float* a,
 
   internal::GemmCore(
       m, n, k, w, d, epi, cfg, pool,
-      [a, k](float* dst, int64_t i0, int64_t mcb, int64_t p0, int64_t kcb) {
-        PackADirect(a, k, dst, i0, mcb, p0, kcb);
-      },
-      [n](int64_t i, int64_t j) { return i * n + j; });
+      [a, k](float* dst, int64_t i0, int64_t mcb, int64_t p0, int64_t kcb,
+             bool simd) { PackADirect(a, k, dst, i0, mcb, p0, kcb, simd); },
+      [n](int64_t i, int64_t j) { return i * n + j; },
+      /*contiguous_rows=*/true);
 
   const double wall_us =
       std::chrono::duration<double, std::micro>(

@@ -8,12 +8,17 @@
 //
 //   for jc in N step nc:                 serial
 //     for pc in K step kc:               serial (C accumulates across pc)
-//       pack B panel [kc x nc]           kNR-wide column strips
+//       pack B panel [kc x nc]           nr-wide column strips
 //       ParallelFor ic in M step mc:     output-tile parallelism
 //         pack A panel [mc x kc]         kMR-wide row strips (im2col here)
 //         for jr, ir micro tiles:        register micro-kernel
 //           acc += Ap x Bp over the kc slice
 //           last pc slice: fused epilogue on write-back
+//
+// The micro-tile column count nr is an ISA property: 8 for the scalar and
+// AVX2 kernels, 16 for AVX-512.  The packed-B strip width and the jr loop
+// follow the resolved nr; the packed-A layout (kMR-interleaved) is shared
+// by every tier.
 //
 // Numeric contract (two-tier, see docs/CPU_BACKEND.md): every output
 // element accumulates its K terms in strictly ascending k order (within a
@@ -22,16 +27,21 @@
 // scalar micro-kernel each term is rounded exactly like the reference
 // loop, so results are bit-identical to the reference kernels and to
 // themselves for any thread count — the differential tests and the
-// cutlite functional delegation rely on this.  The AVX2 micro-kernel
-// keeps the same accumulation *order* but fuses each multiply-add into
-// one rounding, so its tier is ULP-bounded agreement instead of bit
-// identity; it is only selected through ResolveCpuIsa (cpuinfo.h).
+// cutlite functional delegation rely on this.  The AVX2 and AVX-512
+// micro-kernels keep the same accumulation *order* but fuse each
+// multiply-add into one rounding, so their tier is ULP-bounded agreement
+// instead of bit identity; they are only selected through ResolveCpuIsa
+// (cpuinfo.h).  The vectorized packing and epilogue paths (pack_simd.cc)
+// are bit-identical data movement — SIMD tiers diverge from the scalar
+// tier only through the micro-kernel FMA, and the scalar tier never uses
+// them at all.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "cpukernels/config.h"
 #include "cpukernels/epilogue.h"
@@ -44,19 +54,22 @@ namespace internal {
 inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
 /// Packs the B panel: W is [n, k] row-major (weights); the panel covers
-/// columns [j0, j0+ncb) and depth [p0, p0+kcb), laid out as kNR-wide
-/// column strips, each strip kcb x kNR with columns contiguous per k.
-/// Columns beyond n are zero-padded.
+/// columns [j0, j0+ncb) and depth [p0, p0+kcb), laid out as nr-wide
+/// column strips, each strip kcb x nr with columns contiguous per k.
+/// Columns beyond n are zero-padded.  Scalar reference path; the SIMD
+/// tiers use PackBPanelSimd (pack_simd.cc), which produces bit-identical
+/// bytes.
 inline void PackB(const float* w, int64_t k, int64_t n, int64_t j0,
-                  int64_t ncb, int64_t p0, int64_t kcb, float* dst) {
-  const int64_t strips = CeilDiv(ncb, kNR);
+                  int64_t ncb, int64_t p0, int64_t kcb, int64_t nr,
+                  float* dst) {
+  const int64_t strips = CeilDiv(ncb, nr);
   for (int64_t js = 0; js < strips; ++js) {
-    float* s = dst + js * kcb * kNR;
-    const int64_t jbase = j0 + js * kNR;
-    const int64_t jn = std::min<int64_t>(kNR, n - jbase);
+    float* s = dst + js * kcb * nr;
+    const int64_t jbase = j0 + js * nr;
+    const int64_t jn = std::min<int64_t>(nr, n - jbase);
     for (int64_t kk = 0; kk < kcb; ++kk) {
-      for (int64_t j = 0; j < kNR; ++j) {
-        s[kk * kNR + j] =
+      for (int64_t j = 0; j < nr; ++j) {
+        s[kk * nr + j] =
             j < jn ? w[(jbase + j) * k + p0 + kk] : 0.0f;
       }
     }
@@ -81,15 +94,109 @@ inline void MicroKernel(int64_t kcb, const float* ap, const float* bp,
   }
 }
 
-// micro_avx2.cc hardcodes the micro-tile shape because it cannot include
-// this header (ODR/ISA hazard, see micro.h).
+// micro_avx2.cc / micro_avx512.cc hardcode their micro-tile shapes
+// because they cannot include this header (ODR/ISA hazard, see micro.h).
 static_assert(kMR == 4 && kNR == 8,
               "micro_avx2.cc hardcodes a 4x8 micro-tile");
+static_assert(kMR == 4 && kMaxNR == 16,
+              "micro_avx512.cc hardcodes a 4x16 micro-tile");
 
-/// Maps a *resolved* ISA (kScalar or kAvx2, from ResolveCpuIsa) to the
-/// micro-kernel that implements it.
+/// Micro-kernel plus the micro-tile column count it operates on.
+struct MicroPlan {
+  MicroKernelFn fn;
+  int64_t nr;
+};
+
+/// Maps a *resolved* ISA (from ResolveCpuIsa; never kAuto) to the
+/// micro-kernel that implements it and its nr.
+inline MicroPlan SelectMicroPlan(CpuIsa resolved) {
+  if (resolved == CpuIsa::kAvx512) return {&MicroKernelAvx512, 16};
+  if (resolved == CpuIsa::kAvx2) return {&MicroKernelAvx2, kNR};
+  return {&MicroKernel, kNR};
+}
+
+/// Back-compat shim for callers that only need the kernel pointer.
 inline MicroKernelFn SelectMicroKernel(CpuIsa resolved) {
-  return resolved == CpuIsa::kAvx2 ? &MicroKernelAvx2 : &MicroKernel;
+  return SelectMicroPlan(resolved).fn;
+}
+
+/// Everything GemmCore resolves once per launch and the loop nest then
+/// treats as immutable: the micro-kernel and its nr, whether the SIMD
+/// pack / epilogue paths are active, the translated activation opcodes
+/// for the vector epilogue, and the prefetch axis.
+struct LaunchPlan {
+  MicroKernelFn micro = &MicroKernel;
+  int64_t nr = kNR;
+  bool prefetch = false;
+  /// Vectorized PackA/PackB (pack_simd.cc).  Only true on a SIMD tier
+  /// with the pack TU compiled in and CurrentCpuPackMode() == kSimd.
+  bool simd_pack = false;
+  /// Vectorized fused epilogue.  Only true when simd_pack is, the output
+  /// rows are contiguous, and every epilogue stage has an exact vector
+  /// mirror (see BuildLaunchPlan).
+  bool simd_epi = false;
+  int acts[8] = {};
+  int nacts = 0;
+};
+
+/// Translates an ActivationKind to its EpilogueRowSimd opcode, or -1 for
+/// the transcendental activations the vector epilogue does not mirror
+/// exactly (those launches keep the scalar epilogue loop).
+inline int EpiActOpcode(ActivationKind a) {
+  switch (a) {
+    case ActivationKind::kIdentity:
+      return kEpiActIdentity;
+    case ActivationKind::kRelu:
+      return kEpiActRelu;
+    case ActivationKind::kHardswish:
+      return kEpiActHardswish;
+    default:
+      return -1;
+  }
+}
+
+/// Resolves the per-launch plan.  `contiguous_rows` says whether
+/// dindex(i, j+1) == dindex(i, j) + 1 for every output row — true for
+/// GEMM and NHWC conv, false for the scattered NCHW output, whose
+/// epilogue stays scalar.
+inline LaunchPlan BuildLaunchPlan(CpuIsa resolved, const BlockConfig& cfg,
+                                  const Epilogue& epi,
+                                  bool contiguous_rows) {
+  LaunchPlan plan;
+  const MicroPlan mp = SelectMicroPlan(resolved);
+  plan.micro = mp.fn;
+  plan.nr = mp.nr;
+  plan.prefetch = cfg.prefetch;
+  const bool simd_tier =
+      resolved == CpuIsa::kAvx2 || resolved == CpuIsa::kAvx512;
+  plan.simd_pack = simd_tier && SimdPackAvailable() &&
+                   CurrentCpuPackMode() == CpuPackMode::kSimd;
+  if (plan.simd_pack && contiguous_rows &&
+      epi.acts.size() <= sizeof(plan.acts) / sizeof(plan.acts[0])) {
+    bool ok = true;
+    for (ActivationKind a : epi.acts) {
+      const int op = EpiActOpcode(a);
+      if (op < 0) {
+        ok = false;
+        break;
+      }
+      plan.acts[plan.nacts++] = op;
+    }
+    if (epi.quantizes() && !HostSupportsF16c()) ok = false;
+    plan.simd_epi = ok;
+    if (!ok) plan.nacts = 0;
+  }
+  return plan;
+}
+
+/// Prefetches the leading cache lines of the next packed micro-panel
+/// (up to 8 lines; enough to hide the panel's cold-start latency without
+/// flooding the load ports — the rest streams in behind the micro-kernel).
+inline void PrefetchPanel(const float* p, int64_t count) {
+  const int64_t limit = count < 128 ? count : 128;
+  for (int64_t i = 0; i < limit; i += 16) {
+    __builtin_prefetch(p + i, 0, 1);
+  }
 }
 
 /// Runs the full jc/pc cache-loop nest over output rows [m_lo, m_hi).
@@ -100,12 +207,13 @@ inline MicroKernelFn SelectMicroKernel(CpuIsa resolved) {
 template <typename PackAFn, typename DIndexFn>
 void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
                   const float* w, float* d, const Epilogue& epi, int64_t mc,
-                  int64_t kc, int64_t nc, MicroKernelFn micro,
+                  int64_t kc, int64_t nc, const LaunchPlan& plan,
                   ThreadPool* pool, PackAFn&& pack_a, DIndexFn&& dindex) {
+  const int64_t nr = plan.nr;
   std::vector<float> bpanel;
   for (int64_t jc = 0; jc < n; jc += nc) {
     const int64_t ncb = std::min(nc, n - jc);
-    const int64_t jstrips = CeilDiv(ncb, kNR);
+    const int64_t jstrips = CeilDiv(ncb, nr);
     // K == 0 degenerates to an epilogue-only pass over zero accumulators.
     const int64_t kblocks = std::max<int64_t>(1, CeilDiv(k, kc));
     for (int64_t pb = 0; pb < kblocks; ++pb) {
@@ -113,9 +221,16 @@ void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
       const int64_t kcb = std::min(kc, k - pc);
       const bool first = pb == 0;
       const bool last = pb == kblocks - 1;
-      bpanel.resize(static_cast<size_t>(jstrips * kNR * std::max<int64_t>(
+      bpanel.resize(static_cast<size_t>(jstrips * nr * std::max<int64_t>(
                         kcb, 1)));
-      if (kcb > 0) PackB(w, k, n, jc, ncb, pc, kcb, bpanel.data());
+      if (kcb > 0) {
+        if (plan.simd_pack) {
+          PackBPanelSimd(w, k, n, jc, ncb, pc, kcb, nr, plan.prefetch,
+                         bpanel.data());
+        } else {
+          PackB(w, k, n, jc, ncb, pc, kcb, nr, bpanel.data());
+        }
+      }
 
       const int64_t iblocks = CeilDiv(m_hi - m_lo, mc);
       auto row_panel = [&](int64_t ib) {
@@ -124,40 +239,63 @@ void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
         const int64_t istrips = CeilDiv(mcb, kMR);
         std::vector<float> apanel(
             static_cast<size_t>(istrips * kMR * std::max<int64_t>(kcb, 1)));
-        if (kcb > 0) pack_a(apanel.data(), i0, mcb, pc, kcb);
+        if (kcb > 0) pack_a(apanel.data(), i0, mcb, pc, kcb, plan.simd_pack);
 
-        float acc[kMR * kNR];
+        float acc[kMR * kMaxNR];
         for (int64_t js = 0; js < jstrips; ++js) {
-          const float* bp = bpanel.data() + js * kcb * kNR;
-          const int64_t j0 = jc + js * kNR;
-          const int64_t jn = std::min<int64_t>(kNR, n - j0);
+          const float* bp = bpanel.data() + js * kcb * nr;
+          const int64_t j0 = jc + js * nr;
+          const int64_t jn = std::min<int64_t>(nr, n - j0);
           for (int64_t is = 0; is < istrips; ++is) {
             const float* ap = apanel.data() + is * kcb * kMR;
             const int64_t gi0 = i0 + is * kMR;
             const int64_t rm = std::min<int64_t>(kMR, i0 + mcb - gi0);
+            if (plan.prefetch && kcb > 0) {
+              // Warm the next A strip while this one multiplies; at the
+              // row-panel edge, warm the next B strip instead.
+              if (is + 1 < istrips) {
+                PrefetchPanel(apanel.data() + (is + 1) * kcb * kMR,
+                              kcb * kMR);
+              } else if (js + 1 < jstrips) {
+                PrefetchPanel(bpanel.data() + (js + 1) * kcb * nr,
+                              kcb * nr);
+              }
+            }
             if (first) {
-              for (float& v : acc) v = 0.0f;
+              for (int64_t v = 0; v < kMR * nr; ++v) acc[v] = 0.0f;
             } else {
               for (int64_t r = 0; r < rm; ++r)
                 for (int64_t j = 0; j < jn; ++j)
-                  acc[r * kNR + j] = d[dindex(gi0 + r, j0 + j)];
+                  acc[r * nr + j] = d[dindex(gi0 + r, j0 + j)];
             }
-            if (kcb > 0) micro(kcb, ap, bp, acc);
+            if (kcb > 0) plan.micro(kcb, ap, bp, acc);
             if (last) {
-              for (int64_t r = 0; r < rm; ++r) {
-                for (int64_t j = 0; j < jn; ++j) {
-                  const int64_t di = dindex(gi0 + r, j0 + j);
-                  const float src =
-                      epi.residual != nullptr ? epi.residual[di] : 0.0f;
-                  const float b =
-                      epi.bias != nullptr ? epi.bias[j0 + j] : 0.0f;
-                  d[di] = ApplyEpilogue(epi, acc[r * kNR + j], src, b);
+              if (plan.simd_epi) {
+                for (int64_t r = 0; r < rm; ++r) {
+                  const int64_t di0 = dindex(gi0 + r, j0);
+                  EpilogueRowSimd(
+                      acc + r * nr, d + di0,
+                      epi.residual != nullptr ? epi.residual + di0 : nullptr,
+                      epi.bias != nullptr ? epi.bias + j0 : nullptr, jn,
+                      epi.alpha, epi.beta, plan.acts, plan.nacts,
+                      epi.boundary_quantize, epi.quantizes());
+                }
+              } else {
+                for (int64_t r = 0; r < rm; ++r) {
+                  for (int64_t j = 0; j < jn; ++j) {
+                    const int64_t di = dindex(gi0 + r, j0 + j);
+                    const float src =
+                        epi.residual != nullptr ? epi.residual[di] : 0.0f;
+                    const float b =
+                        epi.bias != nullptr ? epi.bias[j0 + j] : 0.0f;
+                    d[di] = ApplyEpilogue(epi, acc[r * nr + j], src, b);
+                  }
                 }
               }
             } else {
               for (int64_t r = 0; r < rm; ++r)
                 for (int64_t j = 0; j < jn; ++j)
-                  d[dindex(gi0 + r, j0 + j)] = acc[r * kNR + j];
+                  d[dindex(gi0 + r, j0 + j)] = acc[r * nr + j];
             }
           }
         }
@@ -174,35 +312,65 @@ void GemmCoreRows(int64_t m_lo, int64_t m_hi, int64_t n, int64_t k,
 /// Blocked GEMM core: D[m, n] (+)= A[m, k] x W[n, k]^T with the epilogue
 /// fused into the final write-back.
 ///
-///  * `pack_a(dst, i0, mcb, p0, kcb)` packs A rows [i0, i0+mcb) and depth
-///    [p0, p0+kcb) into kMR-wide row strips (strip layout: strip is,
-///    then k, then kMR row values; rows beyond the panel zero-padded).
-///    The conv kernels implement panel-wise im2col here, so no full
-///    im2col matrix is ever materialized.
+///  * `pack_a(dst, i0, mcb, p0, kcb, simd)` packs A rows [i0, i0+mcb) and
+///    depth [p0, p0+kcb) into kMR-wide row strips (strip layout: strip
+///    is, then k, then kMR row values; rows beyond the panel
+///    zero-padded).  `simd` mirrors LaunchPlan::simd_pack: when true the
+///    callback may use the PackA4RunSimd fast path (bit-identical
+///    output); when false it must stay on the scalar loops so the scalar
+///    tier never executes AVX code.  The conv kernels implement
+///    panel-wise im2col here, so no full im2col matrix is ever
+///    materialized.
 ///  * `dindex(i, j)` maps an output (row, col) to an index into `d` (and
 ///    into `epi.residual`), which lets the NCHW conv write its scattered
 ///    output layout directly.
+///  * `contiguous_rows` declares dindex(i, j+1) == dindex(i, j) + 1 so
+///    the vectorized epilogue can treat output rows as dense slices.
 ///
 /// When `pool` is non-null the launch parallelizes per `cfg.scheme`:
-/// loop-level fans row panels out inside every (jc, pc) block; batch-level
-/// splits the rows into one contiguous mc-aligned chunk per thread and
-/// runs the full serial nest per chunk (packed B duplicated per chunk, one
-/// barrier total).  Both schemes accumulate each output element's K terms
-/// in the same ascending order, so results stay bit-identical to the
-/// reference kernels regardless of scheme or thread count.  The caller
-/// participates in ParallelFor, so nesting under other loops is safe.
+/// loop-level fans row panels out inside every (jc, pc) block;
+/// batch-level splits the rows into one contiguous mc-aligned chunk per
+/// thread and runs the full serial nest per chunk (packed B duplicated
+/// per chunk, one barrier total).  Both schemes accumulate each output
+/// element's K terms in the same ascending order, so results stay
+/// bit-identical to the reference kernels regardless of scheme or thread
+/// count.  The caller participates in ParallelFor, so nesting under other
+/// loops is safe.
 template <typename PackAFn, typename DIndexFn>
 void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
               const Epilogue& epi, const BlockConfig& cfg, ThreadPool* pool,
-              PackAFn&& pack_a, DIndexFn&& dindex) {
+              PackAFn&& pack_a, DIndexFn&& dindex,
+              bool contiguous_rows = true) {
   if (m <= 0 || n <= 0) return;
+  // Resolve the ISA once per launch; every row chunk and panel of this
+  // launch uses the same micro-kernel, pack path, and epilogue path
+  // regardless of scheme or threads.
+  const CpuIsa resolved = ResolveCpuIsa(cfg.isa);
+  const LaunchPlan plan = BuildLaunchPlan(resolved, cfg, epi,
+                                          contiguous_rows);
   const int64_t mc = std::max<int64_t>(kMR, cfg.mc);
   const int64_t kc = std::max<int64_t>(8, cfg.kc);
-  const int64_t nc =
-      std::max<int64_t>(kNR, (static_cast<int64_t>(cfg.nc) / kNR) * kNR);
-  // Resolve the ISA once per launch; every row chunk and panel of this
-  // launch uses the same micro-kernel regardless of scheme or threads.
-  const MicroKernelFn micro = SelectMicroKernel(ResolveCpuIsa(cfg.isa));
+  // nc must be a multiple of the *resolved* nr so B strips never straddle
+  // a jc panel boundary (an AVX-512 launch rounds an nc tuned as a bare
+  // multiple of 8 down to a multiple of 16, or up to one strip minimum).
+  const int64_t nc = std::max<int64_t>(
+      plan.nr, (static_cast<int64_t>(cfg.nc) / plan.nr) * plan.nr);
+
+  {
+    static metrics::Counter& simd_pack_launches =
+        metrics::Registry::Global().GetCounter("cpu.simd.pack.launches");
+    static metrics::Counter& simd_epi_launches =
+        metrics::Registry::Global().GetCounter(
+            "cpu.simd.epilogue.launches");
+    static metrics::Counter& prefetch_launches =
+        metrics::Registry::Global().GetCounter("cpu.prefetch.launches");
+    static metrics::Counter& avx512_launches =
+        metrics::Registry::Global().GetCounter("cpu.isa.avx512.launches");
+    if (plan.simd_pack) simd_pack_launches.Increment();
+    if (plan.simd_epi) simd_epi_launches.Increment();
+    if (plan.prefetch) prefetch_launches.Increment();
+    if (resolved == CpuIsa::kAvx512) avx512_launches.Increment();
+  }
 
   const int64_t iblocks = CeilDiv(m, mc);
   if (pool != nullptr && cfg.scheme == ParallelScheme::kBatchLevel &&
@@ -217,12 +385,12 @@ void GemmCore(int64_t m, int64_t n, int64_t k, const float* w, float* d,
       const int64_t hi =
           std::min<int64_t>(m, (c + 1) * blocks_per_chunk * mc);
       if (lo >= hi) return;
-      GemmCoreRows(lo, hi, n, k, w, d, epi, mc, kc, nc, micro, nullptr,
+      GemmCoreRows(lo, hi, n, k, w, d, epi, mc, kc, nc, plan, nullptr,
                    pack_a, dindex);
     });
     return;
   }
-  GemmCoreRows(0, m, n, k, w, d, epi, mc, kc, nc, micro, pool, pack_a,
+  GemmCoreRows(0, m, n, k, w, d, epi, mc, kc, nc, plan, pool, pack_a,
                dindex);
 }
 

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// AVX-512 register micro-kernel.
+//
+// This is the only translation unit in the repo compiled with
+// -mavx512f -mavx512vl (see cpukernels/CMakeLists.txt); it includes only
+// micro.h so no shared inline function is ever emitted with AVX-512
+// codegen (the ODR hazard described there).  The 4x16 micro-tile is
+// hardcoded; internal.h static_asserts that it matches kMR x kMaxNR.
+//
+// Numerics: _mm512_fmadd_ps contracts the multiply-add, so each term is
+// rounded once instead of twice — the same single-rounding-per-k-term
+// shape as the AVX2 kernel, with accumulation order over k identical to
+// the scalar kernel (ascending, one fused term per step).  Divergence
+// from the bit-exact reference therefore stays within the same ULP
+// tolerance tier (docs/CPU_BACKEND.md), validated by
+// tests/testing/diff_harness.
+//
+// The tile is 4x16 rather than 8x16: mr stays kMR so the packed-A layout,
+// the im2col packer, and the remainder handling are shared verbatim with
+// the other tiers, and 4 zmm accumulators + 1 broadcast + 1 B vector
+// leave plenty of the 32-register file for the compiler to pipeline the
+// loads.
+
+#include "cpukernels/micro.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+#include <immintrin.h>
+#endif
+
+namespace bolt {
+namespace cpukernels {
+namespace internal {
+
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+
+bool Avx512MicroKernelAvailable() { return true; }
+
+void MicroKernelAvx512(int64_t kcb, const float* ap, const float* bp,
+                       float* acc) {
+  // kMR = 4 rows, nr = 16 columns: one 16-lane accumulator per row.
+  __m512 c0 = _mm512_loadu_ps(acc + 0 * 16);
+  __m512 c1 = _mm512_loadu_ps(acc + 1 * 16);
+  __m512 c2 = _mm512_loadu_ps(acc + 2 * 16);
+  __m512 c3 = _mm512_loadu_ps(acc + 3 * 16);
+  for (int64_t kk = 0; kk < kcb; ++kk) {
+    const __m512 b = _mm512_loadu_ps(bp + kk * 16);
+    const float* a = ap + kk * 4;
+    c0 = _mm512_fmadd_ps(_mm512_set1_ps(a[0]), b, c0);
+    c1 = _mm512_fmadd_ps(_mm512_set1_ps(a[1]), b, c1);
+    c2 = _mm512_fmadd_ps(_mm512_set1_ps(a[2]), b, c2);
+    c3 = _mm512_fmadd_ps(_mm512_set1_ps(a[3]), b, c3);
+  }
+  _mm512_storeu_ps(acc + 0 * 16, c0);
+  _mm512_storeu_ps(acc + 1 * 16, c1);
+  _mm512_storeu_ps(acc + 2 * 16, c2);
+  _mm512_storeu_ps(acc + 3 * 16, c3);
+}
+
+#else  // toolchain/target without AVX-512
+
+bool Avx512MicroKernelAvailable() { return false; }
+
+// Scalar stand-in so the symbol always links.  The ISA probe reports a
+// lower rung when Avx512MicroKernelAvailable() is false, so dispatch
+// never reaches this; it still computes correctly if called.
+void MicroKernelAvx512(int64_t kcb, const float* ap, const float* bp,
+                       float* acc) {
+  for (int64_t kk = 0; kk < kcb; ++kk) {
+    const float* a = ap + kk * 4;
+    const float* b = bp + kk * 16;
+    for (int r = 0; r < 4; ++r) {
+      const float av = a[r];
+      float* row = acc + r * 16;
+      for (int j = 0; j < 16; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+#endif
+
+}  // namespace internal
+}  // namespace cpukernels
+}  // namespace bolt

@@ -41,6 +41,10 @@ std::vector<double> FeaturizeCpuBlock(const cpukernels::CpuCacheInfo& cache,
       b.scheme == cpukernels::ParallelScheme::kBatchLevel ? 1.0 : 0.0,
       cpukernels::ResolveCpuIsa(b.isa) == cpukernels::CpuIsa::kAvx2 ? 1.0
                                                                     : 0.0,
+      cpukernels::ResolveCpuIsa(b.isa) == cpukernels::CpuIsa::kAvx512
+          ? 1.0
+          : 0.0,
+      b.prefetch ? 1.0 : 0.0,
       lg(static_cast<double>(num_threads)),
       lgr(strips, static_cast<double>(cache.l1_bytes)),
       lgr(a_panel, static_cast<double>(cache.l2_bytes)),

@@ -50,18 +50,27 @@ cpukernels::ConvGemmShape CpuConvWorkload::GemmShape() const {
 std::vector<BlockConfig> EnumerateCpuBlockCandidates(
     const cpukernels::CpuCacheInfo& cache, int64_t m, int64_t n, int64_t k,
     int num_threads, cpukernels::CpuIsa isa) {
-  // When the requested mode resolves to AVX2, the ISA becomes a measured
-  // axis: the default-mode (kAuto -> AVX2 here) variant plus an explicit
-  // scalar variant of every blocking.  In scalar mode only kAuto variants
-  // are emitted — identical to the pre-ISA candidate set.
-  const bool sweep_scalar_too =
-      cpukernels::ResolveCpuIsa(isa) == cpukernels::CpuIsa::kAvx2;
+  // When the requested mode resolves to a SIMD tier, the ISA becomes a
+  // measured axis: the default-mode (kAuto) variant plus an explicit
+  // scalar variant of every blocking, and — when the ladder tops out at
+  // AVX-512 — an explicit AVX2 variant too (wider is not always faster:
+  // 512-bit port pressure and license-based downclocking are per-shape
+  // effects, exactly what the profiler exists to measure).  In scalar
+  // mode only kAuto variants are emitted — identical to the pre-ISA
+  // candidate set.  The prefetch axis rides on the kAuto variants: both
+  // settings of BlockConfig::prefetch are measured for the tier a
+  // default launch actually runs, without doubling the whole grid.
+  const cpukernels::CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
+  const bool sweep_scalar_too = resolved == cpukernels::CpuIsa::kAvx2 ||
+                                resolved == cpukernels::CpuIsa::kAvx512;
+  const bool sweep_avx2_too = resolved == cpukernels::CpuIsa::kAvx512;
   std::vector<BlockConfig> out;
   auto add = [&](int64_t mc, int64_t kc, int64_t nc, ParallelScheme s,
-                 cpukernels::CpuIsa block_isa) {
+                 cpukernels::CpuIsa block_isa, bool prefetch) {
     auto made = BlockConfig::Make(static_cast<int>(mc),
                                   static_cast<int>(kc),
-                                  static_cast<int>(nc), s, block_isa);
+                                  static_cast<int>(nc), s, block_isa,
+                                  prefetch);
     if (!made.ok()) return;
     for (const BlockConfig& existing : out) {
       if (existing == made.value()) return;
@@ -70,13 +79,21 @@ std::vector<BlockConfig> EnumerateCpuBlockCandidates(
   };
   auto add_schemes = [&](int64_t mc, int64_t kc, int64_t nc) {
     for (const cpukernels::CpuIsa block_isa :
-         {cpukernels::CpuIsa::kAuto, cpukernels::CpuIsa::kScalar}) {
+         {cpukernels::CpuIsa::kAuto, cpukernels::CpuIsa::kScalar,
+          cpukernels::CpuIsa::kAvx2}) {
       if (block_isa == cpukernels::CpuIsa::kScalar && !sweep_scalar_too) {
         continue;
       }
-      add(mc, kc, nc, ParallelScheme::kLoopLevel, block_isa);
-      if (num_threads > 1) {
-        add(mc, kc, nc, ParallelScheme::kBatchLevel, block_isa);
+      if (block_isa == cpukernels::CpuIsa::kAvx2 && !sweep_avx2_too) {
+        continue;
+      }
+      const bool sweep_prefetch = block_isa == cpukernels::CpuIsa::kAuto;
+      for (const bool prefetch : {false, true}) {
+        if (prefetch && !sweep_prefetch) continue;
+        add(mc, kc, nc, ParallelScheme::kLoopLevel, block_isa, prefetch);
+        if (num_threads > 1) {
+          add(mc, kc, nc, ParallelScheme::kBatchLevel, block_isa, prefetch);
+        }
       }
     }
   };

@@ -127,15 +127,17 @@ struct CpuTuneInstruments {
 
 /// The versioned key prefix of the CPU tuning-cache namespace.  Grammar
 /// (docs/TUNING_CACHE.md):
-///   cpu/v3/<op>/<workload>/t<threads>/<cpu-arch-token>
-///     |mc kc nc scheme isa|us|tried|enumerated ranked seeded
-/// v3 appended the ranked-sweep provenance field (how many candidates the
-/// enumerator produced, whether the learned pre-filter pruned the sweep,
-/// and whether a cross-shape transfer seed was injected); v2 added the
-/// micro-kernel ISA to the block payload.  Older-version records are
-/// dropped at load like any other unknown version.
+///   cpu/v4/<op>/<workload>/t<threads>/<cpu-arch-token>
+///     |mc kc nc scheme isa prefetch|us|tried|enumerated ranked seeded
+/// v4 widened the ISA range to admit the AVX-512 tier (isa 0..3) and
+/// appended the software-prefetch flag to the block payload; v3 appended
+/// the ranked-sweep provenance field (how many candidates the enumerator
+/// produced, whether the learned pre-filter pruned the sweep, and whether
+/// a cross-shape transfer seed was injected); v2 added the micro-kernel
+/// ISA to the block payload.  Older-version records are dropped at load
+/// like any other unknown version.
 constexpr char kCpuKeyPrefix[] = "cpu/";
-constexpr char kCpuKeyVersion[] = "v3";
+constexpr char kCpuKeyVersion[] = "v4";
 
 std::string CpuCacheKey(const char* op, const std::string& workload,
                         int threads) {
@@ -187,6 +189,7 @@ Status Profiler::SaveCache(std::ostream& out) const {
     const cpukernels::BlockConfig& b = result.block;
     out << key << "|" << b.mc << " " << b.kc << " " << b.nc << " "
         << static_cast<int>(b.scheme) << " " << static_cast<int>(b.isa)
+        << " " << (b.prefetch ? 1 : 0)
         << "|" << result.us << "|" << result.candidates_tried << "|"
         << result.candidates_enumerated << " " << (result.ranked ? 1 : 0)
         << " " << result.seeded << "\n";
@@ -299,7 +302,7 @@ bool ParseCpuWorkloadDims(const std::string& s, int64_t* m, int64_t* n,
 bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   // Caller (LoadCache) holds cache_mu_ exclusively.
   if (fields.size() != 5) return false;
-  // Key: cpu/v3/<op>/<workload>/t<threads>/<cpu-arch-token>
+  // Key: cpu/v4/<op>/<workload>/t<threads>/<cpu-arch-token>
   const auto parts = StrSplit(fields[0], '/');
   if (parts.size() != 6) return false;
   if (parts[1] != kCpuKeyVersion) return false;
@@ -318,17 +321,18 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   if (!ParseInt(parts[4].substr(1), &threads) || threads <= 0) return false;
   if (parts[5] != cpukernels::CpuArchToken()) return false;  // foreign arch
 
-  int mc = 0, kc = 0, nc = 0, scheme = 0, isa = 0;
+  int mc = 0, kc = 0, nc = 0, scheme = 0, isa = 0, prefetch = 0;
   std::istringstream cfg(fields[1]);
-  cfg >> mc >> kc >> nc >> scheme >> isa;
+  cfg >> mc >> kc >> nc >> scheme >> isa >> prefetch;
   if (cfg.fail()) return false;
   cfg >> std::ws;
   if (!cfg.eof()) return false;
   if (scheme != 0 && scheme != 1) return false;
-  if (isa < 0 || isa > 2) return false;
+  if (isa < 0 || isa > 3) return false;
+  if (prefetch != 0 && prefetch != 1) return false;
   auto made = cpukernels::BlockConfig::Make(
       mc, kc, nc, static_cast<cpukernels::ParallelScheme>(scheme),
-      static_cast<cpukernels::CpuIsa>(isa));
+      static_cast<cpukernels::CpuIsa>(isa), prefetch == 1);
   if (!made.ok()) return false;
 
   CpuProfileResult result;

@@ -127,14 +127,14 @@ TEST(CandidateEnumerationTest, EveryCandidateValidatesAcrossMachines) {
         // The fixed heuristic is always candidate #0, so measured
         // selection can never lose to it beyond noise.
         EXPECT_TRUE(cands[0] == BlockConfig{});
-        std::set<std::tuple<int, int, int, int, int>> seen;
+        std::set<std::tuple<int, int, int, int, int, bool>> seen;
         for (const BlockConfig& c : cands) {
           EXPECT_TRUE(c.Validate().ok())
               << "m=" << m << " n=" << n << " k=" << k << " mc=" << c.mc
               << " kc=" << c.kc << " nc=" << c.nc;
           EXPECT_TRUE(seen.emplace(c.mc, c.kc, c.nc,
                                    static_cast<int>(c.scheme),
-                                   static_cast<int>(c.isa))
+                                   static_cast<int>(c.isa), c.prefetch)
                           .second)
               << "duplicate candidate";
         }
@@ -167,26 +167,31 @@ TEST(CandidateEnumerationTest, MultiThreadEmitsBothSchemes) {
 
 TEST(CandidateEnumerationTest, IsaBecomesAMeasuredAxisUnderAvx2) {
   const CpuCacheInfo cache = cpukernels::HostCacheInfo();
-  // Scalar mode: every blocking rides with isa=kAuto — element-wise
-  // identical to the pre-ISA candidate set.
+  // Scalar mode: every blocking rides with isa=kAuto, with both settings
+  // of the prefetch axis (the only tunable besides the blocking itself).
   const auto scalar = EnumerateCpuBlockCandidates(
       cache, 256, 256, 256, 4, cpukernels::CpuIsa::kScalar);
   ASSERT_FALSE(scalar.empty());
+  ASSERT_EQ(scalar.size() % 2, 0u);  // prefetch doubles every blocking
   EXPECT_TRUE(scalar[0] == BlockConfig{});
+  size_t scalar_prefetch = 0;
   for (const BlockConfig& c : scalar) {
     EXPECT_EQ(c.isa, cpukernels::CpuIsa::kAuto);
+    scalar_prefetch += c.prefetch ? 1 : 0;
   }
+  EXPECT_EQ(scalar_prefetch, scalar.size() / 2);
   // AVX2 mode (testable only when the host resolves it; BOLT_CPU_ISA=
   // scalar also vetoes): the ISA turns into a measured axis — every
-  // blocking additionally appears as an explicit kScalar variant, and
-  // the kAuto subsequence is exactly the scalar-mode set.
+  // blocking additionally appears as an explicit kScalar variant
+  // (prefetch off: the axis only rides the tier a default launch runs),
+  // and the kAuto subsequence is exactly the scalar-mode set.
   if (cpukernels::ResolveCpuIsa(cpukernels::CpuIsa::kAvx2) !=
       cpukernels::CpuIsa::kAvx2) {
     GTEST_SKIP() << "host or env pins the scalar tier";
   }
   const auto avx2 = EnumerateCpuBlockCandidates(
       cache, 256, 256, 256, 4, cpukernels::CpuIsa::kAvx2);
-  ASSERT_EQ(avx2.size(), 2 * scalar.size());
+  ASSERT_EQ(avx2.size(), scalar.size() + scalar.size() / 2);
   EXPECT_TRUE(avx2[0] == BlockConfig{});
   std::vector<BlockConfig> autos, scalars;
   for (const BlockConfig& c : avx2) {
@@ -196,13 +201,48 @@ TEST(CandidateEnumerationTest, IsaBecomesAMeasuredAxisUnderAvx2) {
     EXPECT_TRUE(c.Validate().ok());
   }
   ASSERT_EQ(autos.size(), scalar.size());
-  ASSERT_EQ(scalars.size(), scalar.size());
+  ASSERT_EQ(scalars.size(), scalar.size() / 2);
   for (size_t i = 0; i < scalar.size(); ++i) {
     EXPECT_TRUE(autos[i] == scalar[i]);
-    EXPECT_EQ(scalars[i].mc, scalar[i].mc);
-    EXPECT_EQ(scalars[i].kc, scalar[i].kc);
-    EXPECT_EQ(scalars[i].nc, scalar[i].nc);
-    EXPECT_EQ(scalars[i].scheme, scalar[i].scheme);
+  }
+  for (const BlockConfig& c : scalars) {
+    EXPECT_FALSE(c.prefetch);
+  }
+}
+
+TEST(CandidateEnumerationTest, Avx512AddsAnExplicitAvx2Rung) {
+  // When the ladder tops out at AVX-512, every blocking gains an explicit
+  // kAvx2 variant on top of the kAuto/kScalar pair — wider vectors are
+  // not always faster (512-bit port pressure, license downclocking), so
+  // the narrower SIMD tier stays measurable.
+  if (cpukernels::ResolveCpuIsa(cpukernels::CpuIsa::kAvx512) !=
+      cpukernels::CpuIsa::kAvx512) {
+    GTEST_SKIP() << "host or env caps the ladder below AVX-512";
+  }
+  const CpuCacheInfo cache = cpukernels::HostCacheInfo();
+  const auto base = EnumerateCpuBlockCandidates(
+      cache, 256, 256, 256, 4, cpukernels::CpuIsa::kScalar);
+  const auto wide = EnumerateCpuBlockCandidates(
+      cache, 256, 256, 256, 4, cpukernels::CpuIsa::kAvx512);
+  ASSERT_EQ(wide.size(), 2 * base.size());
+  EXPECT_TRUE(wide[0] == BlockConfig{});
+  std::vector<BlockConfig> autos;
+  size_t n_scalar = 0, n_avx2 = 0;
+  for (const BlockConfig& c : wide) {
+    EXPECT_TRUE(c.Validate().ok());
+    if (c.isa == cpukernels::CpuIsa::kAuto) {
+      autos.push_back(c);
+    } else {
+      EXPECT_FALSE(c.prefetch);  // prefetch sweeps on kAuto only
+      n_scalar += c.isa == cpukernels::CpuIsa::kScalar ? 1 : 0;
+      n_avx2 += c.isa == cpukernels::CpuIsa::kAvx2 ? 1 : 0;
+    }
+  }
+  ASSERT_EQ(autos.size(), base.size());
+  EXPECT_EQ(n_scalar, base.size() / 2);
+  EXPECT_EQ(n_avx2, base.size() / 2);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(autos[i] == base[i]);
   }
 }
 

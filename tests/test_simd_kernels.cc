@@ -3,19 +3,27 @@
 //
 // The SIMD tier of the CPU backend (label: tolerance).
 //
-//  * ISA knob plumbing: ParseCpuIsa, the ResolveCpuIsaFor decision matrix
-//    (env kill-switch, host clamp, opt-in default), arch-token suffixing.
+//  * ISA knob plumbing: ParseCpuIsa / the strict ParseCpuIsaEnv, the
+//    ResolveCpuIsaFor decision matrix (env kill-switch, ladder clamp,
+//    opt-in default) across all three rungs, arch-token suffixing.
 //  * The differential harness proper: 512 randomized (shape, layout,
-//    epilogue, BlockConfig, ISA, thread-count) tuples per op — GEMM and
-//    conv — against the reference interpreter, each held to the tier of
-//    its *resolved* ISA: bit identity for scalar blocks, the documented
-//    ULP bound (common/ulp.h) for AVX2 ones.
+//    epilogue, BlockConfig, ISA, prefetch, thread-count) tuples per op —
+//    GEMM and conv — against the reference interpreter, each held to the
+//    tier of its *resolved* ISA: bit identity for scalar blocks, the
+//    documented ULP bound (common/ulp.h) for AVX2/AVX-512 ones.
 //  * The scalar guarantee is unconditional: an explicit isa=kScalar block
-//    stays bit-identical to the reference even on AVX2 hosts and under
-//    BOLT_CPU_ISA=avx2 — the kill-switch direction of the two-tier
-//    contract.
-//  * Dispatch reality check: on AVX2 hosts the two tiers genuinely take
+//    stays bit-identical to the reference even on AVX2/AVX-512 hosts and
+//    under BOLT_CPU_ISA=avx2|avx512 — the kill-switch direction of the
+//    two-tier contract.
+//  * Dispatch reality check: on SIMD hosts the tiers genuinely take
 //    different code paths (FMA contraction shows up in the bits).
+//  * Packing equality: the vectorized PackB/PackA paths (pack_simd.cc)
+//    produce byte-identical panels to the scalar reference loops across
+//    nr in {8, 16}, remainder tiles, strided gathers, and null rows; the
+//    pack-mode toggle and the prefetch axis never change output bits.
+//  * Deterministic remainder-tile tuples: k not a multiple of kc, n/m
+//    tails smaller than one micro-tile — the shapes where zero-padding
+//    bugs in the vector pack paths would surface.
 //
 // Unlike the `exact`-labelled suites, the assertions here depend on the
 // host ISA and BOLT_CPU_ISA, so this binary carries the `tolerance` ctest
@@ -24,10 +32,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -36,6 +47,7 @@
 #include "cpukernels/conv.h"
 #include "cpukernels/cpuinfo.h"
 #include "cpukernels/gemm.h"
+#include "cpukernels/internal.h"
 #include "cpukernels/micro.h"
 #include "ir/graph.h"
 #include "ir/interpreter.h"
@@ -64,37 +76,87 @@ TEST(CpuIsaTest, ParseAcceptsTheDocumentedSpellings) {
   EXPECT_EQ(isa, CpuIsa::kScalar);
   EXPECT_TRUE(cpukernels::ParseCpuIsa("avx2", &isa));
   EXPECT_EQ(isa, CpuIsa::kAvx2);
-  for (const char* bad : {"", "AVX2", "sse", "avx512", "scalar ", "1"}) {
+  EXPECT_TRUE(cpukernels::ParseCpuIsa("avx512", &isa));
+  EXPECT_EQ(isa, CpuIsa::kAvx512);
+  for (const char* bad : {"", "AVX2", "sse", "avx", "avx512f", "scalar ",
+                          "1"}) {
     CpuIsa unchanged = CpuIsa::kScalar;
     EXPECT_FALSE(cpukernels::ParseCpuIsa(bad, &unchanged)) << bad;
     EXPECT_EQ(unchanged, CpuIsa::kScalar) << bad;
   }
 }
 
+TEST(CpuIsaTest, EnvParseIsStrictAboutGarbage) {
+  // The regression this pins down: EnvCpuIsa used to swallow unparseable
+  // BOLT_CPU_ISA values silently, running a different tier than the
+  // operator asked for.  ParseCpuIsaEnv is the strict parse underneath
+  // the (now warn-once) env read: exact vocabulary only, no truncation.
+  using cpukernels::ParseCpuIsaEnv;
+  EXPECT_FALSE(ParseCpuIsaEnv(nullptr).has_value());
+  ASSERT_TRUE(ParseCpuIsaEnv("auto").has_value());
+  EXPECT_EQ(*ParseCpuIsaEnv("auto"), CpuIsa::kAuto);
+  EXPECT_EQ(*ParseCpuIsaEnv("scalar"), CpuIsa::kScalar);
+  EXPECT_EQ(*ParseCpuIsaEnv("avx2"), CpuIsa::kAvx2);
+  EXPECT_EQ(*ParseCpuIsaEnv("avx512"), CpuIsa::kAvx512);
+  // Trailing garbage is rejected, never truncated to a valid prefix.
+  for (const char* bad :
+       {"", " ", "avx2 ", " avx2", "avx2,scalar", "scalar\n", "avx2x",
+        "AVX512", "Scalar", "auto=1", "avx-512", "2"}) {
+    EXPECT_FALSE(ParseCpuIsaEnv(bad).has_value()) << "\"" << bad << "\"";
+  }
+}
+
+TEST(CpuIsaTest, PackModeEnvParseIsStrict) {
+  using cpukernels::CpuPackMode;
+  using cpukernels::ParseCpuPackModeEnv;
+  EXPECT_FALSE(ParseCpuPackModeEnv(nullptr).has_value());
+  ASSERT_TRUE(ParseCpuPackModeEnv("simd").has_value());
+  EXPECT_EQ(*ParseCpuPackModeEnv("simd"), CpuPackMode::kSimd);
+  EXPECT_EQ(*ParseCpuPackModeEnv("scalar"), CpuPackMode::kScalar);
+  for (const char* bad : {"", "SIMD", "simd ", "scalar,simd", "auto"}) {
+    EXPECT_FALSE(ParseCpuPackModeEnv(bad).has_value()) << "\"" << bad
+                                                       << "\"";
+  }
+}
+
 TEST(CpuIsaTest, ResolutionMatrix) {
-  const CpuIsa A = CpuIsa::kAuto, S = CpuIsa::kScalar, V = CpuIsa::kAvx2;
+  const CpuIsa A = CpuIsa::kAuto, S = CpuIsa::kScalar, V = CpuIsa::kAvx2,
+               Z = CpuIsa::kAvx512;
   // env=scalar is a hard kill-switch regardless of request or host.
-  for (CpuIsa requested : {A, S, V}) {
-    for (CpuIsa host : {S, V}) {
+  for (CpuIsa requested : {A, S, V, Z}) {
+    for (CpuIsa host : {S, V, Z}) {
       EXPECT_EQ(ResolveCpuIsaFor(requested, S, host), S);
     }
   }
-  // Unset env (kAuto): AVX2 is opt-in — kAuto stays scalar, an explicit
-  // request is honored iff the host can.
+  // Unset env (kAuto): SIMD is opt-in — kAuto stays scalar, an explicit
+  // request is honored clamped down the ladder to what the host can run.
   EXPECT_EQ(ResolveCpuIsaFor(A, A, V), S);
+  EXPECT_EQ(ResolveCpuIsaFor(A, A, Z), S);
   EXPECT_EQ(ResolveCpuIsaFor(A, A, S), S);
   EXPECT_EQ(ResolveCpuIsaFor(V, A, V), V);
   EXPECT_EQ(ResolveCpuIsaFor(V, A, S), S);  // clamped to host
   EXPECT_EQ(ResolveCpuIsaFor(S, A, V), S);
+  EXPECT_EQ(ResolveCpuIsaFor(Z, A, Z), Z);
+  EXPECT_EQ(ResolveCpuIsaFor(Z, A, V), V);  // one rung down the ladder
+  EXPECT_EQ(ResolveCpuIsaFor(Z, A, S), S);  // two rungs down
+  EXPECT_EQ(ResolveCpuIsaFor(V, A, Z), V);  // a narrow request never widens
   // env=avx2 flips the default for kAuto requests, still host-clamped.
   EXPECT_EQ(ResolveCpuIsaFor(A, V, V), V);
   EXPECT_EQ(ResolveCpuIsaFor(A, V, S), S);
+  EXPECT_EQ(ResolveCpuIsaFor(A, V, Z), V);  // env caps below the host
   EXPECT_EQ(ResolveCpuIsaFor(S, V, V), S);  // per-block scalar pin wins
   EXPECT_EQ(ResolveCpuIsaFor(V, V, V), V);
+  // env=avx512: kAuto requests ride to the top rung the host supports.
+  EXPECT_EQ(ResolveCpuIsaFor(A, Z, Z), Z);
+  EXPECT_EQ(ResolveCpuIsaFor(A, Z, V), V);
+  EXPECT_EQ(ResolveCpuIsaFor(A, Z, S), S);
+  EXPECT_EQ(ResolveCpuIsaFor(S, Z, Z), S);  // scalar pin still wins
+  EXPECT_EQ(ResolveCpuIsaFor(V, Z, Z), V);  // explicit narrow pin wins
+  EXPECT_EQ(ResolveCpuIsaFor(Z, Z, Z), Z);
   // The resolved mode is never kAuto.
-  for (CpuIsa requested : {A, S, V}) {
-    for (CpuIsa env : {A, S, V}) {
-      for (CpuIsa host : {S, V}) {
+  for (CpuIsa requested : {A, S, V, Z}) {
+    for (CpuIsa env : {A, S, V, Z}) {
+      for (CpuIsa host : {S, V, Z}) {
         EXPECT_NE(ResolveCpuIsaFor(requested, env, host), A);
       }
     }
@@ -103,6 +165,12 @@ TEST(CpuIsaTest, ResolutionMatrix) {
 
 TEST(CpuIsaTest, DetectionImpliesCompiledKernel) {
   if (HostHasAvx2Tier()) {
+    EXPECT_TRUE(cpukernels::internal::Avx2MicroKernelAvailable());
+  }
+  if (cpukernels::DetectedCpuIsa() == CpuIsa::kAvx512) {
+    EXPECT_TRUE(cpukernels::internal::Avx512MicroKernelAvailable());
+    EXPECT_TRUE(cpukernels::HostSupportsAvx512());
+    // The ladder never skips a rung: an AVX-512 host also has AVX2+FMA.
     EXPECT_TRUE(cpukernels::internal::Avx2MicroKernelAvailable());
   }
   // Never detects something the resolver would refuse.
@@ -115,9 +183,13 @@ TEST(CpuIsaTest, ArchTokenCarriesTheIsaSuffix) {
       cpukernels::CpuArchTokenFor(info, CpuIsa::kScalar);
   const std::string avx2_tok =
       cpukernels::CpuArchTokenFor(info, CpuIsa::kAvx2);
+  const std::string avx512_tok =
+      cpukernels::CpuArchTokenFor(info, CpuIsa::kAvx512);
   EXPECT_NE(scalar_tok, avx2_tok);
+  EXPECT_NE(avx2_tok, avx512_tok);
   EXPECT_NE(scalar_tok.find("-scalar"), std::string::npos);
   EXPECT_NE(avx2_tok.find("-avx2"), std::string::npos);
+  EXPECT_NE(avx512_tok.find("-avx512"), std::string::npos);
   // The process-wide token reflects the process default, so tuning-cache
   // records never cross ISA modes.
   EXPECT_EQ(cpukernels::CpuArchToken(),
@@ -292,6 +364,282 @@ TEST(SimdDifferentialTest, Avx2TierActuallyDiverges) {
   EXPECT_TRUE(difftest::CheckDiff(
       "gemm", v, s,
       difftest::ToleranceFor(CpuIsa::kAvx2, DType::kFloat32)));
+}
+
+TEST(SimdDifferentialTest, Avx512TierActuallyDiverges) {
+  if (cpukernels::ResolveCpuIsa(CpuIsa::kAvx512) != CpuIsa::kAvx512) {
+    GTEST_SKIP() << "host, binary, or env caps the ladder below AVX-512";
+  }
+  // Same contraction-sensitive shape as the AVX2 reality check: if the
+  // 4x16 kernel were not actually dispatched, scalar and "avx512" would
+  // agree to the bit.  (AVX-512 vs AVX2 is NOT asserted to diverge — both
+  // run the same ascending-k FMA chain per element, just a different
+  // number of lanes, so they may legitimately agree bit-for-bit.)
+  Tensor a = difftest::RandomTensor(
+      TensorDesc(DType::kFloat32, {64, 512}), 33000);
+  Tensor w = difftest::RandomTensor(
+      TensorDesc(DType::kFloat32, {64, 512}), 34000);
+  cpukernels::Epilogue epi;
+  epi.output_dtype = DType::kFloat32;
+  BlockConfig scalar, avx512;
+  scalar.isa = CpuIsa::kScalar;
+  avx512.isa = CpuIsa::kAvx512;
+  Tensor s = cpukernels::Gemm(a, w, epi, scalar);
+  Tensor z = cpukernels::Gemm(a, w, epi, avx512);
+  EXPECT_GT(s.MaxAbsDiff(z), 0.0f)
+      << "AVX-512 and scalar tiers produced bit-identical results on a "
+         "contraction-sensitive shape — is dispatch actually happening?";
+  EXPECT_TRUE(difftest::CheckDiff(
+      "gemm", z, s,
+      difftest::ToleranceFor(CpuIsa::kAvx512, DType::kFloat32)));
+}
+
+// ---------------------------------------------------------------------------
+// Per-tier resolve matrix: every requestable tier runs the same workload
+// and is held to its resolved tolerance.  On hosts missing a rung the
+// request clamps down the ladder — which is the production path, so the
+// assertion still holds (a clamped-to-scalar draw is checked bit-exact).
+// ---------------------------------------------------------------------------
+
+TEST(SimdDifferentialTest, PerTierResolveMatrix) {
+  ThreadPool pool2(2);
+  for (const CpuIsa isa : {CpuIsa::kAuto, CpuIsa::kScalar, CpuIsa::kAvx2,
+                           CpuIsa::kAvx512}) {
+    const CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
+    for (const DType dt : {DType::kFloat32, DType::kFloat16}) {
+      SCOPED_TRACE(StrCat("isa=", cpukernels::CpuIsaName(isa), " resolved=",
+                          cpukernels::CpuIsaName(resolved), " dt=",
+                          DTypeName(dt)));
+      BlockConfig block;
+      block.isa = isa;
+      block.prefetch = true;  // the axis must never change numerics
+      Tensor a = difftest::RandomTensor(TensorDesc(dt, {21, 70}), 35000);
+      Tensor w = difftest::RandomTensor(TensorDesc(dt, {19, 70}), 36000);
+      Tensor bias = difftest::RandomTensor(TensorDesc(dt, {19}), 37000);
+      cpukernels::Epilogue epi;
+      epi.output_dtype = dt;
+      epi.boundary_quantize = true;
+      epi.bias = bias.data().data();
+      epi.acts = {ActivationKind::kRelu};
+      Tensor got = cpukernels::Gemm(a, w, epi, block, &pool2);
+      Tensor want = refop::Activation(
+          refop::BiasAdd(refop::Dense(a, w), bias), ActivationKind::kRelu);
+      EXPECT_TRUE(difftest::CheckDiff("gemm", got, want,
+                                      difftest::ToleranceFor(resolved, dt)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic remainder-tile tuples: the shapes where zero-padding bugs
+// in the vector pack paths would surface — k not a multiple of kc, n and
+// m tails smaller than one micro-tile, panels starting mid-matrix.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDifferentialTest, RemainderTileTuplesAreCoveredExplicitly) {
+  const struct {
+    int64_t m, n, k, mc, kc, nc;
+  } cases[] = {
+      {5, 19, 70, 8, 64, 16},      // m tail 1, n tail 3, k remainder 6
+      {4, 17, 64, 4, 64, 8},       // n = 2*8 + 1: one scalar tail column
+      {3, 7, 9, 64, 256, 4096},    // everything below one micro-tile
+      {12, 16, 130, 8, 64, 8},     // k = 2*64 + 2: 2-deep trailing slice
+      {9, 33, 97, 4, 32, 32},      // several jc panels, 1-wide k tail
+      {1, 1, 1, 4, 8, 8},          // degenerate minimum
+      {16, 15, 48, 8, 16, 16},     // n tail 7: widest masked tail load
+  };
+  for (const auto& c : cases) {
+    for (const CpuIsa isa : {CpuIsa::kAuto, CpuIsa::kScalar, CpuIsa::kAvx2,
+                             CpuIsa::kAvx512}) {
+      const CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
+      for (const DType dt : {DType::kFloat32, DType::kFloat16}) {
+        SCOPED_TRACE(StrCat("m=", c.m, " n=", c.n, " k=", c.k, " mc=", c.mc,
+                            " kc=", c.kc, " nc=", c.nc, " isa=",
+                            cpukernels::CpuIsaName(isa), " dt=",
+                            DTypeName(dt)));
+        BlockConfig block;
+        block.mc = static_cast<int>(c.mc);
+        block.kc = static_cast<int>(c.kc);
+        block.nc = static_cast<int>(c.nc);
+        block.isa = isa;
+        Tensor a = difftest::RandomTensor(TensorDesc(dt, {c.m, c.k}),
+                                          41000 + c.m * 7 + c.k);
+        Tensor w = difftest::RandomTensor(TensorDesc(dt, {c.n, c.k}),
+                                          42000 + c.n * 7 + c.k);
+        Tensor res = difftest::RandomTensor(TensorDesc(dt, {c.m, c.n}),
+                                            43000 + c.m + c.n);
+        cpukernels::Epilogue epi;
+        epi.output_dtype = dt;
+        epi.boundary_quantize = true;
+        epi.residual = res.data().data();
+        epi.acts = {ActivationKind::kHardswish};
+        Tensor got = cpukernels::Gemm(a, w, epi, block);
+        Tensor want = refop::Add(
+            refop::Activation(refop::Dense(a, w), ActivationKind::kHardswish),
+            res);
+        EXPECT_TRUE(difftest::CheckDiff(
+            "gemm", got, want, difftest::ToleranceFor(resolved, dt)));
+      }
+    }
+  }
+  // Conv remainders: a channel count below one vector (NHWC contiguous
+  // runs of 5) and the NCHW gather path with the same tail geometry.
+  for (const Layout layout : {Layout::kNHWC, Layout::kNCHW}) {
+    for (const CpuIsa isa : {CpuIsa::kAuto, CpuIsa::kAvx2,
+                             CpuIsa::kAvx512}) {
+      const CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
+      SCOPED_TRACE(StrCat(LayoutName(layout), " isa=",
+                          cpukernels::CpuIsaName(isa)));
+      BlockConfig block;
+      block.mc = 8;
+      block.kc = 16;  // k = 3*3*5 = 45: a 13-deep trailing slice
+      block.nc = 8;
+      block.isa = isa;
+      std::vector<int64_t> xs = layout == Layout::kNHWC
+                                    ? std::vector<int64_t>{1, 7, 7, 5}
+                                    : std::vector<int64_t>{1, 5, 7, 7};
+      Tensor x = difftest::RandomTensor(
+          TensorDesc(DType::kFloat16, xs, layout), 44000);
+      Tensor w = difftest::RandomTensor(
+          TensorDesc(DType::kFloat16, {11, 3, 3, 5}), 45000);
+      Conv2dAttrs attrs;
+      attrs.pad_h = attrs.pad_w = 1;
+      cpukernels::ConvParams p;
+      p.pad_h = p.pad_w = 1;
+      cpukernels::Epilogue epi;
+      epi.output_dtype = DType::kFloat16;
+      epi.boundary_quantize = true;
+      epi.acts = {ActivationKind::kRelu};
+      Tensor got = cpukernels::Conv2d(x, w, p, epi, block);
+      Tensor want = refop::Activation(refop::Conv2d(x, w, attrs),
+                                      ActivationKind::kRelu);
+      EXPECT_TRUE(difftest::CheckDiff(
+          "conv", got, want,
+          difftest::ToleranceFor(resolved, DType::kFloat16)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packing equality: the vectorized pack paths are *bit-identical data
+// movement* — the SIMD tiers' ULP budget is spent only in the micro-kernel
+// FMA.  These tests pin that claim at the byte level, remainders included.
+// ---------------------------------------------------------------------------
+
+TEST(SimdPackEqualityTest, PackBPanelSimdMatchesScalarPackB) {
+  Rng rng(515151);
+  const struct {
+    int64_t n, k, j0, ncb, p0, kcb;
+  } cases[] = {
+      {8, 8, 0, 8, 0, 8},       // exactly one full strip
+      {19, 70, 0, 19, 64, 6},   // n tail 3, k remainder 6
+      {19, 70, 16, 3, 0, 64},   // last strip narrower than a micro-tile
+      {1, 5, 0, 1, 0, 5},       // single column, sub-vector depth
+      {23, 33, 8, 15, 30, 3},   // offset panel, 3-deep k tail
+      {40, 100, 0, 40, 96, 4},  // several strips over a k tail
+      {9, 17, 0, 9, 0, 17},     // 8 + 1 columns: one remainder column
+      {15, 64, 0, 15, 0, 64},   // 7-wide masked tail
+  };
+  for (const int64_t nr : {int64_t{8}, int64_t{16}}) {
+    for (const auto& c : cases) {
+      SCOPED_TRACE(StrCat("nr=", nr, " n=", c.n, " k=", c.k, " j0=", c.j0,
+                          " ncb=", c.ncb, " p0=", c.p0, " kcb=", c.kcb));
+      std::vector<float> w(static_cast<size_t>(c.n * c.k));
+      rng.FillNormal(w);
+      const int64_t strips = cpukernels::internal::CeilDiv(c.ncb, nr);
+      const size_t bytes = static_cast<size_t>(strips * c.kcb * nr);
+      // Sentinel-fill both buffers so a byte the packer forgot to write
+      // (instead of zero-padding) shows up as a mismatch.
+      std::vector<float> want(bytes, -777.0f), got(bytes, -777.0f);
+      cpukernels::internal::PackB(w.data(), c.k, c.n, c.j0, c.ncb, c.p0,
+                                  c.kcb, nr, want.data());
+      for (const bool prefetch : {false, true}) {
+        std::fill(got.begin(), got.end(), -777.0f);
+        cpukernels::internal::PackBPanelSimd(w.data(), c.k, c.n, c.j0,
+                                             c.ncb, c.p0, c.kcb, nr,
+                                             prefetch, got.data());
+        EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                              bytes * sizeof(float)),
+                  0)
+            << "prefetch=" << prefetch;
+      }
+    }
+  }
+}
+
+TEST(SimdPackEqualityTest, PackA4RunSimdMatchesScalarGather) {
+  Rng rng(626262);
+  std::vector<float> buf(4096);
+  rng.FillNormal(buf);
+  for (const int64_t stride : {int64_t{1}, int64_t{3}, int64_t{7},
+                               int64_t{40}}) {
+    for (const int64_t len : {int64_t{1}, int64_t{2}, int64_t{3},
+                              int64_t{4}, int64_t{5}, int64_t{7},
+                              int64_t{8}, int64_t{9}, int64_t{15},
+                              int64_t{16}, int64_t{31}, int64_t{64}}) {
+      for (int mask = 0; mask < 16; ++mask) {  // every null-row pattern
+        SCOPED_TRACE(StrCat("stride=", stride, " len=", len, " mask=",
+                            mask));
+        const float* rows[4];
+        for (int r = 0; r < 4; ++r) {
+          rows[r] = (mask >> r) & 1 ? buf.data() + r * 61 : nullptr;
+        }
+        std::vector<float> want(static_cast<size_t>(len * 4), -777.0f);
+        std::vector<float> got(static_cast<size_t>(len * 4), -777.0f);
+        for (int64_t t = 0; t < len; ++t) {
+          for (int r = 0; r < 4; ++r) {
+            want[static_cast<size_t>(t * 4 + r)] =
+                rows[r] != nullptr ? rows[r][t * stride] : 0.0f;
+          }
+        }
+        cpukernels::internal::PackA4RunSimd(rows, len, stride, got.data());
+        EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                              want.size() * sizeof(float)),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(SimdPackEqualityTest, PackModeToggleIsBitExact) {
+  // BOLT_CPU_PACK=scalar (here: the runtime override) must reproduce the
+  // vectorized pack/epilogue output exactly — same micro-kernel tier,
+  // only the data movement differs, and data movement has no rounding.
+  if (cpukernels::ResolveCpuIsa(CpuIsa::kAvx2) != CpuIsa::kAvx2) {
+    GTEST_SKIP() << "host or env pins the scalar tier";
+  }
+  const cpukernels::CpuPackMode prev = cpukernels::CurrentCpuPackMode();
+  const struct {
+    int64_t m, n, k;
+  } cases[] = {{5, 19, 70}, {32, 33, 65}, {1, 1, 1}, {24, 16, 128}};
+  for (const auto& c : cases) {
+    for (const DType dt : {DType::kFloat32, DType::kFloat16}) {
+      SCOPED_TRACE(StrCat("m=", c.m, " n=", c.n, " k=", c.k, " dt=",
+                          DTypeName(dt)));
+      BlockConfig block;
+      block.isa = CpuIsa::kAvx2;
+      Tensor a = difftest::RandomTensor(TensorDesc(dt, {c.m, c.k}), 51000);
+      Tensor w = difftest::RandomTensor(TensorDesc(dt, {c.n, c.k}), 52000);
+      Tensor bias = difftest::RandomTensor(TensorDesc(dt, {c.n}), 53000);
+      Tensor res = difftest::RandomTensor(TensorDesc(dt, {c.m, c.n}),
+                                          54000);
+      cpukernels::Epilogue epi;
+      epi.output_dtype = dt;
+      epi.boundary_quantize = true;
+      epi.bias = bias.data().data();
+      epi.residual = res.data().data();
+      epi.acts = {ActivationKind::kHardswish};
+      cpukernels::SetCpuPackMode(cpukernels::CpuPackMode::kScalar);
+      Tensor scalar_pack = cpukernels::Gemm(a, w, epi, block);
+      cpukernels::SetCpuPackMode(cpukernels::CpuPackMode::kSimd);
+      Tensor simd_pack = cpukernels::Gemm(a, w, epi, block);
+      EXPECT_EQ(std::memcmp(scalar_pack.data().data(),
+                            simd_pack.data().data(),
+                            scalar_pack.data().size() * sizeof(float)),
+                0);
+    }
+  }
+  cpukernels::SetCpuPackMode(prev);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,9 +37,11 @@ cpukernels::BlockConfig RandomBlock(Rng& rng, bool isa_axis) {
   if (isa_axis) {
     const cpukernels::CpuIsa isas[] = {cpukernels::CpuIsa::kAuto,
                                        cpukernels::CpuIsa::kScalar,
-                                       cpukernels::CpuIsa::kAvx2};
-    c.isa = isas[rng.Uniform(0, 2)];
+                                       cpukernels::CpuIsa::kAvx2,
+                                       cpukernels::CpuIsa::kAvx512};
+    c.isa = isas[rng.Uniform(0, 3)];
   }
+  c.prefetch = rng.Uniform(0, 1) == 1;
   return c;
 }
 
@@ -50,8 +52,14 @@ const std::vector<ActivationKind> kActivations = {
 };
 
 Tolerance ToleranceFor(cpukernels::CpuIsa resolved, DType dtype) {
+  // Both SIMD tiers share one ULP budget: their packing and epilogue
+  // paths are bit-identical data movement (pack_simd.cc is compiled
+  // without FMA contraction), so the only rounding divergence from the
+  // scalar tier is the micro-kernel FMA — identical in kind for AVX2 and
+  // AVX-512, just a different vector width.
   Tolerance tol;
-  if (resolved == cpukernels::CpuIsa::kAvx2) {
+  if (resolved == cpukernels::CpuIsa::kAvx2 ||
+      resolved == cpukernels::CpuIsa::kAvx512) {
     tol.max_ulps = dtype == DType::kFloat16 ? kSimdMaxUlpsFloat16
                                             : kSimdMaxUlpsFloat32;
     tol.abs_escape = kSimdUlpAbsEscape;

@@ -51,10 +51,11 @@ Tensor RandomTensor(TensorDesc desc, uint64_t seed);
 
 /// Draws a BlockConfig from a space that deliberately includes invalid
 /// values (mc < kMR, nc not a multiple of kNR, non-positive dims) so the
-/// kernels' clamping is part of the tested surface.  With `isa_axis` the
-/// draw also covers the ISA knob {kAuto, kScalar, kAvx2}; kAvx2 degrades
-/// to scalar on hosts without the SIMD tier, which is exactly the
-/// production resolution path and therefore fair game.
+/// kernels' clamping is part of the tested surface.  The prefetch axis is
+/// always drawn (it may never change numerics).  With `isa_axis` the draw
+/// also covers the ISA knob {kAuto, kScalar, kAvx2, kAvx512}; a SIMD
+/// request degrades down the ladder on hosts without the tier, which is
+/// exactly the production resolution path and therefore fair game.
 cpukernels::BlockConfig RandomBlock(Rng& rng, bool isa_axis = false);
 
 /// The epilogue activations the randomized tuples cycle through.
@@ -70,7 +71,9 @@ struct Tolerance {
 
 /// Tier selection: a *resolved* ISA (never kAuto — pass the result of
 /// ResolveCpuIsa) plus the output storage dtype.  Scalar resolves to the
-/// exact tier; AVX2 to the documented SIMD bound on the dtype's own grid.
+/// exact tier; AVX2 and AVX-512 share the documented SIMD bound on the
+/// dtype's own grid (their pack/epilogue paths are bit-identical data
+/// movement; only the micro-kernel FMA width differs).
 Tolerance ToleranceFor(cpukernels::CpuIsa resolved, DType dtype);
 
 /// Per-op accounting snapshot (also mirrored into the metrics registry).
