@@ -15,7 +15,16 @@
 // the batched outputs against the per-request reference oracle under the
 // two-tier contract, and writes the BENCH_serving.json artifact.
 //
-// Flags: --smoke (small workload for CI), --out=PATH (default
+// A third arm, --multitenant, exercises the fair scheduler
+// (serve/scheduler.h): three background tenants run a closed loop alone
+// (phase A), then again while a hot tenant floods the server at 10x
+// their client count (phase B).  The fairness gate requires the
+// background p99 under contention to stay within 1.5x of its
+// uncontended baseline — with a single FIFO queue the hot tenant
+// head-of-line-blocks the background tenants and this gate fails.
+//
+// Flags: --smoke (small workload for CI), --multitenant (fairness arm
+// instead of the batching arms), --out=PATH (default
 // BENCH_serving.json), --trace[=PATH].
 
 #include <algorithm>
@@ -227,6 +236,91 @@ ModeResult RunOpenLoop(serve::Server& server, int64_t requests,
   return r;
 }
 
+/// One closed-loop client stream against a named tenant; returns the
+/// request latencies (us).
+std::vector<double> RunTenantClients(serve::Server& server,
+                                     const std::string& tenant,
+                                     int clients, int64_t per_client,
+                                     uint64_t seed_base,
+                                     std::atomic<int64_t>* errors) {
+  std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& mine = lat[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(per_client));
+      for (int64_t i = 0; i < per_client; ++i) {
+        const uint64_t seed = seed_base + static_cast<uint64_t>(c) * 10000 +
+                              static_cast<uint64_t>(i);
+        const double s = NowUs();
+        auto f = server.Submit(tenant, OneRowInput(seed));
+        if (!f.ok() || !f->get().ok()) {
+          errors->fetch_add(1);
+          continue;
+        }
+        mine.push_back(NowUs() - s);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+struct MultiTenantResult {
+  Percentiles baseline;   // background tenants alone
+  Percentiles contended;  // background tenants + hot tenant at 10x
+  double hot_requests = 0.0;
+  double bg_requests = 0.0;
+};
+
+/// Phase A: the background tenants run their closed loop alone.
+/// Phase B: the same background load, plus the hot tenant at 10x the
+/// background client count.  DRR must keep the background p99 within
+/// the fairness gate despite the flood.
+MultiTenantResult RunMultiTenant(serve::Server& server,
+                                 const std::vector<std::string>& bg,
+                                 const std::string& hot,
+                                 int clients_per_bg, int hot_clients,
+                                 int64_t per_client) {
+  MultiTenantResult r;
+  std::atomic<int64_t> errors{0};
+
+  const auto run_background = [&](uint64_t seed_base) {
+    std::vector<std::thread> tenants;
+    std::vector<std::vector<double>> lat(bg.size());
+    for (size_t t = 0; t < bg.size(); ++t) {
+      tenants.emplace_back([&, t] {
+        lat[t] = RunTenantClients(server, bg[t], clients_per_bg,
+                                  per_client,
+                                  seed_base + 1000000 * (t + 1), &errors);
+      });
+    }
+    for (std::thread& t : tenants) t.join();
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    return all;
+  };
+
+  std::vector<double> alone = run_background(10000000);
+  r.bg_requests = static_cast<double>(alone.size());
+  r.baseline = ComputePercentiles(std::move(alone));
+
+  std::vector<double> hot_lat;
+  std::thread flood([&] {
+    hot_lat = RunTenantClients(server, hot, hot_clients,
+                               per_client, 90000000, &errors);
+  });
+  std::vector<double> contended = run_background(50000000);
+  flood.join();
+  r.hot_requests = static_cast<double>(hot_lat.size());
+  r.contended = ComputePercentiles(std::move(contended));
+
+  BOLT_CHECK_MSG(errors.load() == 0, errors.load() << " serving errors");
+  return r;
+}
+
 /// The correctness gate: a served batch must match the per-request
 /// reference oracle under the two-tier contract (bit-exact scalar tier,
 /// ULP-bounded SIMD tier; here FP32 end to end, so the scalar tier means
@@ -273,10 +367,100 @@ int main(int argc, char** argv) {
   using namespace bolt;
   bench::InitTrace(argc, argv);
   bool smoke = false;
+  bool multitenant = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--multitenant") == 0) multitenant = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  if (multitenant) {
+    bench::Title("bench_serving --multitenant",
+                 "fair scheduling under a hot tenant");
+
+    const std::vector<int64_t> buckets = {1, 2, 4, 8};
+    const int clients_per_bg = 1;
+    const int hot_clients = 10;  // 10x the per-tenant background load
+    const int64_t per_client = smoke ? 40 : 300;
+
+    serve::ServerOptions options;
+    options.queue_capacity = 1024;
+    options.engine_cache_capacity = 16;
+    options.batcher.max_wait_us = 100;
+    options.batcher.num_workers = 2;
+    serve::Server server(options);
+    const std::vector<std::string> bg = {"bg0", "bg1", "bg2"};
+    std::vector<std::string> tenants = bg;
+    tenants.push_back("hot");
+    for (const std::string& name : tenants) {
+      serve::ModelSpec spec;
+      spec.name = name;
+      spec.build_graph = [](int64_t batch) { return BuildMlp(batch); };
+      auto policy = serve::BucketPolicy::Create(buckets);
+      BOLT_CHECK(policy.ok());
+      spec.buckets = std::move(policy).value();
+      Status st = server.RegisterModel(std::move(spec));
+      BOLT_CHECK_MSG(st.ok(), st.ToString());
+    }
+    Status st = server.Start();
+    BOLT_CHECK_MSG(st.ok(), st.ToString());
+    // Warm every tenant's ladder off the measured path.
+    const serve::PrewarmStats warm = server.Prewarm();
+    bench::Note(StrCat("prewarmed ", warm.compiled, " engines (",
+                       warm.failed, " failures)"));
+    bench::Note(StrCat(bg.size(), " background tenants x ", clients_per_bg,
+                       " client(s), hot tenant x ", hot_clients,
+                       " clients, ", per_client, " requests per client"));
+    bench::Rule();
+
+    const MultiTenantResult mt = RunMultiTenant(
+        server, bg, "hot", clients_per_bg, hot_clients, per_client);
+    std::printf("  %-22s p50 %8.1f us   p95 %8.1f us   p99 %8.1f us\n",
+                "background alone", mt.baseline.p50, mt.baseline.p95,
+                mt.baseline.p99);
+    std::printf("  %-22s p50 %8.1f us   p95 %8.1f us   p99 %8.1f us\n",
+                "background contended", mt.contended.p50, mt.contended.p95,
+                mt.contended.p99);
+    bench::Rule();
+
+    // Fairness gate: contended background p99 within 1.5x of its
+    // uncontended baseline.  The absolute floor keeps micro-latency
+    // noise (both p99s a few hundred us) from flipping the gate on
+    // loaded CI machines.
+    constexpr double kNoiseFloorUs = 5000.0;
+    const double ratio = mt.baseline.p99 <= 0.0
+                             ? 0.0
+                             : mt.contended.p99 / mt.baseline.p99;
+    const bool fairness_ok =
+        mt.contended.p99 <= mt.baseline.p99 * 1.5 ||
+        mt.contended.p99 <= kNoiseFloorUs;
+    bench::Note(StrCat("background p99 under contention = ", ratio,
+                       "x baseline (target <= 1.5x, noise floor ",
+                       kNoiseFloorUs, " us)"));
+    if (!fairness_ok) {
+      bench::Note("WARNING: background p99 degraded beyond the 1.5x "
+                  "fairness target");
+    }
+
+    const std::string json = StrCat(
+        "{\"bench\":\"serving\",\"arm\":\"multitenant\",\"smoke\":",
+        smoke ? "true" : "false",
+        ",\"background_tenants\":", bg.size(),
+        ",\"hot_clients\":", hot_clients,
+        ",\"bg_requests\":", mt.bg_requests,
+        ",\"hot_requests\":", mt.hot_requests,
+        ",\"baseline\":{\"p50_us\":", mt.baseline.p50,
+        ",\"p95_us\":", mt.baseline.p95, ",\"p99_us\":", mt.baseline.p99,
+        "},\"contended\":{\"p50_us\":", mt.contended.p50,
+        ",\"p95_us\":", mt.contended.p95, ",\"p99_us\":", mt.contended.p99,
+        "},\"p99_ratio\":", ratio,
+        ",\"fairness_target_met\":", fairness_ok ? "true" : "false", "}");
+    bench::WriteBenchJson(out_path, json);
+
+    server.Stop();
+    bench::FlushTrace();
+    return fairness_ok ? 0 : 1;
   }
 
   bench::Title("bench_serving",

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kFailedPrecondition,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -54,6 +55,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,7 +3,6 @@
 
 #include "serve/batcher.h"
 
-#include <chrono>
 #include <utility>
 
 #include "common/metrics.h"
@@ -12,24 +11,16 @@
 
 namespace bolt {
 namespace serve {
-namespace {
 
-double SteadyNowUs() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-DynamicBatcher::DynamicBatcher(RequestQueue* queue,
+DynamicBatcher::DynamicBatcher(FairScheduler* scheduler,
                                EngineRegistry* registry,
                                const ModelTable* models,
                                BatcherOptions options)
-    : queue_(queue),
+    : scheduler_(scheduler),
       registry_(registry),
       models_(models),
-      options_(options) {}
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {}
 
 DynamicBatcher::~DynamicBatcher() { Stop(); }
 
@@ -43,35 +34,33 @@ void DynamicBatcher::Start() {
 }
 
 void DynamicBatcher::Stop() {
-  queue_->Shutdown();
+  scheduler_->Shutdown();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
 }
 
-void DynamicBatcher::WorkerLoop() {
-  for (;;) {
-    std::vector<Request> batch = queue_->NextBatch(
-        [this](const std::string& model) -> int64_t {
-          auto it = models_->find(model);
-          return it == models_->end() ? 1
-                                      : it->second.buckets.max_bucket();
-        },
-        options_.max_wait_us);
-    if (batch.empty()) return;  // shut down and drained
-    ProcessBatch(std::move(batch));
-  }
-}
-
-int64_t DynamicBatcher::RunOnce() {
-  std::vector<Request> batch = queue_->NextBatch(
+std::vector<Request> DynamicBatcher::PullBatch() {
+  return scheduler_->NextBatch(
       [this](const std::string& model) -> int64_t {
         auto it = models_->find(model);
         return it == models_->end() ? 1
                                     : it->second.buckets.max_bucket();
       },
       options_.max_wait_us);
+}
+
+void DynamicBatcher::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch = PullBatch();
+    if (batch.empty()) return;  // shut down and drained
+    ProcessBatch(std::move(batch));
+  }
+}
+
+int64_t DynamicBatcher::RunOnce() {
+  std::vector<Request> batch = PullBatch();
   if (batch.empty()) return 0;
   return ProcessBatch(std::move(batch));
 }
@@ -126,7 +115,7 @@ int64_t DynamicBatcher::ProcessBatch(std::vector<Request> batch) {
   inputs.reserve(batch.size());
   for (const Request& r : batch) inputs.push_back(r.input);
 
-  const double t0 = SteadyNowUs();
+  const double t0 = clock_->NowUs();
   Result<std::vector<std::vector<Tensor>>> outputs = [&] {
     trace::Span span(
         trace::kPidServe, StrCat("serve.batch/", model), "serve",
@@ -135,7 +124,7 @@ int64_t DynamicBatcher::ProcessBatch(std::vector<Request> batch) {
                ",\"bucket\":", *bucket, "}"));
     return (*engine)->RunBatch(inputs);
   }();
-  const double t1 = SteadyNowUs();
+  const double t1 = clock_->NowUs();
 
   if (!outputs.ok()) return fail_all(outputs.status());
   BOLT_CHECK(outputs->size() == batch.size());
@@ -144,6 +133,9 @@ int64_t DynamicBatcher::ProcessBatch(std::vector<Request> batch) {
   batch_rows.Observe(static_cast<double>(rows));
   padded_rows.Observe(static_cast<double>(*bucket - rows));
   exec_us.Observe(t1 - t0);
+  // Feed the scheduler's prediction loop: slack-aware dispatch and
+  // admission control read this EWMA back per (model, bucket).
+  registry_->RecordExecUs(model, *bucket, t1 - t0);
   for (size_t i = 0; i < batch.size(); ++i) {
     request_us.Observe(t1 - batch[i].enqueue_us);
     batch[i].promise.set_value(std::move((*outputs)[i]));

@@ -1,10 +1,12 @@
 // Copyright (c) 2026 The Bolt Reproduction Authors.
 // SPDX-License-Identifier: Apache-2.0
 //
-// The dynamic batcher: pulls coherent same-model batches off the request
-// queue, rounds them up to a tuned bucket, fetches (or compiles) the
+// The dynamic batcher: pulls coherent same-model batches from the fair
+// scheduler, rounds them up to a tuned bucket, fetches (or compiles) the
 // bucket's engine from the registry, executes once via Engine::RunBatch,
-// and fulfills every request's promise with its output slices.
+// fulfills every request's promise with its output slices, and feeds the
+// measured execution time back into the registry's per-bucket EWMA (the
+// scheduler's slack and admission predictions).
 //
 // Observability: each batched execution emits one span on the
 // trace::kPidServe lane and updates the serve.* metrics
@@ -16,26 +18,31 @@
 #include <thread>
 #include <vector>
 
+#include "serve/clock.h"
 #include "serve/model.h"
-#include "serve/queue.h"
 #include "serve/registry.h"
+#include "serve/scheduler.h"
 
 namespace bolt {
 namespace serve {
 
 struct BatcherOptions {
   /// How long a batch waits for stragglers past its oldest request's
-  /// arrival before executing partially filled (then padded).
+  /// arrival before executing partially filled (then padded).  SLO
+  /// slack can dispatch sooner (serve/scheduler.h).
   int64_t max_wait_us = 2000;
   /// Worker threads pulling batches concurrently.
   int num_workers = 1;
+  /// Time source for execution timing and request latency (nullptr =
+  /// the real steady clock); tests inject a fake clock.
+  Clock* clock = nullptr;
 };
 
 class DynamicBatcher {
  public:
-  /// The queue, registry and model table must outlive the batcher; the
-  /// table must not change while the batcher runs.
-  DynamicBatcher(RequestQueue* queue, EngineRegistry* registry,
+  /// The scheduler, registry and model table must outlive the batcher;
+  /// the table must not change while the batcher runs.
+  DynamicBatcher(FairScheduler* scheduler, EngineRegistry* registry,
                  const ModelTable* models, BatcherOptions options);
   ~DynamicBatcher();
 
@@ -44,27 +51,30 @@ class DynamicBatcher {
 
   /// Spawns the worker threads.  Idempotent.
   void Start();
-  /// Shuts the queue down, lets the workers drain it, and joins them.
+  /// Shuts the scheduler down, lets the workers drain it, and joins
+  /// them.
   void Stop();
 
   /// Processes exactly one batch on the calling thread: blocks until a
   /// request is available (push before calling in tests), then assembles,
   /// executes and fulfills it.  Returns the number of request rows
-  /// served, 0 when the queue is shut down and drained.  Usable
+  /// served, 0 when the scheduler is shut down and drained.  Usable
   /// concurrently with running workers, but meant for deterministic
   /// single-threaded tests.
   int64_t RunOnce();
 
  private:
   void WorkerLoop();
+  std::vector<Request> PullBatch();
   /// Executes one assembled batch and fulfills its promises.  Never
   /// throws; every error lands in the requests' promises.
   int64_t ProcessBatch(std::vector<Request> batch);
 
-  RequestQueue* const queue_;
+  FairScheduler* const scheduler_;
   EngineRegistry* const registry_;
   const ModelTable* const models_;
   const BatcherOptions options_;
+  Clock* const clock_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serve/clock.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace bolt {
+namespace serve {
+namespace {
+
+class RealClock : public Clock {
+ public:
+  double NowUs() const override {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  bool WaitUntil(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock, double deadline_us,
+                 const std::function<bool()>& pred) override {
+    if (!std::isfinite(deadline_us)) {
+      cv.wait(lock, pred);
+      return true;
+    }
+    for (;;) {
+      if (pred()) return true;
+      const double remaining_us = deadline_us - NowUs();
+      if (remaining_us <= 0.0) return pred();
+      cv.wait_for(lock,
+                  std::chrono::duration<double, std::micro>(remaining_us));
+    }
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace serve
+}  // namespace bolt

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// The serving layer's time seam.  Every scheduling decision (straggler
+// deadlines, SLO slack, admission control) reads time through a Clock so
+// tests can inject a fake clock (tests/testing/fake_clock.h) and drive
+// dispatch decisions deterministically — no sleep-based assertions.
+//
+// Waits are routed through the clock too: a condition-variable wait with
+// a timeout is a *time-dependent* operation, so the fake clock must be
+// able to wake waiters when test code advances it.
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+namespace bolt {
+namespace serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic time in microseconds.  The epoch is unspecified; only
+  /// differences are meaningful.
+  virtual double NowUs() const = 0;
+
+  /// Blocks on `cv` (whose associated mutex `lock` holds) until `pred()`
+  /// holds or this clock reaches the absolute time `deadline_us`
+  /// (infinity = wait for pred only).  Spurious wakeups are absorbed.
+  /// Returns pred() at exit: false means the deadline fired first.
+  virtual bool WaitUntil(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         double deadline_us,
+                         const std::function<bool()>& pred) = 0;
+
+  /// The process-wide steady_clock-backed singleton.
+  static Clock* Real();
+};
+
+}  // namespace serve
+}  // namespace bolt

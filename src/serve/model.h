@@ -27,6 +27,14 @@ struct ModelSpec {
   std::function<Result<Graph>(int64_t batch)> build_graph;
   BucketPolicy buckets;
   CompileOptions compile;
+  /// Fair-scheduling weight (> 0): a backlogged tenant's long-run row
+  /// share is weight / sum-of-active-weights (docs/SERVING.md).
+  double weight = 1.0;
+  /// Default per-request SLO in microseconds (0 = none).  Requests
+  /// submitted with an SLO are admission-controlled and dispatched
+  /// early when their deadline slack runs out; Submit can override
+  /// per request.
+  int64_t slo_us = 0;
 
   /// Filled in by Server::RegisterModel from build_graph(max bucket):
   /// the graph input's name and descriptor.  Submit validates request

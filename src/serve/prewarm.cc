@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serve/prewarm.h"
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace bolt {
+namespace serve {
+
+EnginePrewarmer::EnginePrewarmer(EngineRegistry* registry,
+                                 const ModelTable* models)
+    : registry_(registry), models_(models) {}
+
+EnginePrewarmer::~EnginePrewarmer() { Stop(); }
+
+void EnginePrewarmer::Start() {
+  if (worker_.joinable()) return;
+  worker_ = std::thread([this] { WarmAll(); });
+}
+
+void EnginePrewarmer::Stop() {
+  if (worker_.joinable()) worker_.join();
+}
+
+PrewarmStats EnginePrewarmer::WarmAll() {
+  static metrics::Counter& compiled =
+      metrics::Registry::Global().GetCounter("serve.prewarm.compiled");
+  static metrics::Counter& hits =
+      metrics::Registry::Global().GetCounter("serve.prewarm.hit");
+  static metrics::Counter& failed =
+      metrics::Registry::Global().GetCounter("serve.prewarm.failed");
+
+  PrewarmStats stats;
+  for (const auto& [name, spec] : *models_) {
+    for (int64_t bucket : spec.buckets.buckets()) {
+      if (registry_->Contains(name, bucket)) {
+        ++stats.hits;
+        hits.Increment();
+        continue;
+      }
+      trace::Span span(
+          trace::kPidServe, StrCat("serve.prewarm/", name), "serve",
+          StrCat("{\"model\":\"", trace::JsonEscape(name),
+                 "\",\"bucket\":", bucket, "}"));
+      Result<std::shared_ptr<const Engine>> engine =
+          registry_->GetOrCompile(
+              name, bucket,
+              [&spec](int64_t batch) -> Result<Engine> {
+                Result<Graph> graph = spec.build_graph(batch);
+                if (!graph.ok()) return graph.status();
+                return Engine::Compile(*graph, spec.compile);
+              });
+      if (engine.ok()) {
+        ++stats.compiled;
+        compiled.Increment();
+      } else {
+        // Skip this bucket; the failure was not cached, so the next
+        // pass (or the first real request) retries the compile.
+        ++stats.failed;
+        failed.Increment();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace bolt

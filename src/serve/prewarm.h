@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// Background engine prewarming: walks the bucket ladder of every
+// registered model and compiles the engines *off the request path*,
+// through the registry's single-flight GetOrCompile — a request that
+// races a prewarm for the same bucket simply joins the in-flight
+// compile instead of duplicating it.  Without prewarming, the first
+// request to each (model, bucket) pays a full compile (profiler
+// included) inside its latency budget; with it, steady-state traffic
+// starts from a warm cache.
+//
+// Failure isolation: a bucket whose compile fails (error Status or a
+// thrown exception — see EngineRegistry::GetOrCompile) is counted and
+// skipped; the walk continues with the next bucket and the next WarmAll
+// pass retries it, because failed compiles are never cached.
+
+#pragma once
+
+#include <thread>
+
+#include "serve/model.h"
+#include "serve/registry.h"
+
+namespace bolt {
+namespace serve {
+
+struct PrewarmStats {
+  /// Buckets this pass compiled (registry misses it filled).
+  int compiled = 0;
+  /// Buckets already cached (or compiled by a racing request/worker).
+  int hits = 0;
+  /// Buckets whose compile failed; retried on the next pass.
+  int failed = 0;
+};
+
+class EnginePrewarmer {
+ public:
+  /// The registry and model table must outlive the prewarmer; the table
+  /// must not change while it runs (same contract as DynamicBatcher).
+  EnginePrewarmer(EngineRegistry* registry, const ModelTable* models);
+  ~EnginePrewarmer();
+
+  EnginePrewarmer(const EnginePrewarmer&) = delete;
+  EnginePrewarmer& operator=(const EnginePrewarmer&) = delete;
+
+  /// Spawns one background thread running a single WarmAll pass.
+  /// Idempotent while the thread is live.
+  void Start();
+  /// Joins the background thread (waits for the pass to finish).
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Synchronously walks every model's bucket ladder (ascending) once,
+  /// compiling each missing engine.  Safe to call concurrently with
+  /// serving traffic and with the background thread.  Never throws.
+  PrewarmStats WarmAll();
+
+ private:
+  EngineRegistry* const registry_;
+  const ModelTable* const models_;
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace bolt

@@ -4,23 +4,14 @@
 #include "serve/queue.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 namespace bolt {
 namespace serve {
-namespace {
 
-double SteadyNowUs() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-RequestQueue::RequestQueue(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+RequestQueue::RequestQueue(size_t capacity, Clock* clock)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      clock_(clock != nullptr ? clock : Clock::Real()) {}
 
 bool RequestQueue::Push(Request& r) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -28,7 +19,8 @@ bool RequestQueue::Push(Request& r) {
     return queue_.size() < capacity_ || shutdown_;
   });
   if (shutdown_) return false;
-  r.enqueue_us = SteadyNowUs();
+  r.enqueue_us = clock_->NowUs();
+  r.queue_seq = ++next_seq_;
   queue_.push_back(std::move(r));
   // notify_all, not _one: consumers wait on model-specific batch
   // conditions, so the woken waiter is not necessarily the one this
@@ -40,7 +32,8 @@ bool RequestQueue::Push(Request& r) {
 bool RequestQueue::TryPush(Request& r) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_ || queue_.size() >= capacity_) return false;
-  r.enqueue_us = SteadyNowUs();
+  r.enqueue_us = clock_->NowUs();
+  r.queue_seq = ++next_seq_;
   queue_.push_back(std::move(r));
   not_empty_.notify_all();
   return true;
@@ -76,6 +69,11 @@ std::vector<Request> RequestQueue::NextBatch(
 
     const std::string model = queue_.front().model;
     const int64_t cap = std::max<int64_t>(1, max_rows_for(model));
+    // Latch the straggler deadline to the *front* request once.  Later
+    // same-model arrivals that coalesce into this batch must not move
+    // the deadline; only losing the front to a competing consumer
+    // (detected below by queue_seq) re-latches it from the new front.
+    const uint64_t front_seq = queue_.front().queue_seq;
     const double deadline_us =
         queue_.front().enqueue_us + static_cast<double>(max_wait_us);
 
@@ -83,12 +81,24 @@ std::vector<Request> RequestQueue::NextBatch(
     // Re-check the front each wakeup: another consumer may have raced
     // this one to the run we were assembling.
     while (!shutdown_ && !queue_.empty() &&
-           queue_.front().model == model) {
+           queue_.front().model == model &&
+           queue_.front().queue_seq == front_seq) {
       if (CoalescibleRows(model, cap) >= cap) break;
-      const double remaining_us = deadline_us - SteadyNowUs();
-      if (remaining_us <= 0.0) break;
-      not_empty_.wait_for(
-          lock, std::chrono::duration<double, std::micro>(remaining_us));
+      if (!clock_->WaitUntil(not_empty_, lock, deadline_us, [&] {
+            return shutdown_ || queue_.empty() ||
+                   queue_.front().model != model ||
+                   queue_.front().queue_seq != front_seq ||
+                   CoalescibleRows(model, cap) >= cap;
+          })) {
+        break;  // the latched front deadline fired: flush partial
+      }
+    }
+    if (!queue_.empty() && queue_.front().model == model &&
+        queue_.front().queue_seq != front_seq) {
+      // The front we latched was stolen and replaced by a *later*
+      // same-model arrival: re-latch the deadline from the new front
+      // rather than flushing it early against the stale deadline.
+      continue;
     }
 
     // Extract: FIFO same-model run, never splitting a request, stopping

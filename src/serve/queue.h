@@ -3,13 +3,20 @@
 //
 // Bounded MPMC request queue with same-model batch extraction.
 //
-// Producers (Server::Submit) push requests with backpressure; consumers
-// (DynamicBatcher workers) pull *coherent batches*: FIFO runs of requests
-// for one model, coalesced up to a per-model row cap, waiting up to a
-// max-wait deadline (measured from the oldest request's arrival) for
-// stragglers to fill the batch.  Shutdown drains: queued requests are
-// still handed out in batches after Shutdown(); NextBatch returns empty
-// only once the queue is both shut down and empty.
+// Producers push requests with backpressure; consumers pull *coherent
+// batches*: FIFO runs of requests for one model, coalesced up to a
+// per-model row cap, waiting up to a max-wait deadline (measured from
+// the oldest request's arrival) for stragglers to fill the batch.
+// Shutdown drains: queued requests are still handed out in batches after
+// Shutdown(); NextBatch returns empty only once the queue is both shut
+// down and empty.
+//
+// This is the single-FIFO building block the serving layer started with
+// (PR 6).  The server now schedules through the per-model queue set in
+// serve/scheduler.h (deficit-round-robin, SLO-aware dispatch), which
+// inherits this queue's per-model coalescing semantics; RequestQueue
+// stays as the reference implementation those semantics are pinned
+// against, and for single-tenant embedders that want a plain FIFO.
 
 #pragma once
 
@@ -20,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/clock.h"
 #include "serve/request.h"
 
 namespace bolt {
@@ -28,7 +36,9 @@ namespace serve {
 class RequestQueue {
  public:
   /// `capacity` bounds the number of queued requests (not rows).
-  explicit RequestQueue(size_t capacity);
+  /// `clock` is the time source for enqueue stamps and straggler waits
+  /// (nullptr = the real steady clock); it must outlive the queue.
+  explicit RequestQueue(size_t capacity, Clock* clock = nullptr);
 
   /// Blocking push: waits while the queue is full.  Returns false (with
   /// `r` intact) iff the queue was shut down.  Stamps r.enqueue_us.
@@ -43,9 +53,13 @@ class RequestQueue {
   /// FIFO order while their summed rows fit within
   /// `max_rows_for(model)`.  If the batch is not full, waits until
   /// `front.enqueue_us + max_wait_us` for more same-model arrivals.  The
-  /// front request is always taken, even when it alone exceeds the cap
-  /// (the batcher surfaces the error through its promise).  Returns an
-  /// empty vector only when shut down and drained.
+  /// deadline is *latched from the front request once*: later arrivals
+  /// coalescing into the batch never extend the wait, and it is re-read
+  /// only when a competing consumer steals the front (detected via the
+  /// front's queue_seq) and a new front is picked.  The front request is
+  /// always taken, even when it alone exceeds the cap (the batcher
+  /// surfaces the error through its promise).  Returns an empty vector
+  /// only when shut down and drained.
   std::vector<Request> NextBatch(
       const std::function<int64_t(const std::string&)>& max_rows_for,
       int64_t max_wait_us);
@@ -63,10 +77,12 @@ class RequestQueue {
   int64_t CoalescibleRows(const std::string& model, int64_t cap) const;
 
   const size_t capacity_;
+  Clock* const clock_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Request> queue_;
+  uint64_t next_seq_ = 0;
   bool shutdown_ = false;
 };
 

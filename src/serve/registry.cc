@@ -3,6 +3,9 @@
 
 #include "serve/registry.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/metrics.h"
@@ -63,7 +66,20 @@ Result<std::shared_ptr<const Engine>> EngineRegistry::GetOrCompile(
   misses.Increment();
   lock.unlock();
 
-  Result<Engine> compiled = compile(batch);
+  // A compile that *throws* (e.g. a BOLT_CHECK deep in the pipeline)
+  // must complete the flight like any failed Status, or every waiter
+  // parks forever on a slot nobody owns.
+  Result<Engine> compiled = [&]() -> Result<Engine> {
+    try {
+      return compile(batch);
+    } catch (const std::exception& e) {
+      return Status::Internal(
+          StrCat("engine compile for ", key, " threw: ", e.what()));
+    } catch (...) {
+      return Status::Internal(
+          StrCat("engine compile for ", key, " threw a non-exception"));
+    }
+  }();
 
   lock.lock();
   inflight_.erase(key);
@@ -86,6 +102,52 @@ Result<std::shared_ptr<const Engine>> EngineRegistry::GetOrCompile(
   flight->done = true;
   flight->cv.notify_all();
   return engine;
+}
+
+bool EngineRegistry::Contains(const std::string& model,
+                              int64_t batch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(MakeKey(model, batch)) > 0;
+}
+
+void EngineRegistry::RecordExecUs(const std::string& model, int64_t batch,
+                                  double us) {
+  if (!(us >= 0.0)) return;  // rejects negatives and NaN
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& per_bucket = exec_ewma_us_[model];
+  auto it = per_bucket.find(batch);
+  if (it == per_bucket.end()) {
+    per_bucket.emplace(batch, us);
+  } else {
+    it->second += kExecEwmaAlpha * (us - it->second);
+  }
+}
+
+std::optional<double> EngineRegistry::PredictedExecUs(
+    const std::string& model, int64_t batch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto per_model = exec_ewma_us_.find(model);
+  if (per_model == exec_ewma_us_.end() || per_model->second.empty()) {
+    return std::nullopt;
+  }
+  const auto& per_bucket = per_model->second;
+  auto exact = per_bucket.find(batch);
+  if (exact != per_bucket.end()) return exact->second;
+  // Nearest recorded bucket by |log2 ratio|; ties go to the smaller
+  // bucket (map order makes the first minimum the smaller one).
+  const double want = std::log2(static_cast<double>(
+      std::max<int64_t>(batch, 1)));
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_us = 0.0;
+  for (const auto& [bucket, us] : per_bucket) {
+    const double dist = std::abs(
+        std::log2(static_cast<double>(bucket)) - want);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_us = us;
+    }
+  }
+  return best_us;
 }
 
 size_t EngineRegistry::Invalidate(const std::string& model) {

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,14 +41,39 @@ class EngineRegistry {
   /// Returns the cached engine for (model, batch), compiling it via
   /// `compile` on a miss.  Concurrent callers for the same key share one
   /// compilation; callers for different keys compile in parallel.  A
-  /// failed compilation is returned to every waiter but not cached, so a
-  /// later call retries.  Thread-safe.
+  /// failed compilation — error Status *or thrown exception* — is
+  /// returned to every waiter but not cached, so a later call retries;
+  /// a throwing compile never poisons the single-flight slot.
+  /// Thread-safe.
   Result<std::shared_ptr<const Engine>> GetOrCompile(
       const std::string& model, int64_t batch, const CompileFn& compile);
 
+  /// True when (model, batch) is currently cached (does not touch LRU
+  /// recency).
+  bool Contains(const std::string& model, int64_t batch) const;
+
   /// Drops every cached engine for `model` (e.g. tenant unload).
-  /// Returns the number of entries dropped.
+  /// Returns the number of entries dropped.  The exec-time EWMA for the
+  /// model is retained: reload serves the same workload.
   size_t Invalidate(const std::string& model);
+
+  /// Folds one measured batch execution into the EWMA for
+  /// (model, batch): ewma += kExecEwmaAlpha * (us - ewma), seeded with
+  /// the first sample.  The EWMA lives with the registry entry but
+  /// deliberately survives LRU eviction — the scheduler's slack and
+  /// admission decisions need the estimate precisely when the engine is
+  /// cold.
+  void RecordExecUs(const std::string& model, int64_t batch, double us);
+
+  /// Predicted execution time for a `batch`-row run of `model`: the
+  /// exact bucket's EWMA when recorded, otherwise the recorded bucket
+  /// nearest in log2(batch) (smaller bucket on ties), otherwise
+  /// nullopt.
+  std::optional<double> PredictedExecUs(const std::string& model,
+                                        int64_t batch) const;
+
+  /// EWMA smoothing factor for RecordExecUs.
+  static constexpr double kExecEwmaAlpha = 0.25;
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -74,6 +100,8 @@ class EngineRegistry {
   std::list<std::pair<std::string, std::shared_ptr<const Engine>>> lru_;
   std::map<std::string, decltype(lru_)::iterator> index_;
   std::map<std::string, std::shared_ptr<Flight>> inflight_;
+  /// model -> bucket -> EWMA of serve.batch.exec_us.  Survives eviction.
+  std::map<std::string, std::map<int64_t, double>> exec_ewma_us_;
 };
 
 }  // namespace serve

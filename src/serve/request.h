@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,22 @@ struct Request {
   std::promise<Result<std::vector<Tensor>>> promise;
   /// Monotonic id assigned at submission (diagnostics / tracing).
   int64_t id = 0;
-  /// Queue-arrival timestamp on the trace steady clock, microseconds.
-  /// Set by RequestQueue::Push; the batcher's max-wait deadline and the
-  /// serve.request.latency_us histogram are measured from here.
+  /// Queue-arrival timestamp on the serving Clock, microseconds.  Set by
+  /// RequestQueue::Push / FairScheduler::Push; the batcher's max-wait
+  /// deadline and the serve.request.latency_us histogram are measured
+  /// from here.
   double enqueue_us = 0.0;
+  /// Absolute response deadline on the serving Clock (infinity = no
+  /// SLO).  Set by Server::Submit from the model's / request's SLO; the
+  /// scheduler dispatches a partial bucket early when the front
+  /// request's deadline minus the predicted batch exec time leaves no
+  /// slack (docs/SERVING.md).
+  double deadline_us = std::numeric_limits<double>::infinity();
+  /// Queue-side arrival sequence number, stamped on push.  Consumers
+  /// latch the front request's identity with it, so a competing
+  /// consumer stealing the front is detected and the straggler-wait
+  /// deadline is re-latched instead of silently reused.
+  uint64_t queue_seq = 0;
 
   int64_t rows() const {
     return input.shape().empty() ? 0 : input.shape()[0];

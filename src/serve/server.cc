@@ -3,6 +3,7 @@
 
 #include "serve/server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/metrics.h"
@@ -11,11 +12,42 @@
 namespace bolt {
 namespace serve {
 
+namespace {
+
+SchedulerOptions MakeSchedulerOptions(const ServerOptions& options,
+                                      const EngineRegistry* registry,
+                                      const ModelTable* models) {
+  SchedulerOptions sched;
+  sched.capacity = options.queue_capacity;
+  sched.quantum_rows = options.drr_quantum_rows;
+  sched.drain_workers = std::max(1, options.batcher.num_workers);
+  sched.clock = options.batcher.clock;
+  // Predict a rows-row batch by rounding up to the bucket it would run
+  // at and reading the registry's per-(model, bucket) exec EWMA back.
+  sched.exec_predictor =
+      [registry, models](const std::string& model,
+                         int64_t rows) -> std::optional<double> {
+    auto it = models->find(model);
+    if (it == models->end()) return std::nullopt;
+    const BucketPolicy& buckets = it->second.buckets;
+    std::optional<int64_t> bucket =
+        buckets.RoundUp(std::min(rows, buckets.max_bucket()));
+    if (!bucket.has_value()) return std::nullopt;
+    return registry->PredictedExecUs(model, *bucket);
+  };
+  return sched;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options)
     : options_(options),
-      queue_(options.queue_capacity),
+      clock_(options.batcher.clock != nullptr ? options.batcher.clock
+                                              : Clock::Real()),
+      scheduler_(MakeSchedulerOptions(options, &registry_, &models_)),
       registry_(options.engine_cache_capacity),
-      batcher_(&queue_, &registry_, &models_, options.batcher) {}
+      batcher_(&scheduler_, &registry_, &models_, options.batcher),
+      prewarmer_(&registry_, &models_) {}
 
 Server::~Server() { Stop(); }
 
@@ -39,6 +71,15 @@ Status Server::RegisterModel(ModelSpec spec) {
   if (spec.buckets.empty()) {
     return Status::InvalidArgument(
         StrCat("model ", spec.name, " has an empty bucket set"));
+  }
+  if (!(spec.weight > 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, " has non-positive scheduling weight ",
+               spec.weight));
+  }
+  if (spec.slo_us < 0) {
+    return Status::InvalidArgument(
+        StrCat("model ", spec.name, " has negative slo_us ", spec.slo_us));
   }
 
   // Validate the spec at its largest bucket: the serving layer requires
@@ -66,6 +107,7 @@ Status Server::RegisterModel(ModelSpec spec) {
   spec.input_name = input.name;
   spec.input_desc = input.out_desc;
 
+  scheduler_.RegisterModel(spec.name, spec.weight, max_bucket);
   models_.emplace(spec.name, std::move(spec));
   return Status::Ok();
 }
@@ -76,11 +118,17 @@ Status Server::Start() {
     return Status::FailedPrecondition("no models registered");
   }
   started_ = true;
+  if (options_.prewarm_on_start) prewarmer_.Start();
   batcher_.Start();
   return Status::Ok();
 }
 
-void Server::Stop() { batcher_.Stop(); }
+void Server::Stop() {
+  prewarmer_.Stop();
+  batcher_.Stop();
+}
+
+PrewarmStats Server::Prewarm() { return prewarmer_.WarmAll(); }
 
 Result<Request> Server::MakeRequest(const std::string& model,
                                     Tensor input) {
@@ -127,31 +175,72 @@ Result<Request> Server::MakeRequest(const std::string& model,
   return r;
 }
 
-Result<Server::ResponseFuture> Server::Submit(const std::string& model,
-                                              Tensor input) {
+Result<Server::ResponseFuture> Server::Submit(
+    const std::string& model, Tensor input,
+    std::optional<int64_t> slo_us) {
   Result<Request> request = MakeRequest(model, std::move(input));
   if (!request.ok()) return request.status();
+  auto it = models_.find(model);
+  const int64_t slo = slo_us.has_value() ? *slo_us : it->second.slo_us;
+  if (slo < 0) {
+    return Status::InvalidArgument(
+        StrCat("negative slo_us ", slo, " for model ", model));
+  }
   ResponseFuture future = request->promise.get_future();
-  if (!queue_.Push(*request)) {
+
+  if (slo > 0) {
+    // SLO path: admission-control up front and fast-fail rather than
+    // letting a doomed request burn its deadline budget in the queue.
+    Status verdict = scheduler_.Admit(model, request->rows(),
+                                      static_cast<double>(slo));
+    if (!verdict.ok()) return verdict;
+    request->deadline_us = clock_->NowUs() + static_cast<double>(slo);
+    if (!scheduler_.TryPush(*request)) {
+      if (scheduler_.is_shutdown()) {
+        return Status::FailedPrecondition("server is shut down");
+      }
+      return MakeRejected(
+          RejectReason::kQueueFull,
+          StrCat("request queue filled before enqueue (capacity ",
+                 scheduler_.capacity(), ")"));
+    }
+    return future;
+  }
+
+  if (!scheduler_.Push(*request)) {
     return Status::FailedPrecondition("server is shut down");
   }
   return future;
 }
 
-Result<Server::ResponseFuture> Server::TrySubmit(const std::string& model,
-                                                 Tensor input) {
+Result<Server::ResponseFuture> Server::TrySubmit(
+    const std::string& model, Tensor input,
+    std::optional<int64_t> slo_us) {
   Result<Request> request = MakeRequest(model, std::move(input));
   if (!request.ok()) return request.status();
+  auto it = models_.find(model);
+  const int64_t slo = slo_us.has_value() ? *slo_us : it->second.slo_us;
+  if (slo < 0) {
+    return Status::InvalidArgument(
+        StrCat("negative slo_us ", slo, " for model ", model));
+  }
   ResponseFuture future = request->promise.get_future();
-  if (!queue_.TryPush(*request)) {
-    if (queue_.is_shutdown()) {
+  if (slo > 0) {
+    Status verdict = scheduler_.Admit(model, request->rows(),
+                                      static_cast<double>(slo));
+    if (!verdict.ok()) return verdict;
+    request->deadline_us = clock_->NowUs() + static_cast<double>(slo);
+  }
+  if (!scheduler_.TryPush(*request)) {
+    if (scheduler_.is_shutdown()) {
       return Status::FailedPrecondition("server is shut down");
     }
     static metrics::Counter& shed = metrics::Registry::Global().GetCounter(
         "serve.request.shed");
     shed.Increment();
-    return Status::ResourceExhausted(
-        StrCat("request queue is full (capacity ", queue_.capacity(),
+    return MakeRejected(
+        RejectReason::kQueueFull,
+        StrCat("request queue is full (capacity ", scheduler_.capacity(),
                ")"));
   }
   return future;

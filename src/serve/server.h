@@ -10,13 +10,19 @@
 //   auto future = server.Submit("mlp", input);       // [rows, ...tail]
 //   Result<std::vector<Tensor>> outputs = future->get();
 //
-// Requests for the same model are coalesced into one batched execution,
-// padded up to the nearest bucket batch size, and served from the
-// LRU-bounded engine cache.  Per the two-tier numeric contract the
-// demuxed outputs are bit-identical to running each request alone on the
-// same engine (scalar and SIMD tiers alike), and match the per-request
-// reference interpreter bit-exactly on the scalar tier / within ULP
-// tolerance on the SIMD tier.
+// Requests are scheduled through per-model queues under weighted
+// deficit-round-robin (serve/scheduler.h), so one hot tenant can no
+// longer head-of-line-block the others; same-model requests are
+// coalesced into one batched execution, padded up to the nearest bucket
+// batch size, and served from the LRU-bounded engine cache.  Requests
+// carrying an SLO (ModelSpec::slo_us or the Submit override) are
+// admission-controlled — predicted queue wait + predicted exec beyond
+// the SLO fast-fails with a typed Rejected error — and dispatched early
+// when their deadline slack runs out.  Per the two-tier numeric
+// contract the demuxed outputs are bit-identical to running each
+// request alone on the same engine (scalar and SIMD tiers alike), and
+// match the per-request reference interpreter bit-exactly on the scalar
+// tier / within ULP tolerance on the SIMD tier.
 
 #pragma once
 
@@ -25,23 +31,31 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/batcher.h"
 #include "serve/model.h"
-#include "serve/queue.h"
+#include "serve/prewarm.h"
 #include "serve/registry.h"
+#include "serve/scheduler.h"
 
 namespace bolt {
 namespace serve {
 
 struct ServerOptions {
-  /// Bound on queued (not yet batched) requests; Submit blocks and
+  /// Bound on queued (not yet batched) requests across all models;
+  /// Submit blocks (no-SLO requests) or fast-fails (SLO requests) and
   /// TrySubmit fails when it is reached.
   size_t queue_capacity = 256;
   /// Bound on cached compiled engines across all models and buckets.
   size_t engine_cache_capacity = 8;
+  /// DRR quantum in rows per weight unit (0 = each model's max bucket).
+  int64_t drr_quantum_rows = 0;
+  /// Compile every registered model's bucket ladder on Start(), in the
+  /// background, off the request path (serve/prewarm.h).
+  bool prewarm_on_start = false;
   BatcherOptions batcher;
 };
 
@@ -59,29 +73,44 @@ class Server {
   /// Validates the spec by building the graph at the largest bucket:
   /// exactly one graph input whose leading dimension equals the bucket
   /// batch size; records the input descriptor for Submit validation.
+  /// The spec's weight (> 0) and default SLO feed the fair scheduler.
   Status RegisterModel(ModelSpec spec);
 
-  /// Spawns the batcher workers.  Idempotent.
+  /// Spawns the batcher workers (and the prewarmer when
+  /// prewarm_on_start is set).  Idempotent.
   Status Start();
   /// Stops accepting requests, drains the queue, joins the workers.
   /// Idempotent; also run by the destructor.
   void Stop();
 
-  /// Validates and enqueues a request (blocking while the queue is
-  /// full).  `input` has shape [rows, ...tail] with 1 <= rows <= the
-  /// model's largest bucket and tail/dtype matching the registered
-  /// input.  The future yields one tensor per graph output, each sliced
-  /// to this request's rows.
-  Result<ResponseFuture> Submit(const std::string& model, Tensor input);
+  /// Validates and enqueues a request.  `input` has shape
+  /// [rows, ...tail] with 1 <= rows <= the model's largest bucket and
+  /// tail/dtype matching the registered input.  `slo_us` overrides the
+  /// model's default SLO (nullopt = the model default; 0 = no SLO).
+  /// Without an SLO the call blocks while the queue is full
+  /// (backpressure); with one it is admission-controlled and fast-fails
+  /// with a typed Rejected{kPredictedLateness|kQueueFull} error instead
+  /// of burning deadline budget in the queue.  The future yields one
+  /// tensor per graph output, each sliced to this request's rows.
+  Result<ResponseFuture> Submit(const std::string& model, Tensor input,
+                                std::optional<int64_t> slo_us =
+                                    std::nullopt);
 
   /// Non-blocking Submit: kResourceExhausted when the queue is full.
-  Result<ResponseFuture> TrySubmit(const std::string& model, Tensor input);
+  Result<ResponseFuture> TrySubmit(const std::string& model, Tensor input,
+                                   std::optional<int64_t> slo_us =
+                                       std::nullopt);
+
+  /// Synchronously compiles every registered model's bucket ladder
+  /// through the single-flight registry (tests, benches, warm restarts).
+  PrewarmStats Prewarm();
 
   /// Components, exposed for deterministic tests and benches (e.g.
   /// batcher().RunOnce() instead of Start()).
-  RequestQueue& queue() { return queue_; }
+  FairScheduler& scheduler() { return scheduler_; }
   EngineRegistry& registry() { return registry_; }
   DynamicBatcher& batcher() { return batcher_; }
+  EnginePrewarmer& prewarmer() { return prewarmer_; }
   const ModelTable& models() const { return models_; }
 
  private:
@@ -89,10 +118,12 @@ class Server {
   Result<Request> MakeRequest(const std::string& model, Tensor input);
 
   ServerOptions options_;
-  RequestQueue queue_;
+  Clock* clock_;
+  FairScheduler scheduler_;
   EngineRegistry registry_;
   ModelTable models_;
   DynamicBatcher batcher_;
+  EnginePrewarmer prewarmer_;
   std::mutex mu_;  // guards models_ mutation and started_
   bool started_ = false;
   std::atomic<int64_t> next_id_{0};

@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The Bolt Reproduction Authors.
+// SPDX-License-Identifier: Apache-2.0
+//
+// A manually-advanced serve::Clock for deterministic scheduler tests.
+//
+// Two usage modes:
+//
+//   * Manual: test code calls Advance()/AdvanceTo() from another thread
+//     while a consumer blocks inside a clock wait.  Advance wakes every
+//     registered waiter, so the consumer re-evaluates its deadline at
+//     the new fake time — no sleeps, no races: Advance acquires each
+//     waiter's mutex before notifying, so a waiter is either not yet
+//     blocked (and re-reads the advanced clock before waiting) or is
+//     parked in the wait (and receives the notification).
+//
+//   * Auto-advance: WaitUntil jumps the clock straight to its deadline
+//     when the predicate is not yet satisfied, so a single-threaded test
+//     can call e.g. FairScheduler::NextBatch and observe the partial
+//     batch flush "at" the straggler deadline, with NowUs() reporting
+//     exactly when the dispatch decision fired.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "serve/clock.h"
+
+namespace bolt {
+namespace testing {
+
+class FakeClock : public serve::Clock {
+ public:
+  explicit FakeClock(double start_us = 0.0, bool auto_advance = false)
+      : now_us_(start_us), auto_advance_(auto_advance) {}
+
+  double NowUs() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_us_;
+  }
+
+  bool WaitUntil(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock, double deadline_us,
+                 const std::function<bool()>& pred) override {
+    for (;;) {
+      if (pred()) return true;
+      if (NowUs() >= deadline_us) return false;
+      if (auto_advance_ && std::isfinite(deadline_us)) {
+        // Jump to the deadline; the caller's mutex is held, so skip
+        // locking it when notifying other waiters parked on it.
+        AdvanceToInternal(deadline_us, lock.mutex());
+        continue;
+      }
+      Register(&cv, lock.mutex());
+      cv.wait(lock);
+      Deregister(&cv, lock.mutex());
+    }
+  }
+
+  void Advance(double delta_us) { AdvanceTo(NowUs() + delta_us); }
+
+  void AdvanceTo(double target_us) {
+    AdvanceToInternal(target_us, /*held=*/nullptr);
+  }
+
+  void set_auto_advance(bool on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto_advance_ = on;
+  }
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mu;
+  };
+
+  void Register(std::condition_variable* cv, std::mutex* mu) {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters_.push_back({cv, mu});
+  }
+
+  void Deregister(std::condition_variable* cv, std::mutex* mu) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                           [&](const Waiter& w) {
+                             return w.cv == cv && w.mu == mu;
+                           });
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+
+  void AdvanceToInternal(double target_us, std::mutex* held) {
+    std::vector<Waiter> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      now_us_ = std::max(now_us_, target_us);
+      snapshot = waiters_;
+    }
+    for (const Waiter& w : snapshot) {
+      if (w.mu == held) {
+        w.cv->notify_all();
+      } else {
+        std::lock_guard<std::mutex> g(*w.mu);
+        w.cv->notify_all();
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  double now_us_;
+  bool auto_advance_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace testing
+}  // namespace bolt
