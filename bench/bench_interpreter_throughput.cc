@@ -33,9 +33,21 @@
 // geomean at the AVX2 rung — the run asserts that gate.  Emits
 // BENCH_simd_tiers.json with per-rung geomeans for CI tracking.
 //
+// With --layouts, a set of NCHW-heavy workloads (framework-export
+// pointwise segments, where boundary layout transforms are a large
+// fraction of runtime) is measured under two compile pipelines: the fixed
+// pipeline (LayoutTransformPass — everything to NHWC, transforms at both
+// ends) and the ALT-style tuned pipeline (LayoutSearchPass — each
+// partition picks NCHW / NHWC / blocked NCHWc and agreeing boundaries
+// elide their transforms).  Both arms must agree with the naive oracle
+// under the two-tier contract, and the tuned arm must beat fixed-NHWC by
+// >= 1.10x geomean — the run asserts that gate.  Emits BENCH_layout.json
+// for CI tracking.
+//
 // Usage: bench_interpreter_throughput [--smoke] [--tuned] [--tiers]
-//                                     [--out=PATH] [--tiers-out=PATH]
-//                                     [--trace[=P]]
+//                                     [--layouts] [--out=PATH]
+//                                     [--tiers-out=PATH]
+//                                     [--layouts-out=PATH] [--trace[=P]]
 
 #include <algorithm>
 #include <chrono>
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "bolt/passes.h"
 #include "common/rng.h"
 #include "common/ulp.h"
 #include "cpukernels/backend.h"
@@ -448,6 +461,150 @@ void RunTierBench(std::vector<Workload>& workloads,
   bench::WriteBenchJson(out_path, json);
 }
 
+/// The --layouts acceptance gate: on NCHW-heavy workloads the ALT tuned
+/// pipeline (LayoutSearchPass) must beat the fixed-NHWC pipeline
+/// (LayoutTransformPass) by this geomean factor — it wins by eliding the
+/// boundary transforms the fixed pipeline pays on every inference.
+constexpr double kLayoutGate = 1.10;
+
+/// Shallow elementwise merges in NCHW with `inputs` rank-4 inputs feeding
+/// `ops` binary/unary ops.  The fixed-NHWC pipeline pays one boundary
+/// transform per input plus one at the output; the tuned plan keeps the
+/// region in NCHW and elides every one, while the elementwise work itself
+/// is layout-indifferent — so the transform fraction, and the tuned win,
+/// grows with the input-to-op ratio.
+Workload MakeEltwiseMergeNchw(int inputs, int64_t c, int64_t hw,
+                              uint64_t seed) {
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  const std::vector<int64_t> shape = {1, c, hw, hw};
+  Workload wl;
+  const TensorDesc d(DType::kFloat16, shape, Layout::kNCHW);
+  std::vector<NodeId> in;
+  for (int i = 0; i < inputs; ++i) {
+    const std::string name = StrCat("x", i);
+    in.push_back(b.Input(name, shape));
+    wl.inputs[name] = RandomTensor(d, seed + i);
+  }
+  // Pairwise merge tree: inputs-1 binary ops total.
+  while (in.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i + 1 < in.size(); i += 2) {
+      next.push_back(i == 0 ? b.Mul(in[i], in[i + 1])
+                            : b.Add(in[i], in[i + 1]));
+    }
+    if (in.size() % 2 == 1) next.push_back(in.back());
+    in = std::move(next);
+  }
+  b.MarkOutput(in[0]);
+  wl.name = StrCat("eltwise_merge", inputs, "_", hw, "x", hw, "x", c,
+                   "_nchw");
+  wl.graph = b.Build().value();
+  wl.iters = 5;
+  return wl;
+}
+
+/// Pointwise 1x1 conv with a second NCHW residual input — the conv's
+/// NCHW im2col gather roughly cancels the fixed arm's faster NHWC conv,
+/// so the tuned win is the elided residual-input and output transforms.
+Workload MakePointwiseResidualNchw(int64_t c, int64_t hw, uint64_t seed) {
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  const std::vector<int64_t> shape = {1, c, hw, hw};
+  NodeId x = b.Input("x", shape);
+  NodeId r = b.Input("r", shape);
+  NodeId w = b.Constant(
+      "w", RandomWeight(DType::kFloat16, {c, 1, 1, c}, seed));
+  NodeId out = b.Activation(b.Add(b.Conv2d(x, w, Conv2dAttrs{}), r),
+                            ActivationKind::kRelu);
+  b.MarkOutput(out);
+  Workload wl;
+  wl.name = StrCat("pointwise_residual_", hw, "x", hw, "x", c, "_nchw");
+  wl.graph = b.Build().value();
+  const TensorDesc d(DType::kFloat16, shape, Layout::kNCHW);
+  wl.inputs["x"] = RandomTensor(d, seed + 10);
+  wl.inputs["r"] = RandomTensor(d, seed + 11);
+  wl.iters = 5;
+  return wl;
+}
+
+/// Fixed-NHWC pipeline vs ALT tuned layouts on NCHW-heavy workloads.
+/// Both arms run the same fused/threaded interpreter on the rewritten
+/// graph; only the layout pass differs.  Asserts two-tier agreement with
+/// the naive oracle of the *original* graph for both arms and the
+/// kLayoutGate geomean for the tuned one.
+void RunLayoutBench(bool smoke, const std::string& out_path) {
+  bench::Rule();
+  bench::Note(
+      "layout search: fixed-NHWC pipeline vs ALT tuned layouts "
+      "(NCHW-heavy workloads)");
+
+  std::vector<Workload> wls;
+  wls.push_back(MakeEltwiseMergeNchw(2, 32, 64, 900));
+  wls.push_back(MakeEltwiseMergeNchw(4, 16, 48, 920));
+  wls.push_back(MakePointwiseResidualNchw(8, 56, 940));
+
+  const DeviceSpec spec = DeviceSpec::TeslaT4();
+  InterpreterOptions opts;
+  opts.backend = cpukernels::Backend::kFastCpu;
+  opts.fuse_epilogues = true;
+  opts.parallel = true;
+  opts.use_tuned_blocks = false;
+
+  std::string json = StrCat(
+      "{\"bench\":\"layout_search\",\"smoke\":", smoke ? "true" : "false",
+      ",\"threads\":", cpukernels::DefaultNumThreads(), ",\"isa\":\"",
+      cpukernels::CpuIsaName(cpukernels::DefaultCpuIsa()),
+      "\",\"gate\":", kLayoutGate, ",\"workloads\":[");
+  double log_ratio_sum = 0.0;
+  bool first_wl = true;
+  for (Workload& wl : wls) {
+    const int iters = smoke ? 3 : wl.iters;
+    const Tensor oracle = RefExecutor(wl.graph)
+                              .Run(wl.inputs)
+                              .value()[0];  // original-graph semantics
+
+    PassStats fixed_stats;
+    const Graph fixed = LayoutTransformPass(wl.graph, &fixed_stats);
+    PassStats tuned_stats;
+    const Graph tuned = LayoutSearchPass(wl.graph, spec, &tuned_stats);
+
+    Interpreter fixed_interp(fixed, opts);
+    Interpreter tuned_interp(tuned, opts);
+    const double fixed_us = RunUs(fixed_interp, wl.inputs, iters);
+    const double tuned_us = RunUs(tuned_interp, wl.inputs, iters);
+    CheckAgainstOracle(fixed_interp.Run(wl.inputs).value()[0], oracle,
+                       StrCat(wl.name, " fixed-nhwc"));
+    CheckAgainstOracle(tuned_interp.Run(wl.inputs).value()[0], oracle,
+                       StrCat(wl.name, " tuned-layout"));
+    const double ratio = fixed_us / tuned_us;
+    log_ratio_sum += std::log(ratio);
+    std::printf("  %-26s fixed-nhwc %8.0f us (%d transforms)  "
+                "tuned %8.0f us (%d inserted, %d elided)  %5.2fx\n",
+                wl.name.c_str(), fixed_us,
+                fixed_stats.layout_transforms_inserted, tuned_us,
+                tuned_stats.layout_transforms_inserted,
+                tuned_stats.layout_transforms_elided, ratio);
+    json += StrCat(first_wl ? "" : ",", "{\"name\":", bench::JsonStr(wl.name),
+                   ",\"fixed_us\":", fixed_us, ",\"tuned_us\":", tuned_us,
+                   ",\"fixed_transforms\":",
+                   fixed_stats.layout_transforms_inserted,
+                   ",\"tuned_transforms\":",
+                   tuned_stats.layout_transforms_inserted,
+                   ",\"tuned_elided\":", tuned_stats.layout_transforms_elided,
+                   ",\"speedup\":", ratio, "}");
+    first_wl = false;
+  }
+  const double geomean =
+      std::exp(log_ratio_sum / static_cast<double>(wls.size()));
+  json += StrCat("],\"layout_geomean\":", geomean, "}\n");
+  bench::Note(StrCat("tuned-layout vs fixed-NHWC geomean: ",
+                     StrCat(geomean), "x (gate ", kLayoutGate, "x)"));
+  BOLT_CHECK_MSG(geomean >= kLayoutGate,
+                 "tuned layouts missed the gate on NCHW-heavy workloads: "
+                     << geomean << "x < " << kLayoutGate << "x");
+  bench::Rule();
+  bench::WriteBenchJson(out_path, json);
+}
+
 }  // namespace
 }  // namespace bolt
 
@@ -457,15 +614,21 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool tuned_mode = false;
   bool tiers_mode = false;
+  bool layouts_mode = false;
   std::string out_path = "BENCH_interpreter.json";
   std::string tiers_out_path = "BENCH_simd_tiers.json";
+  std::string layouts_out_path = "BENCH_layout.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--tuned") == 0) tuned_mode = true;
     if (std::strcmp(argv[i], "--tiers") == 0) tiers_mode = true;
+    if (std::strcmp(argv[i], "--layouts") == 0) layouts_mode = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
     if (std::strncmp(argv[i], "--tiers-out=", 12) == 0) {
       tiers_out_path = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--layouts-out=", 14) == 0) {
+      layouts_out_path = argv[i] + 14;
     }
   }
 
@@ -596,6 +759,7 @@ int main(int argc, char** argv) {
   bench::Rule();
   bench::WriteBenchJson(out_path, json);
   if (tiers_mode) RunTierBench(workloads, oracles, smoke, tiers_out_path);
+  if (layouts_mode) RunLayoutBench(smoke, layouts_out_path);
   bench::FlushTrace();
   return 0;
 }

@@ -343,14 +343,15 @@ Status Engine::TuneCpuKernels(Profiler& profiler) {
         CpuConvWorkload w;
         w.layout = x.layout;
         w.batch = x.shape[0];
-        if (x.layout == Layout::kNCHW) {
-          w.c = x.shape[1];
-          w.h = x.shape[2];
-          w.w = x.shape[3];
-        } else {
+        if (x.layout == Layout::kNHWC) {
           w.h = x.shape[1];
           w.w = x.shape[2];
           w.c = x.shape[3];
+        } else {
+          // kNCHW and blocked kNCHWc both keep the logical NCHW shape.
+          w.c = x.shape[1];
+          w.h = x.shape[2];
+          w.w = x.shape[3];
         }
         w.oc = wt.shape[0];
         w.kh = wt.shape[1];
@@ -779,7 +780,8 @@ Result<std::vector<Tensor>> Engine::Run(
           const cpukernels::BlockConfig block =
               cpukernels::FindTunedBlockNearBatch(
                   cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
-                  cpukernels::DefaultBackend())
+                  cpukernels::DefaultBackend(),
+                  env[n.inputs[0]].layout())
                   .value_or(cpukernels::BlockConfig{});
           env[n.id] =
               cpukernels::Conv2d(env[n.inputs[0]], env[n.inputs[1]], p, epi,

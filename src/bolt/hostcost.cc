@@ -114,4 +114,99 @@ double ElementwiseChainCostUs(const DeviceSpec& spec, const Graph& graph,
   return std::max(mem, compute_us) + spec.kernel_launch_us;
 }
 
+double LayoutTransformCostUs(const DeviceSpec& spec, const TensorDesc& desc,
+                             Layout from, Layout to) {
+  if (from == to) return 0.0;
+  const double traffic = 2.0 * BytesOf(desc);
+  return MemoryTimeUs(traffic, spec.dram_gbps, 0.7) + spec.kernel_launch_us;
+}
+
+double ConvLayoutAffinityCostUs(const DeviceSpec& spec, const Graph& graph,
+                                const Node& node, Layout layout) {
+  // The layout-sensitive traffic is the im2col read of the activation:
+  // NCHW gathers each GEMM-row's channels at stride H*W, NHWC streams them
+  // unit-stride, and NCHWc additionally keeps whole micro-kernel panels
+  // contiguous so packing degenerates to straight copies.
+  const double in_bytes = BytesOf(graph.node(node.inputs[0]).out_desc);
+  double efficiency = 0.9;  // kNHWC: unit-stride channel runs
+  switch (layout) {
+    case Layout::kNCHW:
+      efficiency = 0.45;
+      break;
+    case Layout::kNCHWc:
+      efficiency = 0.95;
+      break;
+    default:
+      break;
+  }
+  return MemoryTimeUs(in_bytes, spec.dram_gbps, efficiency);
+}
+
+bool IsLayoutFlexible(const Graph& graph, const Node& node) {
+  (void)graph;
+  if (node.out_desc.rank() != 4) return false;
+  switch (node.kind) {
+    case OpKind::kConv2d:
+    case OpKind::kBiasAdd:
+    case OpKind::kActivation:
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+int64_t LogicalChannels(const TensorDesc& desc) {
+  return desc.layout == Layout::kNHWC ? desc.shape[3] : desc.shape[1];
+}
+
+/// NCHWc is only on the menu when every activation the region touches has
+/// channels divisible by the block width — including conv inputs arriving
+/// from outside the region.
+bool RegionSupportsNCHWc(const Graph& graph, const Region& region) {
+  for (NodeId id : region.nodes) {
+    const Node& n = graph.node(id);
+    if (n.out_desc.rank() != 4) return false;
+    if (LogicalChannels(n.out_desc) % kNCHWcBlock != 0) return false;
+    if (n.kind == OpKind::kConv2d) {
+      const TensorDesc& xd = graph.node(n.inputs[0]).out_desc;
+      if (LogicalChannels(xd) % kNCHWcBlock != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LayoutCostModel MakeCpuLayoutCostModel(const DeviceSpec& spec) {
+  LayoutCostModel model;
+  model.candidates = [](const Graph& graph, const Region& region) {
+    for (NodeId id : region.nodes) {
+      if (!IsLayoutFlexible(graph, graph.node(id))) return std::vector<Layout>{};
+    }
+    std::vector<Layout> c = {Layout::kNCHW, Layout::kNHWC};
+    if (RegionSupportsNCHWc(graph, region)) c.push_back(Layout::kNCHWc);
+    return c;
+  };
+  model.region_cost_us = [spec](const Graph& graph, const Region& region,
+                                Layout layout) {
+    double cost = 0.0;
+    for (NodeId id : region.nodes) {
+      const Node& n = graph.node(id);
+      if (n.kind == OpKind::kConv2d) {
+        cost += ConvLayoutAffinityCostUs(spec, graph, n, layout);
+      }
+    }
+    return cost;
+  };
+  model.transform_cost_us = [spec](const TensorDesc& desc, Layout from,
+                                   Layout to) {
+    return LayoutTransformCostUs(spec, desc, from, to);
+  };
+  return model;
+}
+
 }  // namespace bolt

@@ -13,6 +13,7 @@
 
 #include "device/spec.h"
 #include "ir/graph.h"
+#include "ir/partition.h"
 
 namespace bolt {
 
@@ -29,5 +30,34 @@ double ElementwiseChainCostUs(const DeviceSpec& spec, const Graph& graph,
 /// True if the op is element-wise and eligible for TVM-style fusion into a
 /// producer kernel chain.
 bool IsElementwiseFusable(OpKind kind);
+
+/// --- Layout-search costs (ALT) -----------------------------------------
+
+/// Cost of one boundary layout transform of `desc`: zero when the layouts
+/// agree (elided), otherwise a read+write pass with transpose-degraded
+/// coalescing plus a launch — the same model HostOpCostUs charges for an
+/// executed kLayoutTransform node. Strictly monotone in tensor bytes.
+double LayoutTransformCostUs(const DeviceSpec& spec, const TensorDesc& desc,
+                             Layout from, Layout to);
+
+/// Extra cost a conv2d pays for executing under `layout`: NCHW im2col
+/// gathers channels at stride H*W, NHWC streams them contiguously, and
+/// blocked NCHWc turns the gather into a contiguous no-op copy. Modeled as
+/// the activation read at a layout-dependent efficiency so the ordering
+/// cost(NCHW) > cost(NHWC) > cost(NCHWc) holds for every conv shape.
+double ConvLayoutAffinityCostUs(const DeviceSpec& spec, const Graph& graph,
+                                const Node& node, Layout layout);
+
+/// True if the node may be re-tagged to any of NCHW / NHWC / NCHWc by the
+/// layout planner: rank-4 conv anchors and the elementwise ops that ride
+/// along in their region.
+bool IsLayoutFlexible(const Graph& graph, const Node& node);
+
+/// Assembles the LayoutCostModel for AssignRegionLayouts: candidates are
+/// {NCHW, NHWC} plus NCHWc when every channel dimension in the region is
+/// divisible by kNCHWcBlock; region cost sums conv layout affinities
+/// (elementwise ops are layout-neutral); transform cost is
+/// LayoutTransformCostUs.
+LayoutCostModel MakeCpuLayoutCostModel(const DeviceSpec& spec);
 
 }  // namespace bolt

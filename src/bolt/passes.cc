@@ -1,8 +1,12 @@
 #include "bolt/passes.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
+#include "bolt/hostcost.h"
 #include "cutlite/padding.h"
+#include "ir/partition.h"
 
 namespace bolt {
 
@@ -247,6 +251,164 @@ Graph LayoutTransformPass(const Graph& graph, PassStats* stats) {
       if (stats != nullptr) ++stats->layout_transforms_inserted;
     }
     b.MarkOutput(id);
+  }
+  auto built = b.Build();
+  BOLT_CHECK_MSG(built.ok(), built.status().ToString());
+  return std::move(built).value();
+}
+
+Graph LayoutSearchPass(const Graph& graph, const DeviceSpec& spec,
+                       PassStats* stats) {
+  const PartitionResult parts = PartitionGraph(
+      graph,
+      [](const Graph& g, const Node& n) { return IsLayoutFlexible(g, n); });
+  const LayoutPlan plan =
+      AssignRegionLayouts(graph, parts, MakeCpuLayoutCostModel(spec));
+
+  bool any_choice = false;
+  for (Layout l : plan.region_layout) any_choice |= l != Layout::kAny;
+  if (!any_choice) {
+    Rebuild rb(graph);
+    for (const Node& n : graph.nodes()) rb.Copy(n);
+    return rb.Finish();
+  }
+  if (stats != nullptr) {
+    stats->layout_transforms_elided += plan.elided_transforms;
+  }
+
+  // Re-issue every op through a builder (shape inference follows the input
+  // layouts automatically). remap[id] holds each old node's value in its
+  // *chosen* layout; realize() converts on demand for consumers that want
+  // a different one, memoizing so one producer is transformed at most once
+  // per target layout.
+  GraphBuilder b(graph.nodes().empty() ? DType::kFloat16
+                                       : graph.nodes()[0].out_desc.dtype,
+                 Layout::kNHWC);
+  std::vector<NodeId> remap(graph.num_nodes(), -1);
+  std::vector<Layout> emitted(graph.num_nodes(), Layout::kAny);
+  std::map<std::pair<NodeId, Layout>, NodeId> realized;
+
+  auto is_act_layout = [](Layout l) {
+    return l == Layout::kNCHW || l == Layout::kNHWC || l == Layout::kNCHWc;
+  };
+  auto target_of = [&](const Node& n) {
+    const int r = parts.region_of[n.id];
+    if (r >= 0 && plan.region_layout[r] != Layout::kAny) {
+      return plan.region_layout[r];
+    }
+    return n.out_desc.layout;
+  };
+  auto realize = [&](NodeId old_id, Layout want) {
+    const NodeId base = remap[old_id];
+    const Node& p = graph.node(old_id);
+    // Only rank-4 activations are re-laid-out; weights and rank-2 values
+    // pass through untouched.
+    if (p.out_desc.rank() != 4 || !is_act_layout(want) ||
+        !is_act_layout(emitted[old_id]) || emitted[old_id] == want) {
+      return base;
+    }
+    const auto key = std::make_pair(old_id, want);
+    if (auto it = realized.find(key); it != realized.end()) {
+      return it->second;
+    }
+    const NodeId t = b.LayoutTransform(
+        base, want, StrCat(p.name, "_to_", LayoutName(want)));
+    realized[key] = t;
+    if (stats != nullptr) ++stats->layout_transforms_inserted;
+    return t;
+  };
+
+  for (const Node& n : graph.nodes()) {
+    const Layout want = target_of(n);
+    switch (n.kind) {
+      case OpKind::kInput:
+        remap[n.id] = b.Input(n.name, n.out_desc.shape, n.out_desc.layout);
+        break;
+      case OpKind::kConstant:
+        remap[n.id] = graph.is_constant(n.id)
+                          ? b.Constant(n.name, graph.constant(n.id))
+                          : b.ConstantDesc(n.name, n.out_desc);
+        break;
+      case OpKind::kConv2d:
+        remap[n.id] =
+            b.Conv2d(realize(n.inputs[0], want), remap[n.inputs[1]],
+                     Conv2dAttrs::FromNode(n), n.name);
+        break;
+      case OpKind::kDense:
+        remap[n.id] =
+            b.Dense(remap[n.inputs[0]], remap[n.inputs[1]], n.name);
+        break;
+      case OpKind::kBiasAdd:
+        remap[n.id] =
+            b.BiasAdd(realize(n.inputs[0], want), remap[n.inputs[1]],
+                      n.name);
+        break;
+      case OpKind::kActivation: {
+        auto k = ActivationFromName(n.attrs.GetStr("kind"));
+        remap[n.id] = b.Activation(realize(n.inputs[0], want), k.value(),
+                                   n.name);
+        break;
+      }
+      case OpKind::kAdd:
+        remap[n.id] = b.Add(realize(n.inputs[0], want),
+                            realize(n.inputs[1], want), n.name);
+        break;
+      case OpKind::kMul:
+        remap[n.id] = b.Mul(realize(n.inputs[0], want),
+                            realize(n.inputs[1], want), n.name);
+        break;
+      case OpKind::kCast:
+        remap[n.id] = b.Cast(realize(n.inputs[0], want), n.out_desc.dtype,
+                             n.name);
+        break;
+      case OpKind::kMaxPool2d:
+        remap[n.id] = b.MaxPool2d(realize(n.inputs[0], want),
+                                  n.attrs.GetInt("kernel"),
+                                  n.attrs.GetInt("stride"), n.name);
+        break;
+      case OpKind::kGlobalAvgPool:
+        remap[n.id] = b.GlobalAvgPool(realize(n.inputs[0], want), n.name);
+        break;
+      case OpKind::kFlatten:
+        // Flatten linearizes the physical order, so its input must be in
+        // the exact layout the original graph flattened.
+        remap[n.id] =
+            b.Flatten(realize(n.inputs[0], graph.node(n.inputs[0])
+                                               .out_desc.layout),
+                      n.name);
+        break;
+      case OpKind::kSoftmax:
+        remap[n.id] = b.Softmax(
+            realize(n.inputs[0], graph.node(n.inputs[0]).out_desc.layout),
+            n.name);
+        break;
+      case OpKind::kLayoutTransform:
+        remap[n.id] = b.LayoutTransform(
+            realize(n.inputs[0], graph.node(n.inputs[0]).out_desc.layout),
+            n.out_desc.layout, n.name);
+        break;
+      case OpKind::kBatchNorm:
+        remap[n.id] = b.BatchNorm(realize(n.inputs[0], want),
+                                  remap[n.inputs[1]], remap[n.inputs[2]],
+                                  remap[n.inputs[3]], remap[n.inputs[4]],
+                                  n.attrs.GetFloat("eps", 1e-5), n.name);
+        break;
+      case OpKind::kConcat: {
+        std::vector<NodeId> parts_in;
+        for (NodeId in : n.inputs) parts_in.push_back(realize(in, want));
+        remap[n.id] = b.Concat(parts_in, n.name);
+        break;
+      }
+      default:
+        BOLT_CHECK_MSG(false, "LayoutSearchPass must run before fusion; "
+                              "unexpected op "
+                                  << OpKindName(n.kind));
+    }
+    emitted[n.id] = b.graph().node(remap[n.id]).out_desc.layout;
+  }
+  for (NodeId out : graph.output_ids()) {
+    // External contract: outputs leave in their original layout.
+    b.MarkOutput(realize(out, graph.node(out).out_desc.layout));
   }
   auto built = b.Build();
   BOLT_CHECK_MSG(built.ok(), built.status().ToString());

@@ -32,6 +32,9 @@ struct PassStats {
   int persistent_stages = 0;    // total stages inside them
   int tensors_padded = 0;
   int layout_transforms_inserted = 0;
+  /// Boundary edges where adjacent layout regions agreed, so no transform
+  /// node was needed (LayoutSearchPass).
+  int layout_transforms_elided = 0;
   int batchnorms_folded = 0;
 };
 
@@ -39,6 +42,17 @@ struct PassStats {
 /// kLayoutTransform nodes after NCHW inputs and before NCHW outputs.
 /// Non-4D graphs pass through unchanged.
 Graph LayoutTransformPass(const Graph& graph, PassStats* stats = nullptr);
+
+/// ALT-style joint layout search: partitions the primitive-op graph into
+/// layout-flexible regions (conv anchors plus elementwise companions),
+/// lets each region choose NCHW / NHWC / blocked NCHWc via the hostcost
+/// layout model, rewrites region ops to the chosen layout, and inserts
+/// boundary kLayoutTransform nodes only where adjacent partitions
+/// disagree — agreeing boundaries elide the transform (counted in
+/// PassStats::layout_transforms_elided). Graph outputs keep their original
+/// layout. Must run before fusion, like LayoutTransformPass.
+Graph LayoutSearchPass(const Graph& graph, const DeviceSpec& spec,
+                       PassStats* stats = nullptr);
 
 /// Fold inference BatchNorm into a preceding single-consumer conv2d:
 /// conv -> BN becomes conv (per-output-channel scaled weights) -> BiasAdd,

@@ -13,12 +13,17 @@ namespace cpukernels {
 
 namespace {
 
+// The NCHWc channel-block width is the micro-kernel's kNR: one packed
+// channel block feeds one micro-tile column strip with stride-1 loads.
+static_assert(kNCHWcBlock == kNR, "NCHWc block width must equal kNR");
+
 /// Resolved conv geometry in layout-independent form.
 struct ConvDims {
   int64_t n, h, w, c;       // input
   int64_t oc, kh, kw;       // filter ([oc, kh, kw, c])
   int64_t oh, ow;           // output spatial
   bool nhwc;
+  bool nchwc;
 };
 
 ConvDims ResolveDims(const Tensor& x, const Tensor& w, const ConvParams& p) {
@@ -26,6 +31,7 @@ ConvDims ResolveDims(const Tensor& x, const Tensor& w, const ConvParams& p) {
   BOLT_CHECK_MSG(w.desc().rank() == 4, "conv weight must be [O,kh,kw,I]");
   ConvDims d;
   d.nhwc = x.layout() == Layout::kNHWC;
+  d.nchwc = x.layout() == Layout::kNCHWc;
   const auto& s = x.shape();
   d.n = s[0];
   d.c = d.nhwc ? s[3] : s[1];
@@ -37,6 +43,12 @@ ConvDims ResolveDims(const Tensor& x, const Tensor& w, const ConvParams& p) {
   BOLT_CHECK_MSG(w.shape()[3] == d.c, "conv channel mismatch: weight IC "
                                           << w.shape()[3] << " vs input C "
                                           << d.c);
+  if (d.nchwc) {
+    BOLT_CHECK_MSG(d.c % kNCHWcBlock == 0 && d.oc % kNCHWcBlock == 0,
+                   "NCHWc conv requires C and OC divisible by "
+                       << kNCHWcBlock << " (got C=" << d.c
+                       << " OC=" << d.oc << ")");
+  }
   const int64_t ekh = (d.kh - 1) * p.dilation_h + 1;
   const int64_t ekw = (d.kw - 1) * p.dilation_w + 1;
   d.oh = (d.h + 2 * p.pad_h - ekh) / p.stride_h + 1;
@@ -54,12 +66,28 @@ ConvDims ResolveDims(const Tensor& x, const Tensor& w, const ConvParams& p) {
 /// and walk the input channel axis — and hands each run to
 /// PackA4RunSimd: an NHWC run is a contiguous channel slice (stride 1,
 /// vector loads + transpose), an NCHW run strides by h*w (AVX2 gather).
-/// Padding taps and rows beyond the panel become null run rows, which
-/// the vector kernel zero-fills exactly like the scalar loop.
+/// A blocked-NCHWc run is also stride 1 (channels within an 8-block are
+/// innermost) but additionally clamps at the 8-channel block boundary,
+/// where storage jumps to the next block's plane.  Padding taps and rows
+/// beyond the panel become null run rows, which the vector kernel
+/// zero-fills exactly like the scalar loop.
 struct Im2colPacker {
   const float* x;
   ConvDims d;
   ConvParams p;
+
+  /// Element index of input (batch bn, channel c, row ih, col iw).
+  int64_t InputIndex(int64_t bn, int64_t c, int64_t ih, int64_t iw) const {
+    if (d.nhwc) return ((bn * d.h + ih) * d.w + iw) * d.c + c;
+    if (d.nchwc) {
+      return (((bn * (d.c / kNCHWcBlock) + c / kNCHWcBlock) * d.h + ih) *
+                  d.w +
+              iw) *
+                 kNCHWcBlock +
+             c % kNCHWcBlock;
+    }
+    return ((bn * d.c + c) * d.h + ih) * d.w + iw;
+  }
 
   void operator()(float* dst, int64_t i0, int64_t mcb, int64_t p0,
                   int64_t kcb, bool simd) const {
@@ -90,10 +118,16 @@ struct Im2colPacker {
         bw[r] = (rem % d.ow) * p.stride_w - p.pad_w;
       }
       if (simd) {
-        const int64_t chan_stride = d.nhwc ? 1 : d.h * d.w;
+        const int64_t chan_stride = d.nhwc || d.nchwc ? 1 : d.h * d.w;
         for (int64_t kk = 0; kk < kcb;) {
-          // Run = rest of this (kh, kw) tap's channel walk in the slice.
-          const int64_t run = std::min(kcb - kk, d.c - tap_c[kk]);
+          // Run = rest of this (kh, kw) tap's channel walk in the slice;
+          // NCHWc runs clamp at the 8-channel block boundary where the
+          // stride-1 walk ends.
+          int64_t run = std::min(kcb - kk, d.c - tap_c[kk]);
+          if (d.nchwc) {
+            run = std::min(run,
+                           kNCHWcBlock - tap_c[kk] % kNCHWcBlock);
+          }
           const float* rows[kMR];
           for (int64_t r = 0; r < kMR; ++r) {
             if (!valid[r]) {
@@ -106,11 +140,7 @@ struct Im2colPacker {
               rows[r] = nullptr;
               continue;
             }
-            const int64_t idx =
-                d.nhwc
-                    ? ((bn[r] * d.h + ih) * d.w + iw) * d.c + tap_c[kk]
-                    : ((bn[r] * d.c + tap_c[kk]) * d.h + ih) * d.w + iw;
-            rows[r] = x + idx;
+            rows[r] = x + InputIndex(bn[r], tap_c[kk], ih, iw);
           }
           internal::PackA4RunSimd(rows, run, chan_stride, s + kk * kMR);
           kk += run;
@@ -130,10 +160,7 @@ struct Im2colPacker {
             out[r] = 0.0f;
             continue;
           }
-          const int64_t idx =
-              d.nhwc ? ((bn[r] * d.h + ih) * d.w + iw) * d.c + tap_c[kk]
-                     : ((bn[r] * d.c + tap_c[kk]) * d.h + ih) * d.w + iw;
-          out[r] = x[idx];
+          out[r] = x[InputIndex(bn[r], tap_c[kk], ih, iw)];
         }
       }
     }
@@ -190,6 +217,21 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const ConvParams& p,
       internal::GemmCore(m, n, k, wd, dd, epi, cfg, pool, pack,
                          [n](int64_t i, int64_t j) { return i * n + j; },
                          /*contiguous_rows=*/true);
+    } else if (d.nchwc) {
+      const int64_t spatial = d.oh * d.ow;
+      // Blocked output: row i = (batch, pixel), column j = output channel
+      // lands in block j/8 at lane j%8.  Rows are still scattered per
+      // column, so the vectorized epilogue is excluded like NCHW.
+      internal::GemmCore(
+          m, n, k, wd, dd, epi, cfg, pool, pack,
+          [spatial, n](int64_t i, int64_t j) {
+            const int64_t in = i / spatial;
+            return ((in * (n / kNCHWcBlock) + j / kNCHWcBlock) * spatial +
+                    i % spatial) *
+                       kNCHWcBlock +
+                   j % kNCHWcBlock;
+          },
+          /*contiguous_rows=*/false);
     } else {
       const int64_t spatial = d.oh * d.ow;
       // NCHW output rows are scattered (stride `spatial` between

@@ -14,7 +14,10 @@ namespace bolt {
 namespace cpukernels {
 namespace {
 
-using Key = std::tuple<int, int64_t, int64_t, int64_t>;
+// (kind, layout, m, n, k): layout right after kind so same-layout entries
+// stay contiguous and the m-ascending iteration order the near-batch and
+// batch-sizes queries rely on is preserved within a (kind, layout) group.
+using Key = std::tuple<int, int, int64_t, int64_t, int64_t>;
 
 struct Registry {
   std::mutex mu;
@@ -26,8 +29,8 @@ Registry& GlobalRegistry() {
   return *r;
 }
 
-Key MakeKey(TunedKind kind, int64_t m, int64_t n, int64_t k) {
-  return {static_cast<int>(kind), m, n, k};
+Key MakeKey(TunedKind kind, Layout layout, int64_t m, int64_t n, int64_t k) {
+  return {static_cast<int>(kind), static_cast<int>(layout), m, n, k};
 }
 
 struct LookupCounters {
@@ -48,27 +51,28 @@ struct LookupCounters {
 /// Uncounted exact lookup; caller holds r.mu and decides which counter
 /// (if any) the outcome feeds, so composite lookups like NearBatch can
 /// count each request exactly once.
-const BlockConfig* FindExactLocked(Registry& r, TunedKind kind, int64_t m,
-                                   int64_t n, int64_t k) {
-  auto it = r.blocks.find(MakeKey(kind, m, n, k));
+const BlockConfig* FindExactLocked(Registry& r, TunedKind kind, Layout layout,
+                                   int64_t m, int64_t n, int64_t k) {
+  auto it = r.blocks.find(MakeKey(kind, layout, m, n, k));
   return it == r.blocks.end() ? nullptr : &it->second;
 }
 
 }  // namespace
 
 bool RegisterTunedBlock(TunedKind kind, int64_t m, int64_t n, int64_t k,
-                        const BlockConfig& block) {
+                        const BlockConfig& block, Layout layout) {
   if (!block.Validate().ok()) return false;
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
-  r.blocks[MakeKey(kind, m, n, k)] = block;
+  r.blocks[MakeKey(kind, layout, m, n, k)] = block;
   return true;
 }
 
 std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
                                                     int64_t m, int64_t n,
                                                     int64_t k,
-                                                    Backend backend) {
+                                                    Backend backend,
+                                                    Layout layout) {
   if (backend == Backend::kReference) return std::nullopt;
   // Hit/miss counters make registry consultation observable: execution
   // paths that should pick up tuned blocks (interpreter, engine host ops,
@@ -76,7 +80,7 @@ std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
   LookupCounters& counters = LookupCounters::Get();
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
-  const BlockConfig* found = FindExactLocked(r, kind, m, n, k);
+  const BlockConfig* found = FindExactLocked(r, kind, layout, m, n, k);
   if (found == nullptr) {
     counters.misses.Increment();
     return std::nullopt;
@@ -86,14 +90,16 @@ std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
 }
 
 std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
-                                          int64_t n, int64_t k) {
-  return FindTunedBlockForBackend(kind, m, n, k, DefaultBackend());
+                                          int64_t n, int64_t k,
+                                          Layout layout) {
+  return FindTunedBlockForBackend(kind, m, n, k, DefaultBackend(), layout);
 }
 
 std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
                                                    int64_t m, int64_t n,
                                                    int64_t k,
-                                                   Backend backend) {
+                                                   Backend backend,
+                                                   Layout layout) {
   if (backend == Backend::kReference) return std::nullopt;
   LookupCounters& counters = LookupCounters::Get();
   Registry& r = GlobalRegistry();
@@ -103,18 +109,19 @@ std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
   // bypasses the counting lookup — routing it through
   // FindTunedBlockForBackend used to charge a miss even when the near
   // lookup then hit, double-counting misses on serving dashboards.
-  if (const BlockConfig* exact = FindExactLocked(r, kind, m, n, k)) {
+  if (const BlockConfig* exact = FindExactLocked(r, kind, layout, m, n, k)) {
     counters.hits.Increment();
     return *exact;
   }
-  // Keys order as (kind, m, n, k), so same-(n, k) entries for other batch
-  // sizes are scattered; a linear scan is fine at registry scale (one
-  // entry per tuned problem shape).
+  // Keys order as (kind, layout, m, n, k), so same-(n, k) entries for
+  // other batch sizes are scattered; a linear scan is fine at registry
+  // scale (one entry per tuned problem shape).
   std::optional<int64_t> above, below;
   for (const auto& [key, block] : r.blocks) {
     if (std::get<0>(key) != static_cast<int>(kind)) continue;
-    if (std::get<2>(key) != n || std::get<3>(key) != k) continue;
-    const int64_t bm = std::get<1>(key);
+    if (std::get<1>(key) != static_cast<int>(layout)) continue;
+    if (std::get<3>(key) != n || std::get<4>(key) != k) continue;
+    const int64_t bm = std::get<2>(key);
     if (bm >= m) {
       if (!above || bm < *above) above = bm;
     } else if (!below || bm > *below) {
@@ -127,12 +134,13 @@ std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
     return std::nullopt;
   }
   counters.nears.Increment();
-  return r.blocks.at(MakeKey(kind, *pick, n, k));
+  return r.blocks.at(MakeKey(kind, layout, *pick, n, k));
 }
 
 std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
                                                      int64_t m, int64_t n,
-                                                     int64_t k) {
+                                                     int64_t k,
+                                                     Layout layout) {
   if (m <= 0 || n <= 0 || k <= 0) return std::nullopt;
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -143,9 +151,10 @@ std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
   };
   for (const auto& [key, block] : r.blocks) {
     if (std::get<0>(key) != static_cast<int>(kind)) continue;
-    const int64_t bm = std::get<1>(key);
-    const int64_t bn = std::get<2>(key);
-    const int64_t bk = std::get<3>(key);
+    if (std::get<1>(key) != static_cast<int>(layout)) continue;
+    const int64_t bm = std::get<2>(key);
+    const int64_t bn = std::get<3>(key);
+    const int64_t bk = std::get<4>(key);
     const double dist = axis(bm, m) + axis(bn, n) + axis(bk, k);
     // Strict less keeps the first (smallest-key, i.e. deterministic)
     // entry among equidistant shapes.
@@ -156,17 +165,19 @@ std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
   return best;
 }
 
-std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k) {
+std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k,
+                                     Layout layout) {
   Registry& r = GlobalRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
   std::vector<int64_t> sizes;
   for (const auto& [key, block] : r.blocks) {
     if (std::get<0>(key) != static_cast<int>(kind)) continue;
-    if (std::get<2>(key) == n && std::get<3>(key) == k) {
-      sizes.push_back(std::get<1>(key));
+    if (std::get<1>(key) != static_cast<int>(layout)) continue;
+    if (std::get<3>(key) == n && std::get<4>(key) == k) {
+      sizes.push_back(std::get<2>(key));
     }
   }
-  // Map iteration on (kind, m, n, k) keys yields ascending m already.
+  // Map iteration on (kind, layout, m, n, k) keys yields ascending m.
   return sizes;
 }
 

@@ -23,6 +23,7 @@
 
 #include "cpukernels/backend.h"
 #include "cpukernels/config.h"
+#include "ir/tensor.h"
 
 namespace bolt {
 namespace cpukernels {
@@ -39,23 +40,31 @@ inline const char* TunedKindName(TunedKind k) {
   return k == TunedKind::kConv ? "conv" : "gemm";
 }
 
+/// The activation layout is part of every registry key: an NCHW and an
+/// NHWC conv with identical GEMM dims have very different packing costs
+/// (strided gather vs contiguous runs) and tune to different blocks, so
+/// without the layout they would collide.  GEMM entries always use
+/// kRowMajor (their only layout), which the defaulted parameters below
+/// encode so pure-GEMM call sites need no change.
+
 /// Publishes the winning block for a problem shape.  `block` must satisfy
 /// BlockConfig::Validate(); invalid blocks are rejected (returns false).
 /// Re-registration overwrites.  Thread-safe.
 bool RegisterTunedBlock(TunedKind kind, int64_t m, int64_t n, int64_t k,
-                        const BlockConfig& block);
+                        const BlockConfig& block,
+                        Layout layout = Layout::kRowMajor);
 
 /// Looks up a tuned block for a problem shape under the given backend:
 /// always nullopt for Backend::kReference (see header comment).
 /// Thread-safe.
-std::optional<BlockConfig> FindTunedBlockForBackend(TunedKind kind,
-                                                    int64_t m, int64_t n,
-                                                    int64_t k,
-                                                    Backend backend);
+std::optional<BlockConfig> FindTunedBlockForBackend(
+    TunedKind kind, int64_t m, int64_t n, int64_t k, Backend backend,
+    Layout layout = Layout::kRowMajor);
 
 /// Lookup under the process-wide DefaultBackend().
 std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
-                                          int64_t n, int64_t k);
+                                          int64_t n, int64_t k,
+                                          Layout layout = Layout::kRowMajor);
 
 /// Shape-bucketed lookup for the serving layer's batched executions:
 /// exact (m, n, k) match first; on a miss, reuses the tuned block of the
@@ -66,10 +75,9 @@ std::optional<BlockConfig> FindTunedBlock(TunedKind kind, int64_t m,
 /// numerically equivalent under the two-tier contract.  Near-misses are
 /// counted separately (`cpu.tuned.lookup.near`).  Always nullopt for
 /// Backend::kReference.
-std::optional<BlockConfig> FindTunedBlockNearBatch(TunedKind kind,
-                                                   int64_t m, int64_t n,
-                                                   int64_t k,
-                                                   Backend backend);
+std::optional<BlockConfig> FindTunedBlockNearBatch(
+    TunedKind kind, int64_t m, int64_t n, int64_t k, Backend backend,
+    Layout layout = Layout::kRowMajor);
 
 /// A registry entry returned by the nearest-shape query: the tuned shape
 /// itself rides along so callers can tell how far the transfer reached.
@@ -89,15 +97,16 @@ struct TunedNeighbor {
 /// policy query, not an execution-time lookup: it is not backend-gated and
 /// feeds no `cpu.tuned.lookup.*` counter — the profiler counts transfer
 /// seeds under `cpu.tune.ranked.seeded` instead.
-std::optional<TunedNeighbor> FindTunedBlockNearShape(TunedKind kind,
-                                                     int64_t m, int64_t n,
-                                                     int64_t k);
+std::optional<TunedNeighbor> FindTunedBlockNearShape(
+    TunedKind kind, int64_t m, int64_t n, int64_t k,
+    Layout layout = Layout::kRowMajor);
 
 /// The distinct batch sizes (m dims) with a tuned block registered for
 /// problem columns/depth (n, k) — ascending.  The serving layer's bucket
 /// policy rounds partial batches up onto this set.  Not backend-gated:
 /// it is a shape policy query, not a numeric one.
-std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k);
+std::vector<int64_t> TunedBatchSizes(TunedKind kind, int64_t n, int64_t k,
+                                     Layout layout = Layout::kRowMajor);
 
 /// Number of registered entries (tests / diagnostics).
 int64_t TunedBlockCount();

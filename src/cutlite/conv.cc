@@ -71,7 +71,7 @@ Result<Tensor> Conv2dKernel::Run(const Tensor& x, const Tensor& weight,
         cpukernels::ResolveConvGemmShape(x, weight, cp);
     cpukernels::BlockConfig block =
         cpukernels::FindTunedBlock(cpukernels::TunedKind::kConv, shape.m,
-                                   shape.n, shape.k)
+                                   shape.n, shape.k, x.layout())
             .value_or(cpukernels::BlockConfig::FromTileShape(
                 config_.threadblock.m, config_.threadblock.n,
                 config_.threadblock.k));

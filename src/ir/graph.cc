@@ -216,6 +216,11 @@ NodeId GraphBuilder::Conv2d(NodeId x, NodeId weight, const Conv2dAttrs& a,
   const int64_t oc = wd.shape[0], kh = wd.shape[1], kw = wd.shape[2];
   BOLT_CHECK_MSG(wd.shape[3] == c, "conv2d channel mismatch: weight IC "
                                        << wd.shape[3] << " vs input C " << c);
+  if (xd.layout == Layout::kNCHWc) {
+    BOLT_CHECK_MSG(c % kNCHWcBlock == 0 && oc % kNCHWcBlock == 0,
+                   "NCHWc conv2d requires C and OC divisible by "
+                       << kNCHWcBlock << ", got C=" << c << " OC=" << oc);
+  }
   const int64_t ekh = (kh - 1) * a.dilation_h + 1;
   const int64_t ekw = (kw - 1) * a.dilation_w + 1;
   const int64_t oh = (h + 2 * a.pad_h - ekh) / a.stride_h + 1;
@@ -366,15 +371,21 @@ NodeId GraphBuilder::LayoutTransform(NodeId x, Layout to,
                                      const std::string& name) {
   const TensorDesc& xd = graph_.node(x).out_desc;
   BOLT_CHECK(xd.rank() == 4);
-  std::vector<int64_t> s = xd.shape;
-  std::vector<int64_t> oshape;
-  if (xd.layout == Layout::kNCHW && to == Layout::kNHWC) {
-    oshape = {s[0], s[2], s[3], s[1]};
-  } else if (xd.layout == Layout::kNHWC && to == Layout::kNCHW) {
-    oshape = {s[0], s[3], s[1], s[2]};
-  } else {
-    oshape = s;  // no-op transform
+  const std::vector<int64_t>& s = xd.shape;
+  // Recover logical {N, C, H, W}; kNCHWc keeps the logical NCHW shape.
+  const bool from_nhwc = xd.layout == Layout::kNHWC;
+  const int64_t n = s[0];
+  const int64_t c = from_nhwc ? s[3] : s[1];
+  const int64_t h = from_nhwc ? s[1] : s[2];
+  const int64_t w = from_nhwc ? s[2] : s[3];
+  if (xd.layout == Layout::kNCHWc || to == Layout::kNCHWc) {
+    BOLT_CHECK_MSG(c % kNCHWcBlock == 0,
+                   "NCHWc layout_transform requires C divisible by "
+                       << kNCHWcBlock << ", got C=" << c);
   }
+  std::vector<int64_t> oshape = to == Layout::kNHWC
+                                    ? std::vector<int64_t>{n, h, w, c}
+                                    : std::vector<int64_t>{n, c, h, w};
   AttrMap attrs;
   attrs.SetStr("to", LayoutName(to));
   return AddOp(OpKind::kLayoutTransform, {x},

@@ -167,7 +167,8 @@ class GraphBuilder {
   /// of such graphs fails with a clear error).
   NodeId ConstantDesc(const std::string& name, TensorDesc desc);
 
-  /// 2-D convolution. `x` is NCHW or NHWC; weight is a constant of shape
+  /// 2-D convolution. `x` is NCHW, NHWC, or blocked NCHWc (which requires
+  /// C and OC divisible by kNCHWcBlock); weight is a constant of shape
   /// [O, kh, kw, I]. Output layout matches input layout.
   NodeId Conv2d(NodeId x, NodeId weight, const Conv2dAttrs& attrs,
                 const std::string& name = "");

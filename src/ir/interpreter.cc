@@ -20,7 +20,22 @@ inline float ActAt(const Tensor& x, int64_t n, int64_t c, int64_t h,
     return x.at(IndexNHWC(s, n, h, w, c));
   }
   if (h < 0 || h >= s[2] || w < 0 || w >= s[3]) return 0.0f;
+  if (x.layout() == Layout::kNCHWc) return x.at(IndexNCHWc(s, n, c, h, w));
   return x.at(IndexNCHW(s, n, c, h, w));
+}
+
+// Index into a rank-4 activation by logical (n, c, h, w) for any of the
+// three activation layouts.
+inline int64_t ActIndex(Layout l, const std::vector<int64_t>& s, int64_t n,
+                        int64_t c, int64_t h, int64_t w) {
+  switch (l) {
+    case Layout::kNHWC:
+      return IndexNHWC(s, n, h, w, c);
+    case Layout::kNCHWc:
+      return IndexNCHWc(s, n, c, h, w);
+    default:
+      return IndexNCHW(s, n, c, h, w);
+  }
 }
 }  // namespace
 
@@ -33,6 +48,11 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& a) {
   const int64_t wd = nhwc ? s[2] : s[3];
   const int64_t oc = w.shape()[0], kh = w.shape()[1], kw = w.shape()[2];
   BOLT_CHECK_MSG(w.shape()[3] == c, "conv2d ref channel mismatch");
+  if (x.layout() == Layout::kNCHWc) {
+    BOLT_CHECK_MSG(c % kNCHWcBlock == 0 && oc % kNCHWcBlock == 0,
+                   "NCHWc conv requires channel counts divisible by "
+                       << kNCHWcBlock);
+  }
   const int64_t ekh = (kh - 1) * a.dilation_h + 1;
   const int64_t ekw = (kw - 1) * a.dilation_w + 1;
   const int64_t oh = (h + 2 * a.pad_h - ekh) / a.stride_h + 1;
@@ -58,9 +78,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Conv2dAttrs& a) {
               }
             }
           }
-          const int64_t idx = nhwc ? IndexNHWC(oshape, in, ih, iw, io)
-                                   : IndexNCHW(oshape, in, io, ih, iw);
-          out.at(idx) = acc;
+          out.at(ActIndex(x.layout(), oshape, in, io, ih, iw)) = acc;
         }
       }
     }
@@ -88,14 +106,15 @@ Tensor Dense(const Tensor& x, const Tensor& w) {
 
 void BiasAddInPlace(Tensor& x, const Tensor& bias) {
   const int64_t c = bias.num_elements();
-  if (x.desc().rank() == 4 && x.layout() == Layout::kNCHW) {
+  if (x.desc().rank() == 4 && (x.layout() == Layout::kNCHW ||
+                               x.layout() == Layout::kNCHWc)) {
     const auto& s = x.shape();
     BOLT_CHECK(s[1] == c);
     for (int64_t n = 0; n < s[0]; ++n)
       for (int64_t ci = 0; ci < s[1]; ++ci)
         for (int64_t h = 0; h < s[2]; ++h)
           for (int64_t w = 0; w < s[3]; ++w)
-            x.at(IndexNCHW(s, n, ci, h, w)) += bias.at(ci);
+            x.at(ActIndex(x.layout(), s, n, ci, h, w)) += bias.at(ci);
   } else {
     // NHWC and row-major 2-D both have channels innermost.
     BOLT_CHECK(x.shape().back() == c);
@@ -168,9 +187,7 @@ Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride) {
             for (int64_t t = 0; t < kernel; ++t)
               best = std::max(best, ActAt(x, in, ic, ih * stride + r,
                                           iw * stride + t));
-          const int64_t idx = nhwc ? IndexNHWC(oshape, in, ih, iw, ic)
-                                   : IndexNCHW(oshape, in, ic, ih, iw);
-          out.at(idx) = best;
+          out.at(ActIndex(x.layout(), oshape, in, ic, ih, iw)) = best;
         }
   return out;
 }
@@ -225,30 +242,31 @@ Tensor LayoutTransform(const Tensor& x, Layout to) {
   if (x.layout() == to) return x;
   const auto& s = x.shape();
   BOLT_CHECK(x.desc().rank() == 4);
-  if (x.layout() == Layout::kNCHW && to == Layout::kNHWC) {
-    std::vector<int64_t> oshape = {s[0], s[2], s[3], s[1]};
-    Tensor out(TensorDesc(x.dtype(), oshape, Layout::kNHWC));
-    for (int64_t n = 0; n < s[0]; ++n)
-      for (int64_t c = 0; c < s[1]; ++c)
-        for (int64_t h = 0; h < s[2]; ++h)
-          for (int64_t w = 0; w < s[3]; ++w)
-            out.at(IndexNHWC(oshape, n, h, w, c)) =
-                x.at(IndexNCHW(s, n, c, h, w));
-    return out;
+  const Layout from = x.layout();
+  const auto is_act = [](Layout l) {
+    return l == Layout::kNCHW || l == Layout::kNHWC || l == Layout::kNCHWc;
+  };
+  BOLT_CHECK_MSG(is_act(from) && is_act(to), "unsupported layout transform");
+  const int64_t n = s[0];
+  const int64_t c = from == Layout::kNHWC ? s[3] : s[1];
+  const int64_t h = from == Layout::kNHWC ? s[1] : s[2];
+  const int64_t w = from == Layout::kNHWC ? s[2] : s[3];
+  if (to == Layout::kNCHWc || from == Layout::kNCHWc) {
+    BOLT_CHECK_MSG(c % kNCHWcBlock == 0,
+                   "NCHWc transform requires C % " << kNCHWcBlock << " == 0");
   }
-  if (x.layout() == Layout::kNHWC && to == Layout::kNCHW) {
-    std::vector<int64_t> oshape = {s[0], s[3], s[1], s[2]};
-    Tensor out(TensorDesc(x.dtype(), oshape, Layout::kNCHW));
-    for (int64_t n = 0; n < s[0]; ++n)
-      for (int64_t h = 0; h < s[1]; ++h)
-        for (int64_t w = 0; w < s[2]; ++w)
-          for (int64_t c = 0; c < s[3]; ++c)
-            out.at(IndexNCHW(oshape, n, c, h, w)) =
-                x.at(IndexNHWC(s, n, h, w, c));
-    return out;
-  }
-  BOLT_CHECK_MSG(false, "unsupported layout transform");
-  return x;
+  std::vector<int64_t> oshape = to == Layout::kNHWC
+                                    ? std::vector<int64_t>{n, h, w, c}
+                                    : std::vector<int64_t>{n, c, h, w};
+  // A pure permutation of elements: bit-exact in every direction.
+  Tensor out(TensorDesc(x.dtype(), oshape, to));
+  for (int64_t in = 0; in < n; ++in)
+    for (int64_t ic = 0; ic < c; ++ic)
+      for (int64_t ih = 0; ih < h; ++ih)
+        for (int64_t iw = 0; iw < w; ++iw)
+          out.at(ActIndex(to, oshape, in, ic, ih, iw)) =
+              x.at(ActIndex(from, s, in, ic, ih, iw));
+  return out;
 }
 
 Tensor PadChannels(const Tensor& x, int64_t padded) {
@@ -286,6 +304,11 @@ Tensor BatchNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     int64_t ch;
     if (channels_innermost) {
       ch = i % c;
+    } else if (x.layout() == Layout::kNCHWc) {
+      const auto& s = x.shape();  // blocked: N C/8 H W 8
+      ch = ((i / (s[2] * s[3] * kNCHWcBlock)) % (s[1] / kNCHWcBlock)) *
+               kNCHWcBlock +
+           i % kNCHWcBlock;
     } else {
       const auto& s = x.shape();  // NCHW
       ch = (i / (s[2] * s[3])) % s[1];
@@ -436,7 +459,7 @@ Tensor Interpreter::RunChain(const FusedChain& ch,
           env[a.inputs[0]], env[a.inputs[1]], p);
       if (auto tuned = cpukernels::FindTunedBlockForBackend(
               cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
-              options_.backend)) {
+              options_.backend, env[a.inputs[0]].layout())) {
         block = *tuned;
       }
     }

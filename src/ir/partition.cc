@@ -1,6 +1,7 @@
 #include "ir/partition.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 namespace bolt {
@@ -88,6 +89,90 @@ PartitionResult PartitionGraph(const Graph& graph,
     result.region_of[n.id] = join;
   }
   return result;
+}
+
+namespace {
+
+/// Layout a producer's output arrives in at a region boundary: the
+/// planner's choice when the producer sits in an already-assigned region,
+/// otherwise the layout recorded on the tensor itself.
+Layout ProducerLayout(const Graph& graph, const PartitionResult& parts,
+                      const LayoutPlan& plan, NodeId producer) {
+  const int r = parts.region_of[producer];
+  if (r >= 0 && plan.region_layout[r] != Layout::kAny) {
+    return plan.region_layout[r];
+  }
+  return graph.node(producer).out_desc.layout;
+}
+
+}  // namespace
+
+LayoutPlan AssignRegionLayouts(const Graph& graph,
+                               const PartitionResult& parts,
+                               const LayoutCostModel& model) {
+  LayoutPlan plan;
+  plan.region_layout.assign(parts.regions.size(), Layout::kAny);
+
+  for (const Region& region : parts.regions) {
+    const std::vector<Layout> candidates = model.candidates(graph, region);
+    if (candidates.empty()) continue;
+
+    std::set<NodeId> in_region(region.nodes.begin(), region.nodes.end());
+    // One transform per distinct rank-4 producer suffices no matter how
+    // many region nodes consume it, so boundary edges are deduplicated by
+    // producer id.
+    std::set<NodeId> boundary_producers;
+    for (NodeId id : region.nodes) {
+      for (NodeId in : graph.node(id).inputs) {
+        const Node& producer = graph.node(in);
+        if (in_region.count(in) > 0) continue;
+        if (producer.out_desc.rank() != 4) continue;
+        if (producer.kind == OpKind::kConstant) continue;  // weights: [O,kh,kw,I]
+        boundary_producers.insert(in);
+      }
+    }
+    // Rank-4 graph outputs must leave the region in their original layout.
+    std::vector<NodeId> contract_outputs;
+    for (NodeId out : graph.output_ids()) {
+      if (in_region.count(out) > 0 && graph.node(out).out_desc.rank() == 4) {
+        contract_outputs.push_back(out);
+      }
+    }
+
+    Layout best = candidates.front();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (Layout cand : candidates) {
+      double cost = model.region_cost_us(graph, region, cand);
+      for (NodeId p : boundary_producers) {
+        const Layout from = ProducerLayout(graph, parts, plan, p);
+        cost += model.transform_cost_us(graph.node(p).out_desc, from, cand);
+      }
+      for (NodeId out : contract_outputs) {
+        cost += model.transform_cost_us(graph.node(out).out_desc, cand,
+                                        graph.node(out).out_desc.layout);
+      }
+      if (cost < best_cost) {  // strict less: earliest candidate wins ties
+        best_cost = cost;
+        best = cand;
+      }
+    }
+    plan.region_layout[region.id] = best;
+    plan.total_cost_us += best_cost;
+    for (NodeId p : boundary_producers) {
+      const Layout from = ProducerLayout(graph, parts, plan, p);
+      if (from == best) {
+        ++plan.elided_transforms;
+      } else {
+        ++plan.boundary_transforms;
+      }
+    }
+    for (NodeId out : contract_outputs) {
+      if (graph.node(out).out_desc.layout != best) {
+        ++plan.boundary_transforms;
+      }
+    }
+  }
+  return plan;
 }
 
 }  // namespace bolt

@@ -56,4 +56,46 @@ PartitionResult PartitionGraph(const Graph& graph,
 /// already-fused bolt.* composites) plus epilogue-eligible elementwise ops.
 bool DefaultBoltSupport(const Graph& graph, const Node& node);
 
+/// --- Layout planning (ALT-style joint layout search) -------------------
+///
+/// Layout is a search dimension of the partition, not a global constant:
+/// each region chooses an activation layout, boundary transforms between
+/// disagreeing regions are charged by a cost model, and transforms are
+/// elided when adjacent regions agree.  Like PartitionGraph, the planner is
+/// target-agnostic — the backend supplies all costs (bolt/hostcost) so the
+/// ir layer stays free of backend dependencies.
+struct LayoutCostModel {
+  /// Candidate layouts a region may execute under. Empty means the region
+  /// has no layout freedom; the planner records Layout::kAny for it.
+  std::function<std::vector<Layout>(const Graph&, const Region&)> candidates;
+  /// Cost of executing the whole region under `layout`.
+  std::function<double(const Graph&, const Region&, Layout)> region_cost_us;
+  /// Cost of converting `desc` from one layout to another at a region
+  /// boundary. Must return 0 when from == to (agreement elides the
+  /// transform entirely).
+  std::function<double(const TensorDesc&, Layout from, Layout to)>
+      transform_cost_us;
+};
+
+/// Planner output: one layout per region plus the charged boundary summary.
+struct LayoutPlan {
+  /// Chosen layout per region id; kAny for regions without layout freedom.
+  std::vector<Layout> region_layout;
+  /// Rank-4 boundary edges whose endpoint layouts disagree (each needs a
+  /// transform node) vs. agree (transform elided).
+  int boundary_transforms = 0;
+  int elided_transforms = 0;
+  double total_cost_us = 0.0;
+};
+
+/// Assigns each region the layout minimizing region execution cost plus
+/// boundary-transform cost against already-assigned producers. Regions are
+/// visited in topological order (the order PartitionGraph emits), so every
+/// rank-4 producer crossing into a region has a settled layout when the
+/// region chooses; graph outputs are charged a transform back to their
+/// original layout so external contracts stay priced in.
+LayoutPlan AssignRegionLayouts(const Graph& graph,
+                               const PartitionResult& parts,
+                               const LayoutCostModel& model);
+
 }  // namespace bolt

@@ -50,9 +50,17 @@ inline const char* DTypeName(DType t) {
   return "?";
 }
 
-/// Memory layout of a tensor. Activations are NCHW or NHWC; matrices are
-/// row- or column-major.
-enum class Layout { kNCHW, kNHWC, kRowMajor, kColMajor, kAny };
+/// Memory layout of a tensor. Activations are NCHW, NHWC, or the blocked
+/// NCHWc form; matrices are row- or column-major.  kNCHWc is appended after
+/// kAny so the integer values of the pre-existing layouts (serialized in
+/// tuning-cache records) stay stable.
+enum class Layout { kNCHW, kNHWC, kRowMajor, kColMajor, kAny, kNCHWc };
+
+/// Channel-block width of the NCHWc layout.  Matches the micro-kernel's
+/// kNR (cpukernels/config.h) so a packed channel block feeds one micro-tile
+/// column strip with stride-1 loads; a static_assert in cpukernels pins the
+/// two together.
+constexpr int64_t kNCHWcBlock = 8;
 
 inline const char* LayoutName(Layout l) {
   switch (l) {
@@ -60,6 +68,8 @@ inline const char* LayoutName(Layout l) {
       return "NCHW";
     case Layout::kNHWC:
       return "NHWC";
+    case Layout::kNCHWc:
+      return "NCHWc";
     case Layout::kRowMajor:
       return "RowMajor";
     case Layout::kColMajor:
@@ -182,6 +192,16 @@ inline int64_t IndexNCHW(const std::vector<int64_t>& s, int64_t n, int64_t c,
 inline int64_t IndexNHWC(const std::vector<int64_t>& s, int64_t n, int64_t h,
                          int64_t w, int64_t c) {
   return ((n * s[1] + h) * s[2] + w) * s[3] + c;
+}
+/// Blocked NCHWc: the logical shape stays {N, C, H, W} but storage is
+/// N x C/8 x H x W x 8 (8 = kNCHWcBlock).  Requires C % kNCHWcBlock == 0;
+/// GraphBuilder enforces that when it assigns the layout.
+inline int64_t IndexNCHWc(const std::vector<int64_t>& s, int64_t n, int64_t c,
+                          int64_t h, int64_t w) {
+  const int64_t blocks = s[1] / kNCHWcBlock;
+  return (((n * blocks + c / kNCHWcBlock) * s[2] + h) * s[3] + w) *
+             kNCHWcBlock +
+         c % kNCHWcBlock;
 }
 
 }  // namespace bolt

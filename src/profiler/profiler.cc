@@ -127,17 +127,30 @@ struct CpuTuneInstruments {
 
 /// The versioned key prefix of the CPU tuning-cache namespace.  Grammar
 /// (docs/TUNING_CACHE.md):
-///   cpu/v4/<op>/<workload>/t<threads>/<cpu-arch-token>
-///     |mc kc nc scheme isa prefetch|us|tried|enumerated ranked seeded
-/// v4 widened the ISA range to admit the AVX-512 tier (isa 0..3) and
-/// appended the software-prefetch flag to the block payload; v3 appended
-/// the ranked-sweep provenance field (how many candidates the enumerator
-/// produced, whether the learned pre-filter pruned the sweep, and whether
-/// a cross-shape transfer seed was injected); v2 added the micro-kernel
-/// ISA to the block payload.  Older-version records are dropped at load
-/// like any other unknown version.
+///   cpu/v5/<op>/<workload>/t<threads>/<cpu-arch-token>
+///     |mc kc nc scheme isa prefetch layout|us|tried|enumerated ranked seeded
+/// v5 appended the activation layout to the block payload (conv records:
+/// NCHW / NHWC / NCHWc; gemm records: RowMajor) so tuned blocks register
+/// under the layout-keyed registry; v4 widened the ISA range to admit the
+/// AVX-512 tier (isa 0..3) and appended the software-prefetch flag to the
+/// block payload; v3 appended the ranked-sweep provenance field (how many
+/// candidates the enumerator produced, whether the learned pre-filter
+/// pruned the sweep, and whether a cross-shape transfer seed was
+/// injected); v2 added the micro-kernel ISA to the block payload.
+/// Older-version records are dropped at load like any other unknown
+/// version.
 constexpr char kCpuKeyPrefix[] = "cpu/";
-constexpr char kCpuKeyVersion[] = "v4";
+constexpr char kCpuKeyVersion[] = "v5";
+
+/// Layout values admissible in a cpu/v5 record's block payload, by op.
+bool ValidCpuRecordLayout(cpukernels::TunedKind kind, int layout) {
+  if (kind == cpukernels::TunedKind::kGemm) {
+    return layout == static_cast<int>(Layout::kRowMajor);
+  }
+  return layout == static_cast<int>(Layout::kNCHW) ||
+         layout == static_cast<int>(Layout::kNHWC) ||
+         layout == static_cast<int>(Layout::kNCHWc);
+}
 
 std::string CpuCacheKey(const char* op, const std::string& workload,
                         int threads) {
@@ -189,7 +202,8 @@ Status Profiler::SaveCache(std::ostream& out) const {
     const cpukernels::BlockConfig& b = result.block;
     out << key << "|" << b.mc << " " << b.kc << " " << b.nc << " "
         << static_cast<int>(b.scheme) << " " << static_cast<int>(b.isa)
-        << " " << (b.prefetch ? 1 : 0)
+        << " " << (b.prefetch ? 1 : 0) << " "
+        << static_cast<int>(result.layout)
         << "|" << result.us << "|" << result.candidates_tried << "|"
         << result.candidates_enumerated << " " << (result.ranked ? 1 : 0)
         << " " << result.seeded << "\n";
@@ -302,7 +316,7 @@ bool ParseCpuWorkloadDims(const std::string& s, int64_t* m, int64_t* n,
 bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   // Caller (LoadCache) holds cache_mu_ exclusively.
   if (fields.size() != 5) return false;
-  // Key: cpu/v4/<op>/<workload>/t<threads>/<cpu-arch-token>
+  // Key: cpu/v5/<op>/<workload>/t<threads>/<cpu-arch-token>
   const auto parts = StrSplit(fields[0], '/');
   if (parts.size() != 6) return false;
   if (parts[1] != kCpuKeyVersion) return false;
@@ -321,15 +335,16 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   if (!ParseInt(parts[4].substr(1), &threads) || threads <= 0) return false;
   if (parts[5] != cpukernels::CpuArchToken()) return false;  // foreign arch
 
-  int mc = 0, kc = 0, nc = 0, scheme = 0, isa = 0, prefetch = 0;
+  int mc = 0, kc = 0, nc = 0, scheme = 0, isa = 0, prefetch = 0, layout = 0;
   std::istringstream cfg(fields[1]);
-  cfg >> mc >> kc >> nc >> scheme >> isa >> prefetch;
+  cfg >> mc >> kc >> nc >> scheme >> isa >> prefetch >> layout;
   if (cfg.fail()) return false;
   cfg >> std::ws;
   if (!cfg.eof()) return false;
   if (scheme != 0 && scheme != 1) return false;
   if (isa < 0 || isa > 3) return false;
   if (prefetch != 0 && prefetch != 1) return false;
+  if (!ValidCpuRecordLayout(kind, layout)) return false;
   auto made = cpukernels::BlockConfig::Make(
       mc, kc, nc, static_cast<cpukernels::ParallelScheme>(scheme),
       static_cast<cpukernels::CpuIsa>(isa), prefetch == 1);
@@ -337,6 +352,7 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
 
   CpuProfileResult result;
   result.block = made.value();
+  result.layout = static_cast<Layout>(layout);
   if (!ParseDouble(fields[2], &result.us) || result.us <= 0.0) return false;
   if (!ParseInt(fields[3], &result.candidates_tried) ||
       result.candidates_tried <= 0) {
@@ -362,7 +378,8 @@ bool Profiler::MergeCpuCacheLine(const std::vector<std::string>& fields) {
   // deployment's thread configuration; other thread counts stay cached
   // (they round-trip through SaveCache) but dormant.
   if (threads == cpukernels::DefaultNumThreads()) {
-    cpukernels::RegisterTunedBlock(kind, m, n, k, result.block);
+    cpukernels::RegisterTunedBlock(kind, m, n, k, result.block,
+                                   result.layout);
   }
   return true;
 }
@@ -690,7 +707,7 @@ Result<ProfileResult> Profiler::ProfileConv(
 
 Result<CpuProfileResult> Profiler::RunCpuSweep(
     const std::string& key, cpukernels::TunedKind kind, int64_t m,
-    int64_t n, int64_t k,
+    int64_t n, int64_t k, Layout layout,
     const std::vector<cpukernels::BlockConfig>& candidates,
     const std::function<double(const cpukernels::BlockConfig&)>& measure) {
   CpuProfileResult cached;
@@ -698,7 +715,8 @@ Result<CpuProfileResult> Profiler::RunCpuSweep(
     // Re-assert the registry entry so a cache hit alone (e.g. a loaded
     // file, or a second compile after ClearTunedBlocks in tests) restores
     // execution-time selection with zero re-measurement.
-    cpukernels::RegisterTunedBlock(kind, m, n, k, cached.block);
+    cpukernels::RegisterTunedBlock(kind, m, n, k, cached.block,
+                                   cached.layout);
     return cached;
   }
   if (candidates.empty()) {
@@ -794,6 +812,7 @@ Result<CpuProfileResult> Profiler::RunCpuSweep(
   best.candidates_enumerated = static_cast<int>(sweep.size());
   best.ranked = ranked;
   best.seeded = seeded;
+  best.layout = layout;
 
   // Every measurement is a training row; refit once per sweep.  The model
   // learns from full and pruned sweeps alike, so early full sweeps are the
@@ -837,7 +856,7 @@ Result<CpuProfileResult> Profiler::RunCpuSweep(
   im.candidates.Increment(static_cast<int64_t>(picked.size()));
   im.best_us.Observe(best.us);
 
-  cpukernels::RegisterTunedBlock(kind, m, n, k, best.block);
+  cpukernels::RegisterTunedBlock(kind, m, n, k, best.block, layout);
   PublishResultCpu(key, best);
   return best;
 }
@@ -857,7 +876,8 @@ Result<CpuProfileResult> Profiler::ProfileCpuGemm(
   std::optional<CpuGemmMeasurer> measurer;
   return RunCpuSweep(
       key, cpukernels::TunedKind::kGemm, workload.m, workload.n, workload.k,
-      candidates, [&](const cpukernels::BlockConfig& block) {
+      Layout::kRowMajor, candidates,
+      [&](const cpukernels::BlockConfig& block) {
         if (!measurer.has_value()) measurer.emplace(workload);
         return measurer->MeasureUs(block, &cpukernels::ProcessPool(),
                                    cost_.cpu_warmup_runs,
@@ -886,7 +906,8 @@ Result<CpuProfileResult> Profiler::ProfileCpuConv(
   std::optional<CpuConvMeasurer> measurer;
   return RunCpuSweep(
       key, cpukernels::TunedKind::kConv, shape.m, shape.n, shape.k,
-      candidates, [&](const cpukernels::BlockConfig& block) {
+      workload.layout, candidates,
+      [&](const cpukernels::BlockConfig& block) {
         if (!measurer.has_value()) measurer.emplace(workload);
         return measurer->MeasureUs(block, &cpukernels::ProcessPool(),
                                    cost_.cpu_warmup_runs,

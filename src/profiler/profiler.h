@@ -79,6 +79,10 @@ struct CpuProfileResult {
   /// Candidates injected by cross-shape transfer (the tuned block of the
   /// nearest cached shape): 0 or 1.
   int seeded = 0;
+  /// Activation layout the workload was measured under — part of the
+  /// tuned-block registry key and the cpu/v5 record payload.  GEMM
+  /// workloads are always kRowMajor.
+  Layout layout = Layout::kRowMajor;
   bool cache_hit = false;
 };
 
@@ -250,7 +254,7 @@ class Profiler {
   /// registry.
   Result<CpuProfileResult> RunCpuSweep(
       const std::string& key, cpukernels::TunedKind kind, int64_t m,
-      int64_t n, int64_t k,
+      int64_t n, int64_t k, Layout layout,
       const std::vector<cpukernels::BlockConfig>& candidates,
       const std::function<double(const cpukernels::BlockConfig&)>& measure);
 

@@ -582,10 +582,16 @@ TEST(ProfileCpuTest, ConvSweepUsesImplicitGemmDims) {
   auto r = prof.ProfileCpuConv(w);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r.value().block.Validate().ok());
+  // Conv sweeps register under the workload's activation layout, not the
+  // gemm default — the rowmajor slot must stay empty.
   EXPECT_TRUE(cpukernels::FindTunedBlockForBackend(
                   TunedKind::kConv, shape.m, shape.n, shape.k,
-                  cpukernels::Backend::kFastCpu)
+                  cpukernels::Backend::kFastCpu, w.layout)
                   .has_value());
+  EXPECT_FALSE(cpukernels::FindTunedBlockForBackend(
+                   TunedKind::kConv, shape.m, shape.n, shape.k,
+                   cpukernels::Backend::kFastCpu)
+                   .has_value());
   // A second conv with identical implicit-GEMM dims but different geometry
   // is a distinct workload (the cache key embeds the geometry).
   CpuConvWorkload w2 = w;

@@ -242,9 +242,17 @@ TEST(CpuConvTest, MatchesReferenceAcrossGeometries) {
       {9, 5, 6, 5, 1, 2, 1},   // 5x5
       {13, 4, 4, 3, 1, 2, 2},  // dilated
       {7, 3, 9, 3, 2, 0, 1},   // strided valid-pad
+      {7, 8, 16, 3, 1, 1, 1},  // block-aligned channels (NCHWc-eligible)
+      {6, 16, 8, 1, 1, 0, 1},  // two channel blocks, pointwise
   };
   for (const Case& c : cases) {
-    for (Layout layout : {Layout::kNHWC, Layout::kNCHW}) {
+    for (Layout layout :
+         {Layout::kNHWC, Layout::kNCHW, Layout::kNCHWc}) {
+      // NCHWc requires block-aligned channels; skip ineligible cases.
+      if (layout == Layout::kNCHWc &&
+          (c.c % kNCHWcBlock != 0 || c.oc % kNCHWcBlock != 0)) {
+        continue;
+      }
       const std::string what =
           StrCat("h=", c.h, " c=", c.c, " oc=", c.oc, " k=", c.kernel,
                  " s=", c.stride, " p=", c.pad, " d=", c.dilation, " ",
@@ -477,11 +485,15 @@ TEST(InterpreterDifferentialTest, RandomizedGraphSweep) {
   // checked in all four backend modes against the oracle.
   Rng rng(99);
   for (int trial = 0; trial < 10; ++trial) {
-    const Layout layout =
-        (trial % 2 == 0) ? Layout::kNHWC : Layout::kNCHW;
     const int64_t h = rng.Uniform(5, 12);
-    const int64_t c = rng.Uniform(1, 9);
-    const int64_t oc = rng.Uniform(1, 11);
+    // Half the trials use block-aligned channels so the always-drawn
+    // layout axis can land on blocked NCHWc.
+    const bool aligned = trial % 2 == 0;
+    const int64_t c =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(1, 9);
+    const int64_t oc =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(1, 11);
+    const Layout layout = difftest::RandomConvLayout(rng, c, oc);
     const int64_t kernel = 1 + 2 * rng.Uniform(0, 1);
     const int64_t stride = rng.Uniform(1, 2);
     const int64_t pad = rng.Uniform(0, kernel - 1);

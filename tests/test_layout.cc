@@ -1,0 +1,570 @@
+// Layout-matrix differential suite for the ALT-style joint layout search
+// (docs/LAYOUT.md): layout is a tunable graph axis, so every layer that
+// touches it is pinned here against the reference oracle under the
+// two-tier numeric contract (docs/CPU_BACKEND.md).
+//
+//  * the execution matrix: randomized Conv/Dense/B2B subgraphs crossed
+//    with {NCHW, NHWC, blocked NCHWc} and {scalar, SIMD} tiers, funneled
+//    through the shared diff harness (CheckDiff / ToleranceFor);
+//  * the planner: AssignRegionLayouts under synthetic cost models with
+//    hand-checkable optima, and under the production CPU model;
+//  * the rewrite: LayoutSearchPass must preserve semantics bit-exactly at
+//    the reference tier, insert transforms only at disagreeing region
+//    boundaries, and elide them entirely when adjacent partitions agree;
+//  * the cost model: transform cost monotone in tensor bytes and zero on
+//    agreement; conv layout affinity ordered NCHW > NHWC > NCHWc for
+//    every shape, which is what makes the planner's choices stable.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bolt/hostcost.h"
+#include "bolt/passes.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "cpukernels/cpuinfo.h"
+#include "ir/interpreter.h"
+#include "ir/partition.h"
+#include "testing/diff_harness.h"
+
+namespace bolt {
+namespace {
+
+using cpukernels::CpuIsa;
+using difftest::CheckDiff;
+using difftest::RandomTensor;
+using difftest::ToleranceFor;
+
+const DeviceSpec kT4 = DeviceSpec::TeslaT4();
+
+/// The planner's transform cost includes the kernel launch, so on small
+/// test tensors a deep chain is needed before a layout change amortizes.
+/// Zeroing the launch keeps the pin graphs small without changing the
+/// bandwidth-ratio structure the tests assert.
+DeviceSpec LaunchFreeSpec() {
+  DeviceSpec s = kT4;
+  s.kernel_launch_us = 0.0;
+  return s;
+}
+
+Conv2dAttrs Attrs(int64_t stride, int64_t pad) {
+  Conv2dAttrs a;
+  a.stride_h = a.stride_w = stride;
+  a.pad_h = a.pad_w = pad;
+  return a;
+}
+
+/// Logical {n, c, h, w} to the stored shape for `layout` (NCHWc keeps the
+/// logical NCHW shape; only the physical order is blocked).
+std::vector<int64_t> ActShape(Layout layout, int64_t n, int64_t c, int64_t h,
+                              int64_t w) {
+  return layout == Layout::kNHWC ? std::vector<int64_t>{n, h, w, c}
+                                 : std::vector<int64_t>{n, c, h, w};
+}
+
+int CountTransforms(const Graph& g) {
+  int k = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kLayoutTransform) ++k;
+  }
+  return k;
+}
+
+/// Runs `g` on the fast backend under `isa` and diffs against the oracle
+/// with the tier picked from the *resolved* ISA — the exact production
+/// degradation path on hosts without the requested tier.
+void ExpectMatchesOracle(const Graph& g,
+                         const std::map<std::string, Tensor>& in,
+                         CpuIsa isa, const std::string& op) {
+  RefExecutor oracle(g);
+  auto want = oracle.Run(in);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  InterpreterOptions o;
+  o.backend = cpukernels::Backend::kFastCpu;
+  o.block.isa = isa;
+  o.use_tuned_blocks = false;
+  Interpreter interp(g, o);
+  auto got = interp.Run(in);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), want.value().size());
+  const CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
+  for (size_t i = 0; i < want.value().size(); ++i) {
+    const difftest::Tolerance tol =
+        ToleranceFor(resolved, want.value()[i].desc().dtype);
+    EXPECT_TRUE(CheckDiff(op, got.value()[i], want.value()[i], tol))
+        << "output " << i << " isa=" << cpukernels::CpuIsaName(isa);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution matrix: layouts x tiers against the oracle
+// ---------------------------------------------------------------------------
+
+TEST(LayoutMatrixDiffTest, ConvSubgraphFullMatrix) {
+  // Deterministic corner of the matrix: one conv->bias->gelu subgraph per
+  // (layout, tier) cell, block-aligned channels so NCHWc is eligible.
+  for (Layout layout : {Layout::kNCHW, Layout::kNHWC, Layout::kNCHWc}) {
+    for (CpuIsa isa : {CpuIsa::kScalar, CpuIsa::kAuto}) {
+      SCOPED_TRACE(StrCat(LayoutName(layout), " isa=",
+                          cpukernels::CpuIsaName(isa)));
+      GraphBuilder b(DType::kFloat16, layout);
+      const std::vector<int64_t> xs = ActShape(layout, 1, 8, 9, 9);
+      NodeId x = b.Input("x", xs);
+      NodeId w = b.Constant(
+          "w", RandomTensor(TensorDesc(DType::kFloat16, {16, 3, 3, 8}), 11));
+      NodeId bias = b.Constant(
+          "b", RandomTensor(TensorDesc(DType::kFloat16, {16}), 12));
+      NodeId y = b.Activation(b.BiasAdd(b.Conv2d(x, w, Attrs(1, 1)), bias),
+                              ActivationKind::kGelu);
+      b.MarkOutput(y);
+      std::map<std::string, Tensor> in;
+      in["x"] = RandomTensor(TensorDesc(DType::kFloat16, xs, layout), 13);
+      ExpectMatchesOracle(b.Build().value(), in, isa, "layout_conv");
+    }
+  }
+}
+
+TEST(LayoutMatrixDiffTest, B2bConvAcrossEveryLayoutBoundary) {
+  // conv -> relu -> explicit LayoutTransform -> conv for every ordered
+  // (from, to) layout pair: the transform node sits between two anchors,
+  // exactly where LayoutSearchPass plants it.
+  const Layout layouts[] = {Layout::kNCHW, Layout::kNHWC, Layout::kNCHWc};
+  int seed = 100;
+  for (Layout from : layouts) {
+    for (Layout to : layouts) {
+      SCOPED_TRACE(StrCat(LayoutName(from), "->", LayoutName(to)));
+      GraphBuilder b(DType::kFloat16, from);
+      const std::vector<int64_t> xs = ActShape(from, 1, 8, 8, 8);
+      NodeId x = b.Input("x", xs);
+      NodeId w1 = b.Constant(
+          "w1",
+          RandomTensor(TensorDesc(DType::kFloat16, {8, 3, 3, 8}), ++seed));
+      NodeId y = b.Activation(b.Conv2d(x, w1, Attrs(1, 1)),
+                              ActivationKind::kRelu);
+      if (from != to) y = b.LayoutTransform(y, to);
+      NodeId w2 = b.Constant(
+          "w2",
+          RandomTensor(TensorDesc(DType::kFloat16, {16, 1, 1, 8}), ++seed));
+      y = b.Conv2d(y, w2, Conv2dAttrs{});
+      b.MarkOutput(y);
+      std::map<std::string, Tensor> in;
+      in["x"] = RandomTensor(TensorDesc(DType::kFloat16, xs, from), ++seed);
+      const Graph g = b.Build().value();
+      for (CpuIsa isa : {CpuIsa::kScalar, CpuIsa::kAuto}) {
+        ExpectMatchesOracle(g, in, isa, "layout_b2b");
+      }
+    }
+  }
+}
+
+TEST(LayoutMatrixDiffTest, RandomizedSubgraphsUnderSearchedLayouts) {
+  // The tentpole pin: randomized Conv/Dense/B2B subgraphs are planned by
+  // LayoutSearchPass (under the launch-free spec so small graphs still
+  // change layout), then the *rewritten* graph must match the oracle run
+  // of the *original* graph — semantics survive whatever the planner and
+  // rewriter chose, under both tiers.
+  Rng rng(4242);
+  const DeviceSpec spec = LaunchFreeSpec();
+  for (int trial = 0; trial < 24; ++trial) {
+    const bool aligned = trial % 2 == 0;
+    const int64_t h = rng.Uniform(5, 9);
+    const int64_t c =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(2, 7);
+    const int64_t oc =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(2, 9);
+    const Layout layout = difftest::RandomConvLayout(rng, c, oc);
+    const int64_t kernel = 1 + 2 * rng.Uniform(0, 1);
+    const int64_t pad = rng.Uniform(0, kernel - 1);
+    const int depth = 1 + rng.Uniform(0, 2);
+    SCOPED_TRACE(StrCat("trial=", trial, " h=", h, " c=", c, " oc=", oc,
+                        " k=", kernel, " depth=", depth, " ",
+                        LayoutName(layout)));
+
+    GraphBuilder b(DType::kFloat16, layout);
+    const std::vector<int64_t> xs = ActShape(layout, 1, c, h, h);
+    NodeId x = b.Input("x", xs);
+    NodeId w0 = b.Constant(
+        "w0", RandomTensor(TensorDesc(DType::kFloat16, {oc, kernel, kernel, c}),
+                           9000 + trial));
+    NodeId y = b.Conv2d(x, w0, Attrs(1, pad));
+    if (trial % 3 == 0) {
+      y = b.BiasAdd(y, b.Constant("bias", RandomTensor(TensorDesc(
+                                              DType::kFloat16, {oc}),
+                                                       9100 + trial)));
+    }
+    y = b.Activation(y, difftest::kActivations[trial %
+                                               difftest::kActivations.size()]);
+    NodeId branch = y;
+    for (int d = 1; d < depth; ++d) {
+      // Same-channel 1x1 convs keep shapes residual-compatible.
+      NodeId wd = b.Constant(
+          StrCat("w", d),
+          RandomTensor(TensorDesc(DType::kFloat16, {oc, 1, 1, oc}),
+                       9200 + 10 * trial + d));
+      y = b.Activation(b.Conv2d(y, wd, Conv2dAttrs{}),
+                       ActivationKind::kRelu);
+    }
+    if (depth > 1 && trial % 2 == 1) y = b.Add(y, branch);
+    b.MarkOutput(y);
+    Graph original = b.Build().value();
+
+    PassStats stats;
+    Graph searched = LayoutSearchPass(original, spec, &stats);
+    std::map<std::string, Tensor> in;
+    in["x"] =
+        RandomTensor(TensorDesc(DType::kFloat16, xs, layout), 9300 + trial);
+    for (CpuIsa isa : {CpuIsa::kScalar, CpuIsa::kAuto}) {
+      // The oracle runs the original graph: the rewrite must be invisible.
+      RefExecutor oracle(original);
+      auto want = oracle.Run(in);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      InterpreterOptions o;
+      o.backend = cpukernels::Backend::kFastCpu;
+      o.block.isa = isa;
+      o.use_tuned_blocks = false;
+      auto got = Interpreter(searched, o).Run(in);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got.value().size(), want.value().size());
+      const difftest::Tolerance tol = ToleranceFor(
+          cpukernels::ResolveCpuIsa(isa), DType::kFloat16);
+      for (size_t i = 0; i < want.value().size(); ++i) {
+        EXPECT_TRUE(
+            CheckDiff("layout_search", got.value()[i], want.value()[i], tol))
+            << "output " << i << " isa=" << cpukernels::CpuIsaName(isa);
+      }
+    }
+  }
+}
+
+TEST(LayoutMatrixDiffTest, DenseChainsPassThroughUnchanged) {
+  // Rank-2 graphs have no layout freedom: the pass must be a structural
+  // no-op and the dense chain still matches the oracle on both tiers.
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {4, 24});
+  NodeId w1 = b.Constant(
+      "w1", RandomTensor(TensorDesc(DType::kFloat16, {16, 24}), 31));
+  NodeId y = b.Activation(b.Dense(x, w1), ActivationKind::kRelu);
+  NodeId w2 = b.Constant(
+      "w2", RandomTensor(TensorDesc(DType::kFloat16, {8, 16}), 32));
+  y = b.Softmax(b.Dense(y, w2));
+  b.MarkOutput(y);
+  Graph g = b.Build().value();
+
+  PassStats stats;
+  Graph searched = LayoutSearchPass(g, kT4, &stats);
+  EXPECT_EQ(stats.layout_transforms_inserted, 0);
+  EXPECT_EQ(searched.num_nodes(), g.num_nodes());
+  EXPECT_EQ(CountTransforms(searched), 0);
+  std::map<std::string, Tensor> in;
+  in["x"] = RandomTensor(TensorDesc(DType::kFloat16, {4, 24}), 33);
+  for (CpuIsa isa : {CpuIsa::kScalar, CpuIsa::kAuto}) {
+    ExpectMatchesOracle(searched, in, isa, "layout_dense");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LayoutSearchPass: adoption, boundary transforms, and elision pins
+// ---------------------------------------------------------------------------
+
+/// A chain of `depth` same-shape convs (3x3 pad-1, relu between) with
+/// NCHW input; `c` channels throughout.  Weights are materialized so the
+/// graph executes.
+Graph DeepConvChain(int depth, int64_t c, int64_t h) {
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  NodeId y = b.Input("data", {1, c, h, h}, Layout::kNCHW);
+  for (int d = 0; d < depth; ++d) {
+    NodeId w = b.Constant(
+        StrCat("w", d),
+        RandomTensor(TensorDesc(DType::kFloat16, {c, 3, 3, c}, Layout::kAny),
+                     40 + d));
+    y = b.Activation(b.Conv2d(y, w, Attrs(1, 1), StrCat("conv", d)),
+                     ActivationKind::kRelu);
+  }
+  b.MarkOutput(y);
+  auto g = b.Build();
+  BOLT_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(LayoutSearchPassTest, DeepAlignedNchwChainAdoptsNchwc) {
+  // Six aligned convs amortize the two boundary transforms under the
+  // launch-free spec: the region flips to blocked NCHWc, the input and
+  // output get exactly one transform each, and the external contract
+  // (NCHW output) is preserved.
+  Graph g = DeepConvChain(6, kNCHWcBlock, 12);
+  PassStats stats;
+  Graph searched = LayoutSearchPass(g, LaunchFreeSpec(), &stats);
+  EXPECT_EQ(stats.layout_transforms_inserted, 2);
+  EXPECT_EQ(CountTransforms(searched), 2);
+  for (const Node& n : searched.nodes()) {
+    if (n.kind == OpKind::kConv2d) {
+      EXPECT_EQ(n.out_desc.layout, Layout::kNCHWc) << n.name;
+    }
+  }
+  EXPECT_EQ(searched.node(searched.output_ids()[0]).out_desc.layout,
+            Layout::kNCHW);
+
+  // Semantics: bit-identical at the reference tier, tiered elsewhere.
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, kNCHWcBlock, 12, 12}, Layout::kNCHW),
+      77);
+  auto a = RefExecutor(g).Run({{"data", input}});
+  auto b = RefExecutor(searched).Run({{"data", input}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()[0].MaxAbsDiff(b.value()[0]), 0.0f);
+  ExpectMatchesOracle(searched, {{"data", input}}, CpuIsa::kAuto,
+                      "layout_search");
+}
+
+TEST(LayoutSearchPassTest, DeepUnalignedNchwChainMovesToNhwc) {
+  // With channels not divisible by the block width, NCHWc is off the menu
+  // and the planner still escapes the NCHW gather tax via NHWC.
+  Graph g = DeepConvChain(6, 6, 12);
+  PassStats stats;
+  Graph searched = LayoutSearchPass(g, LaunchFreeSpec(), &stats);
+  EXPECT_EQ(stats.layout_transforms_inserted, 2);
+  for (const Node& n : searched.nodes()) {
+    if (n.kind == OpKind::kConv2d) {
+      EXPECT_EQ(n.out_desc.layout, Layout::kNHWC) << n.name;
+    }
+  }
+  EXPECT_EQ(searched.node(searched.output_ids()[0]).out_desc.layout,
+            Layout::kNCHW);
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 6, 12, 12}, Layout::kNCHW), 78);
+  auto a = RefExecutor(g).Run({{"data", input}});
+  auto b = RefExecutor(searched).Run({{"data", input}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()[0].MaxAbsDiff(b.value()[0]), 0.0f);
+}
+
+TEST(LayoutSearchPassTest, AgreeingPartitionsElideAllTransforms) {
+  // Elision pin: an NHWC graph whose regions all choose NHWC must come out
+  // with ZERO transform nodes — the boundaries agree, so every would-be
+  // transform is elided and counted as such.  A non-flexible pool splits
+  // the chain into two regions, making the agreement genuinely
+  // inter-partition rather than trivial.
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {1, 10, 10, 6});
+  NodeId w1 = b.Constant(
+      "w1", RandomTensor(TensorDesc(DType::kFloat16, {6, 3, 3, 6}), 51));
+  NodeId y = b.Activation(b.Conv2d(x, w1, Attrs(1, 1)),
+                          ActivationKind::kRelu);
+  y = b.MaxPool2d(y, 2, 2);  // not layout-flexible: region boundary
+  NodeId w2 = b.Constant(
+      "w2", RandomTensor(TensorDesc(DType::kFloat16, {6, 3, 3, 6}), 52));
+  y = b.Activation(b.Conv2d(y, w2, Attrs(1, 1)), ActivationKind::kRelu);
+  b.MarkOutput(y);
+  Graph g = b.Build().value();
+
+  PassStats stats;
+  Graph searched = LayoutSearchPass(g, kT4, &stats);
+  EXPECT_EQ(stats.layout_transforms_inserted, 0);
+  EXPECT_GE(stats.layout_transforms_elided, 2);  // both region inputs agree
+  EXPECT_EQ(CountTransforms(searched), 0);
+  EXPECT_EQ(searched.num_nodes(), g.num_nodes());
+
+  Tensor input = RandomTensor(
+      TensorDesc(DType::kFloat16, {1, 10, 10, 6}, Layout::kNHWC), 53);
+  auto a = RefExecutor(g).Run({{"x", input}});
+  auto c = RefExecutor(searched).Run({{"x", input}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value()[0].MaxAbsDiff(c.value()[0]), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// AssignRegionLayouts: planner optima under synthetic cost models
+// ---------------------------------------------------------------------------
+
+/// conv -> maxpool -> conv: the pool is unsupported, so the partitioner
+/// yields three regions and the outer two plan layouts independently.
+Graph ConvPoolConv() {
+  GraphBuilder b(DType::kFloat16, Layout::kNCHW);
+  NodeId x = b.Input("x", {1, 8, 12, 12}, Layout::kNCHW);
+  NodeId w1 =
+      b.ConstantDesc("w1", TensorDesc(DType::kFloat16, {8, 3, 3, 8}));
+  NodeId y = b.Conv2d(x, w1, Attrs(1, 1), "conv_a");
+  y = b.MaxPool2d(y, 2, 2);
+  NodeId w2 =
+      b.ConstantDesc("w2", TensorDesc(DType::kFloat16, {8, 3, 3, 8}));
+  y = b.Conv2d(y, w2, Attrs(1, 1), "conv_b");
+  b.MarkOutput(y);
+  auto g = b.Build();
+  BOLT_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(AssignRegionLayoutsTest, PicksCheapestLayoutPerRegion) {
+  Graph g = ConvPoolConv();
+  PartitionResult parts = PartitionGraph(
+      g, [](const Graph& gr, const Node& n) {
+        return n.kind == OpKind::kConv2d && IsLayoutFlexible(gr, n);
+      });
+  ASSERT_EQ(parts.regions.size(), 3u);
+
+  LayoutCostModel model;
+  model.candidates = [](const Graph&, const Region& r) {
+    return r.offloaded ? std::vector<Layout>{Layout::kNCHW, Layout::kNHWC}
+                       : std::vector<Layout>{};
+  };
+  // NHWC is 10x cheaper to execute; transforms cost 1 each.  Both conv
+  // regions must flip to NHWC and pay their boundary transforms.
+  model.region_cost_us = [](const Graph&, const Region&, Layout l) {
+    return l == Layout::kNHWC ? 1.0 : 10.0;
+  };
+  model.transform_cost_us = [](const TensorDesc&, Layout from, Layout to) {
+    return from == to ? 0.0 : 1.0;
+  };
+  LayoutPlan plan = AssignRegionLayouts(g, parts, model);
+  ASSERT_EQ(plan.region_layout.size(), 3u);
+  int flexible = 0;
+  for (size_t i = 0; i < parts.regions.size(); ++i) {
+    if (!parts.regions[i].offloaded) {
+      EXPECT_EQ(plan.region_layout[i], Layout::kAny);
+      continue;
+    }
+    ++flexible;
+    EXPECT_EQ(plan.region_layout[i], Layout::kNHWC);
+  }
+  EXPECT_EQ(flexible, 2);
+  // conv_a: NCHW input disagrees (1 transform); conv_b: the pool's NCHW
+  // output disagrees (1) and the graph output must return to NCHW (1).
+  EXPECT_EQ(plan.boundary_transforms, 3);
+  EXPECT_EQ(plan.elided_transforms, 0);
+  // 2 region costs (1.0 each) + 3 transforms (1.0 each).
+  EXPECT_DOUBLE_EQ(plan.total_cost_us, 5.0);
+}
+
+TEST(AssignRegionLayoutsTest, TransformTaxKeepsNativeLayoutAndElides) {
+  Graph g = ConvPoolConv();
+  PartitionResult parts = PartitionGraph(
+      g, [](const Graph& gr, const Node& n) {
+        return n.kind == OpKind::kConv2d && IsLayoutFlexible(gr, n);
+      });
+  LayoutCostModel model;
+  model.candidates = [](const Graph&, const Region& r) {
+    return r.offloaded ? std::vector<Layout>{Layout::kNCHW, Layout::kNHWC}
+                       : std::vector<Layout>{};
+  };
+  // Execution barely favors NHWC, but transforms are ruinous: regions
+  // must stay NCHW and every boundary is elided.
+  model.region_cost_us = [](const Graph&, const Region&, Layout l) {
+    return l == Layout::kNHWC ? 1.0 : 1.5;
+  };
+  model.transform_cost_us = [](const TensorDesc&, Layout from, Layout to) {
+    return from == to ? 0.0 : 100.0;
+  };
+  LayoutPlan plan = AssignRegionLayouts(g, parts, model);
+  for (size_t i = 0; i < parts.regions.size(); ++i) {
+    if (parts.regions[i].offloaded) {
+      EXPECT_EQ(plan.region_layout[i], Layout::kNCHW);
+    }
+  }
+  EXPECT_EQ(plan.boundary_transforms, 0);
+  EXPECT_EQ(plan.elided_transforms, 2);
+  EXPECT_DOUBLE_EQ(plan.total_cost_us, 3.0);
+}
+
+TEST(AssignRegionLayoutsTest, ProductionModelOffersNchwcOnlyWhenAligned) {
+  // Production candidate sets: the aligned chain gets all three layouts,
+  // the unaligned one only the unblocked pair.
+  for (int64_t c : {kNCHWcBlock, int64_t{6}}) {
+    Graph g = DeepConvChain(2, c, 10);
+    PartitionResult parts = PartitionGraph(
+        g,
+        [](const Graph& gr, const Node& n) { return IsLayoutFlexible(gr, n); });
+    const LayoutCostModel model = MakeCpuLayoutCostModel(kT4);
+    bool saw_flexible = false;
+    for (const Region& r : parts.regions) {
+      if (!r.offloaded) continue;
+      saw_flexible = true;
+      const std::vector<Layout> cands = model.candidates(g, r);
+      if (c % kNCHWcBlock == 0) {
+        ASSERT_EQ(cands.size(), 3u);
+        EXPECT_EQ(cands[2], Layout::kNCHWc);
+      } else {
+        ASSERT_EQ(cands.size(), 2u);
+      }
+      EXPECT_EQ(cands[0], Layout::kNCHW);
+      EXPECT_EQ(cands[1], Layout::kNHWC);
+    }
+    EXPECT_TRUE(saw_flexible) << "c=" << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model: monotonicity and affinity-ordering pins
+// ---------------------------------------------------------------------------
+
+TEST(LayoutCostModelTest, TransformCostZeroOnAgreementMonotoneInBytes) {
+  const TensorDesc small(DType::kFloat16, {1, 8, 8, 8});
+  const TensorDesc medium(DType::kFloat16, {1, 16, 16, 16});
+  const TensorDesc large(DType::kFloat32, {1, 16, 32, 32});
+  for (Layout l : {Layout::kNCHW, Layout::kNHWC, Layout::kNCHWc}) {
+    EXPECT_EQ(LayoutTransformCostUs(kT4, large, l, l), 0.0);
+  }
+  const double s =
+      LayoutTransformCostUs(kT4, small, Layout::kNCHW, Layout::kNHWC);
+  const double m =
+      LayoutTransformCostUs(kT4, medium, Layout::kNCHW, Layout::kNHWC);
+  const double l =
+      LayoutTransformCostUs(kT4, large, Layout::kNCHW, Layout::kNCHWc);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, m);
+  EXPECT_LT(m, l);
+}
+
+TEST(LayoutCostModelTest, ConvAffinityOrderingHoldsAcrossShapes) {
+  // The ordering cost(NCHW) > cost(NHWC) > cost(NCHWc) is what the
+  // planner's choices lean on; it must hold for every conv shape.
+  Rng rng(606);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t c = kNCHWcBlock * rng.Uniform(1, 3);
+    const int64_t h = rng.Uniform(4, 20);
+    Graph g = DeepConvChain(1, c, h);
+    const Node* conv = nullptr;
+    for (const Node& n : g.nodes()) {
+      if (n.kind == OpKind::kConv2d) conv = &n;
+    }
+    ASSERT_NE(conv, nullptr);
+    SCOPED_TRACE(StrCat("c=", c, " h=", h));
+    const double nchw = ConvLayoutAffinityCostUs(kT4, g, *conv, Layout::kNCHW);
+    const double nhwc = ConvLayoutAffinityCostUs(kT4, g, *conv, Layout::kNHWC);
+    const double nchwc =
+        ConvLayoutAffinityCostUs(kT4, g, *conv, Layout::kNCHWc);
+    EXPECT_GT(nchw, nhwc);
+    EXPECT_GT(nhwc, nchwc);
+    EXPECT_GT(nchwc, 0.0);
+  }
+}
+
+TEST(LayoutCostModelTest, FlexibilityPredicateMatchesDocumentedOps) {
+  GraphBuilder b(DType::kFloat16, Layout::kNHWC);
+  NodeId x = b.Input("x", {1, 6, 6, 8});
+  NodeId w = b.ConstantDesc("w", TensorDesc(DType::kFloat16, {8, 3, 3, 8}));
+  NodeId conv = b.Conv2d(x, w, Attrs(1, 1));
+  NodeId bias = b.BiasAdd(
+      conv, b.ConstantDesc("bias", TensorDesc(DType::kFloat16, {8})));
+  NodeId act = b.Activation(bias, ActivationKind::kRelu);
+  NodeId pool = b.MaxPool2d(act, 2, 2);
+  NodeId flat = b.Flatten(pool);
+  NodeId wd = b.ConstantDesc("wd", TensorDesc(DType::kFloat16, {4, 72}));
+  NodeId dense = b.Dense(flat, wd);
+  b.MarkOutput(dense);
+  Graph g = b.Build().value();
+  EXPECT_TRUE(IsLayoutFlexible(g, g.node(conv)));
+  EXPECT_TRUE(IsLayoutFlexible(g, g.node(bias)));
+  EXPECT_TRUE(IsLayoutFlexible(g, g.node(act)));
+  EXPECT_FALSE(IsLayoutFlexible(g, g.node(pool)));   // not retaggable
+  EXPECT_FALSE(IsLayoutFlexible(g, g.node(flat)));   // rank-2
+  EXPECT_FALSE(IsLayoutFlexible(g, g.node(dense)));  // rank-2
+}
+
+}  // namespace
+}  // namespace bolt

@@ -251,10 +251,16 @@ TEST(SimdDifferentialTest, RandomizedConvTuples) {
   ThreadPool pool3(3);
   int done = 0;
   for (int trial = 0; done < 512 && trial < 4096; ++trial) {
-    const Layout layout = trial % 2 == 0 ? Layout::kNHWC : Layout::kNCHW;
     const int64_t h = rng.Uniform(4, 10);
-    const int64_t c = rng.Uniform(1, 8);
-    const int64_t oc = rng.Uniform(1, 10);
+    // A quarter of the draws use block-aligned channels so the NCHWc arm
+    // of the layout axis (which needs C and OC divisible by kNCHWcBlock)
+    // gets real coverage instead of a rare aligned accident.
+    const bool aligned = rng.Uniform(0, 3) == 0;
+    const int64_t c =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(1, 8);
+    const int64_t oc =
+        aligned ? kNCHWcBlock * rng.Uniform(1, 2) : rng.Uniform(1, 10);
+    const Layout layout = difftest::RandomConvLayout(rng, c, oc);
     const int64_t kernel = 1 + 2 * rng.Uniform(0, 1);
     const int64_t stride = rng.Uniform(1, 2);
     const int64_t pad = rng.Uniform(0, kernel - 1);
@@ -483,25 +489,31 @@ TEST(SimdDifferentialTest, RemainderTileTuplesAreCoveredExplicitly) {
     }
   }
   // Conv remainders: a channel count below one vector (NHWC contiguous
-  // runs of 5) and the NCHW gather path with the same tail geometry.
-  for (const Layout layout : {Layout::kNHWC, Layout::kNCHW}) {
+  // runs of 5), the NCHW gather path with the same tail geometry, and
+  // blocked NCHWc (which needs aligned channels) with its im2col runs
+  // clamped at the 8-channel block boundary.
+  for (const Layout layout :
+       {Layout::kNHWC, Layout::kNCHW, Layout::kNCHWc}) {
     for (const CpuIsa isa : {CpuIsa::kAuto, CpuIsa::kAvx2,
                              CpuIsa::kAvx512}) {
       const CpuIsa resolved = cpukernels::ResolveCpuIsa(isa);
       SCOPED_TRACE(StrCat(LayoutName(layout), " isa=",
                           cpukernels::CpuIsaName(isa)));
+      const bool blocked = layout == Layout::kNCHWc;
+      const int64_t cc = blocked ? 8 : 5;   // NCHWc: one full channel block
+      const int64_t oc = blocked ? 16 : 11;  // k = 3*3*8 = 72: 8-deep tail
       BlockConfig block;
       block.mc = 8;
       block.kc = 16;  // k = 3*3*5 = 45: a 13-deep trailing slice
       block.nc = 8;
       block.isa = isa;
       std::vector<int64_t> xs = layout == Layout::kNHWC
-                                    ? std::vector<int64_t>{1, 7, 7, 5}
-                                    : std::vector<int64_t>{1, 5, 7, 7};
+                                    ? std::vector<int64_t>{1, 7, 7, cc}
+                                    : std::vector<int64_t>{1, cc, 7, 7};
       Tensor x = difftest::RandomTensor(
           TensorDesc(DType::kFloat16, xs, layout), 44000);
       Tensor w = difftest::RandomTensor(
-          TensorDesc(DType::kFloat16, {11, 3, 3, 5}), 45000);
+          TensorDesc(DType::kFloat16, {oc, 3, 3, cc}), 45000);
       Conv2dAttrs attrs;
       attrs.pad_h = attrs.pad_w = 1;
       cpukernels::ConvParams p;
@@ -638,6 +650,55 @@ TEST(SimdPackEqualityTest, PackModeToggleIsBitExact) {
                             scalar_pack.data().size() * sizeof(float)),
                 0);
     }
+  }
+  cpukernels::SetCpuPackMode(prev);
+}
+
+TEST(SimdPackEqualityTest, NchwcConvPackModeToggleIsBitExact) {
+  // Blocked-NCHWc im2col feeds PackA4RunSimd stride-1 runs clamped at the
+  // 8-channel block boundary; the scalar and SIMD packers must move
+  // identical bytes there too — padding-induced null rows, strided taps,
+  // multi-block channels, and remainder tiles included.
+  if (cpukernels::ResolveCpuIsa(CpuIsa::kAvx2) != CpuIsa::kAvx2) {
+    GTEST_SKIP() << "host or env pins the scalar tier";
+  }
+  const cpukernels::CpuPackMode prev = cpukernels::CurrentCpuPackMode();
+  const struct {
+    int64_t h, c, oc, kernel, stride, pad;
+  } cases[] = {
+      {7, 8, 8, 3, 1, 1},    // padding: null rows at every edge
+      {5, 16, 8, 3, 2, 0},   // two channel blocks, strided taps
+      {4, 8, 16, 1, 1, 0},   // pointwise: pure block-copy packing
+      {9, 24, 8, 3, 1, 2},   // three blocks, halo wider than the kernel
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(StrCat("h=", c.h, " c=", c.c, " oc=", c.oc, " f=",
+                        c.kernel, " s=", c.stride, " p=", c.pad));
+    BlockConfig block;
+    block.isa = CpuIsa::kAvx2;
+    block.mc = 8;
+    block.kc = 16;
+    block.nc = 8;
+    Tensor x = difftest::RandomTensor(
+        TensorDesc(DType::kFloat16, {1, c.c, c.h, c.h}, Layout::kNCHWc),
+        61000 + c.h);
+    Tensor w = difftest::RandomTensor(
+        TensorDesc(DType::kFloat16, {c.oc, c.kernel, c.kernel, c.c}),
+        62000 + c.h);
+    cpukernels::ConvParams p;
+    p.stride_h = p.stride_w = c.stride;
+    p.pad_h = p.pad_w = c.pad;
+    cpukernels::Epilogue epi;
+    epi.output_dtype = DType::kFloat16;
+    epi.boundary_quantize = true;
+    cpukernels::SetCpuPackMode(cpukernels::CpuPackMode::kScalar);
+    Tensor scalar_pack = cpukernels::Conv2d(x, w, p, epi, block);
+    cpukernels::SetCpuPackMode(cpukernels::CpuPackMode::kSimd);
+    Tensor simd_pack = cpukernels::Conv2d(x, w, p, epi, block);
+    EXPECT_EQ(std::memcmp(scalar_pack.data().data(),
+                          simd_pack.data().data(),
+                          scalar_pack.data().size() * sizeof(float)),
+              0);
   }
   cpukernels::SetCpuPackMode(prev);
 }

@@ -171,10 +171,11 @@ TEST(TuningCacheTest, RejectsWrongFieldCount) {
 std::string ValidCpuRecord() {
   // Provenance field (v3): 30 candidates enumerated, the ranked
   // pre-filter measured 7 of them, no transfer seed.  v4 appended the
-  // prefetch flag to the block payload and admits isa 0..3.
-  return StrCat("cpu/v4/gemm/24x16x32/t", cpukernels::DefaultNumThreads(),
+  // prefetch flag to the block payload and admits isa 0..3; v5 appended
+  // the activation layout (gemm records carry kRowMajor = 2).
+  return StrCat("cpu/v5/gemm/24x16x32/t", cpukernels::DefaultNumThreads(),
                 "/", cpukernels::CpuArchToken(),
-                "|64 256 4096 0 0 0|12.5|7|30 1 0\n");
+                "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n");
 }
 
 TEST(CpuTuningCacheTest, MixedGpuAndCpuRoundTripIsIdentical) {
@@ -229,75 +230,102 @@ TEST(CpuTuningCacheTest, BadCpuLinesAreDroppedIndividually) {
   const std::string bad_lines[] = {
       // superseded versions are retired rather than reinterpreted: v1
       // carried no ISA field, v2 no ranked-sweep provenance, v3 no
-      // prefetch flag (and its isa range stopped at AVX2)
+      // prefetch flag (and its isa range stopped at AVX2), v4 no
+      // activation layout
       StrCat("cpu/v1/gemm/24x16x32/", threads, "/", arch,
              "|64 256 4096 0|12.5|7\n"),
       StrCat("cpu/v2/gemm/24x16x32/", threads, "/", arch,
              "|64 256 4096 0 0|12.5|7\n"),
       StrCat("cpu/v3/gemm/24x16x32/", threads, "/", arch,
              "|64 256 4096 0 0|12.5|7|30 1 0\n"),
-      // unknown future version
-      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
              "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
+      // unknown future version
+      StrCat("cpu/v6/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
       // foreign arch token
-      StrCat("cpu/v4/gemm/24x16x32/", threads,
-             "/cpu4x8-l1_1-l2_2-l3_3-scalar|64 256 4096 0 0 0|12.5|7|30 1 "
+      StrCat("cpu/v5/gemm/24x16x32/", threads,
+             "/cpu4x8-l1_1-l2_2-l3_3-scalar|64 256 4096 0 0 0 2|12.5|7|30 1 "
              "0\n"),
       // unknown op
-      StrCat("cpu/v4/b2b/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/b2b/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
       // malformed workload dims
-      StrCat("cpu/v4/gemm/24x16/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/0x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/0x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
       // malformed thread field
-      StrCat("cpu/v4/gemm/24x16x32/x4/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/x4/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
       // invalid blockings: mc not a multiple of kMR, nc not of kNR,
       // kc < 8, unknown scheme, out-of-range isa, non-flag prefetch
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|3 256 4096 0 0 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 12 0 0 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 4 4096 0 0 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 2 0 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 4 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 -1 0|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 2|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 -1|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|3 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 12 0 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 4 4096 0 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 2 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 4 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 -1 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 2 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 -1 2|12.5|7|30 1 0\n"),
+      // invalid layouts: a gemm record must carry kRowMajor (2) — an
+      // activation layout, kColMajor, kAny, or an out-of-enum value is
+      // rejected; a conv record admits only NCHW (0), NHWC (1), NCHWc (5)
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 0|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 1|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 5|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 99|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/conv/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/conv/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 3|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/conv/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 4|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/conv/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 -1|12.5|7|30 1 0\n"),
+      // missing layout field (a v4-shaped payload under the v5 key)
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0|12.5|7|30 1 0\n"),
       // trailing garbage / wrong field counts / bad numerics
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0 junk|12.5|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|0|7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|-7|30 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5abc|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2 junk|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2 2|12.5|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|0|7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|-7|30 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5abc|7|30 1 0\n"),
       // malformed provenance: tried exceeding enumerated, non-flag
       // ranked/seeded, missing or garbage-laden fields
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|6 1 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 2 0\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 2\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0 junk\n"),
-      StrCat("cpu/v4/gemm/24x16x32/", threads, "/", arch,
-             "|64 256 4096 0 0 0|12.5|7|30 1 0|extra\n"),
-      "cpu/v4/gemm\n",
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|6 1 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 2 0\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 2\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0 junk\n"),
+      StrCat("cpu/v5/gemm/24x16x32/", threads, "/", arch,
+             "|64 256 4096 0 0 0 2|12.5|7|30 1 0|extra\n"),
+      "cpu/v5/gemm\n",
   };
   for (const std::string& bad : bad_lines) {
     cpukernels::ClearTunedBlocks();
@@ -317,8 +345,8 @@ TEST(CpuTuningCacheTest, ForeignThreadCountLoadsButStaysDormant) {
   // through the cache but must not activate execution-time selection.
   cpukernels::ClearTunedBlocks();
   const std::string foreign = StrCat(
-      "cpu/v4/gemm/24x16x32/t", cpukernels::DefaultNumThreads() + 1, "/",
-      cpukernels::CpuArchToken(), "|64 256 4096 0 0 0|12.5|7|30 1 0\n");
+      "cpu/v5/gemm/24x16x32/t", cpukernels::DefaultNumThreads() + 1, "/",
+      cpukernels::CpuArchToken(), "|64 256 4096 0 0 0 2|12.5|7|30 1 0\n");
   Profiler prof(kT4);
   std::istringstream in(foreign);
   ASSERT_TRUE(prof.LoadCache(in).ok());

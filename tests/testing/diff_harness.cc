@@ -45,6 +45,18 @@ cpukernels::BlockConfig RandomBlock(Rng& rng, bool isa_axis) {
   return c;
 }
 
+Layout RandomConvLayout(Rng& rng, int64_t c, int64_t oc) {
+  switch (rng.Uniform(0, 2)) {
+    case 0:
+      return Layout::kNCHW;
+    case 1:
+      return Layout::kNHWC;
+    default:
+      return c % kNCHWcBlock == 0 && oc % kNCHWcBlock == 0 ? Layout::kNCHWc
+                                                           : Layout::kNCHW;
+  }
+}
+
 const std::vector<ActivationKind> kActivations = {
     ActivationKind::kIdentity,  ActivationKind::kRelu,
     ActivationKind::kGelu,      ActivationKind::kSigmoid,

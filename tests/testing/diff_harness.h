@@ -58,6 +58,13 @@ Tensor RandomTensor(TensorDesc desc, uint64_t seed);
 /// exactly the production resolution path and therefore fair game.
 cpukernels::BlockConfig RandomBlock(Rng& rng, bool isa_axis = false);
 
+/// Draws an activation layout for randomized conv tuples — an always-drawn
+/// axis like prefetch: every tuple pins one of NCHW / NHWC / blocked
+/// NCHWc with equal probability.  NCHWc requires C and OC divisible by
+/// kNCHWcBlock; an unaligned draw degrades to NCHW, which is exactly the
+/// production eligibility rule and therefore fair game.
+Layout RandomConvLayout(Rng& rng, int64_t c, int64_t oc);
+
 /// The epilogue activations the randomized tuples cycle through.
 extern const std::vector<ActivationKind> kActivations;
 
